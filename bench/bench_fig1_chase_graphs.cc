@@ -1,0 +1,58 @@
+// E1 — Figure 1: the R-chase and O-chase of Q = {(c): ∃a,b R(a,b,c)} with
+// respect to Σ = { R[1] ⊆ T[1], R[1,3] ⊆ S[1,2], S[1,3] ⊆ R[1,2] }.
+// Regenerates the figure as level-by-level text plus Graphviz DOT, and
+// prints per-level conjunct counts showing both chases are infinite.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "chase/chase_graph.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+void RunVariant(ChaseVariant variant, const char* name, uint32_t levels) {
+  Scenario s = Fig1Scenario();
+  ChaseLimits limits;
+  limits.max_level = levels;
+  Chase chase(s.catalog.get(), s.symbols.get(), &s.deps, variant, limits);
+  Status init = chase.Init(s.queries[0]);
+  if (!init.ok()) {
+    std::printf("init failed: %s\n", init.ToString().c_str());
+    return;
+  }
+  Result<ChaseOutcome> outcome = chase.ExpandToLevel(levels);
+  if (!outcome.ok()) {
+    std::printf("expand failed: %s\n", outcome.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- %s (outcome: %s) ---\n", name,
+              *outcome == ChaseOutcome::kSaturated ? "saturated"
+                                                   : "truncated/infinite");
+  std::printf("%s", ChaseGraphToText(chase).c_str());
+  std::printf("level sizes:");
+  for (uint32_t l = 0; l <= chase.MaxAliveLevel(); ++l) {
+    std::printf(" L%u=%zu", l, chase.CountAtLevel(l));
+  }
+  std::printf("\ntotal conjuncts: %zu, arcs: %zu (cross: ",
+              chase.AliveFacts().size(), chase.arcs().size());
+  size_t cross = 0;
+  for (const ChaseArc& a : chase.arcs()) cross += a.cross ? 1 : 0;
+  std::printf("%zu)\n\nDOT:\n%s\n", cross, ChaseGraphToDot(chase).c_str());
+}
+
+}  // namespace
+}  // namespace cqchase
+
+int main() {
+  using namespace cqchase;
+  bench::PrintHeader(
+      "E1 / Figure 1: R-chase and O-chase graphs",
+      "both chases of the example are infinite; the R-chase replaces "
+      "repeated T-conjunct creations by cross arcs, the O-chase re-creates "
+      "them at every level");
+  RunVariant(ChaseVariant::kRequired, "R-chase", 5);
+  RunVariant(ChaseVariant::kOblivious, "O-chase", 5);
+  return 0;
+}

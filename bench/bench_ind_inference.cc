@@ -1,0 +1,106 @@
+// E8 — Corollary 2.3 and the remark after it: IND implication is a special
+// case of CQ containment (the paper's two-query reduction), and for any
+// fixed width W it is decidable in polynomial time. This bench
+// (a) cross-validates the axiomatic CFP-proof-search decider against the
+//     containment-reduction decider on random implication instances, and
+// (b) reports time vs width for both, which should stay polynomial per
+//     fixed W while the state space grows with W.
+#include <cstdio>
+
+#include "base/rng.h"
+#include "bench/bench_util.h"
+#include "gen/generators.h"
+#include "inference/ind_inference.h"
+
+namespace cqchase {
+namespace {
+
+// A random implication target R[X] <= S[Y]: half the time a projection or
+// transitive consequence of the given INDs (likely implied), half the time
+// fully random columns (likely not implied).
+InclusionDependency RandomTarget(Rng& rng, const Catalog& catalog,
+                                 const DependencySet& deps, size_t width) {
+  InclusionDependency target;
+  if (!deps.inds().empty() && rng.Bernoulli(0.5)) {
+    const InclusionDependency& base =
+        deps.inds()[rng.Index(deps.inds().size())];
+    size_t take = width < base.width() ? width : base.width();
+    target.lhs_relation = base.lhs_relation;
+    target.rhs_relation = base.rhs_relation;
+    for (size_t i = 0; i < take; ++i) {
+      target.lhs_columns.push_back(base.lhs_columns[i]);
+      target.rhs_columns.push_back(base.rhs_columns[i]);
+    }
+    if (!target.lhs_columns.empty()) return target;
+  }
+  // Fully random width-`width` target between two relations wide enough.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    RelationId r = static_cast<RelationId>(rng.Index(catalog.num_relations()));
+    RelationId s = static_cast<RelationId>(rng.Index(catalog.num_relations()));
+    if (catalog.arity(r) < width || catalog.arity(s) < width) continue;
+    target = InclusionDependency{};
+    target.lhs_relation = r;
+    target.rhs_relation = s;
+    // Distinct columns per side.
+    for (size_t i = 0; i < width; ++i) {
+      target.lhs_columns.push_back(static_cast<uint32_t>(i));
+      target.rhs_columns.push_back(static_cast<uint32_t>(i));
+    }
+    return target;
+  }
+  return target;
+}
+
+void RunWidth(size_t width) {
+  size_t total = 0, implied = 0, agreements = 0, disagreements = 0;
+  double axiomatic_ms = 0, reduction_ms = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 31 + width);
+    RandomCatalogParams cp;
+    cp.num_relations = 3;
+    cp.min_arity = width + 1;
+    cp.max_arity = width + 2;
+    Catalog catalog = RandomCatalog(rng, cp);
+    RandomIndParams ip;
+    ip.count = 4;
+    ip.width = width;
+    DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+    InclusionDependency target = RandomTarget(rng, catalog, deps, width);
+    if (target.lhs_columns.empty()) continue;
+    if (!ValidateInd(target, catalog).ok()) continue;
+
+    bench::WallTimer t1;
+    Result<bool> ax = IndImpliedAxiomatic(deps, catalog, target);
+    axiomatic_ms += t1.ElapsedMs();
+    ContainmentOptions options;
+    options.limits.max_level = 16;
+    options.limits.max_conjuncts = 20000;
+    bench::WallTimer t2;
+    Result<bool> red = IndImpliedViaContainment(deps, catalog, target, options);
+    reduction_ms += t2.ElapsedMs();
+    if (!ax.ok() || !red.ok()) continue;
+    ++total;
+    if (*ax) ++implied;
+    if (*ax == *red) {
+      ++agreements;
+    } else {
+      ++disagreements;
+    }
+  }
+  std::printf("%6zu %8zu %9zu %12zu %14zu %14.3f %14.3f\n", width, total,
+              implied, agreements, disagreements, axiomatic_ms, reduction_ms);
+}
+
+}  // namespace
+}  // namespace cqchase
+
+int main() {
+  cqchase::bench::PrintHeader(
+      "E8 / Corollary 2.3: IND inference, axiomatic vs containment reduction",
+      "the two independent deciders agree everywhere; both are polynomial "
+      "for each fixed width");
+  std::printf("%6s %8s %9s %12s %14s %14s %14s\n", "W", "cases", "implied",
+              "agreements", "disagreements", "axiomatic ms", "reduction ms");
+  for (size_t w : {1, 2, 3}) cqchase::RunWidth(w);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E4 — Lemma 5 ablation: whenever Σ ⊨ Q ⊆∞ Q', some witness homomorphism
+// lands within chase level |Q'|·|Σ|·(W+1)^W. The bound is what makes
+// Theorem 2's NP certificate short; this bench measures how loose it is in
+// practice: the deepest level an actual witness image touches vs the bound.
+//
+// Positive instances are planted at controlled chase depths (the generator
+// copies conjuncts from level <= depth, so deep witnesses genuinely exist).
+#include <algorithm>
+#include <cstdio>
+
+#include "base/rng.h"
+#include "bench/bench_util.h"
+#include "core/containment.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+void Run() {
+  std::printf("%10s %12s %14s %14s %10s\n", "plant lvl", "witnesses",
+              "max wit lvl", "lemma5 bound", "ratio");
+  for (uint32_t plant_depth : {0, 1, 2, 3, 4, 5}) {
+    size_t witnesses = 0;
+    uint32_t max_witness_level = 0;
+    uint64_t bound = 0;
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      // The Figure 1 scenario has an infinite chase, so every plant depth is
+      // reachable.
+      Scenario s = Fig1Scenario();
+      Rng rng(seed);
+      Result<ConjunctiveQuery> q_prime =
+          PlantedSuperQuery(rng, s.queries[0], s.deps, *s.symbols,
+                            /*extra_conjuncts=*/2, plant_depth);
+      if (!q_prime.ok()) continue;
+      ContainmentOptions options;
+      options.limits.max_level = 32;
+      Result<ContainmentReport> r =
+          CheckContainment(s.queries[0], *q_prime, s.deps, *s.symbols,
+                           options);
+      if (!r.ok() || !r->contained) continue;
+      ++witnesses;
+      max_witness_level = std::max(max_witness_level, r->witness_max_level);
+      bound = r->level_bound;
+    }
+    double ratio = bound == 0 ? 0.0
+                              : static_cast<double>(max_witness_level) /
+                                    static_cast<double>(bound);
+    std::printf("%10u %9zu/25 %14u %14llu %10.4f\n", plant_depth, witnesses,
+                max_witness_level, static_cast<unsigned long long>(bound),
+                ratio);
+  }
+}
+
+}  // namespace
+}  // namespace cqchase
+
+int main() {
+  cqchase::bench::PrintHeader(
+      "E4 / Lemma 5: measured witness level vs theoretical bound",
+      "a witness homomorphism always exists within level "
+      "|Q'|*|Sigma|*(W+1)^W; in practice the deepest needed level is far "
+      "below the bound (ratio << 1) and tracks the planted depth");
+  cqchase::Run();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the experiment binaries. Each bench regenerates one
+// artifact of the paper (figure, theorem validation, or complexity-shape
+// claim) and prints the series it measures; EXPERIMENTS.md records the
+// paper-claim vs. measured comparison.
+#ifndef CQCHASE_BENCH_BENCH_UTIL_H_
+#define CQCHASE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace cqchase::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+}  // namespace cqchase::bench
+
+#endif  // CQCHASE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,220 @@
+// Interactive chase explorer: a tiny REPL for defining a schema,
+// dependencies and queries, expanding O-/R-chases level by level, and
+// testing containment. Reads commands from stdin, so it works both
+// interactively and scripted:
+//
+//   $ ./build/examples/chase_explorer <<'EOF'
+//   relation R a b c
+//   relation S x y z
+//   dep R[1,3] <= S[1,2]
+//   dep S[1,3] <= R[1,2]
+//   query q1 ans(c) :- R(a, b, c)
+//   chase q1 R 4
+//   query q2 ans(c) :- R(a, b, c), S(a, n, m)
+//   contains q1 q2
+//   EOF
+//
+// Commands:
+//   relation NAME ATTR...         declare a relation
+//   dep TEXT                      add an FD ("R: a -> b") or IND ("R[..] <= S[..]")
+//   query NAME TEXT               define a named query
+//   chase NAME O|R LEVEL          print the chase of a query to LEVEL
+//   dot NAME O|R LEVEL            print the chase graph in Graphviz DOT
+//   contains NAME NAME            test Sigma |= first <=inf second
+//   minimize NAME                 minimize a query under Sigma
+//   show                          print schema, Sigma and queries
+//   help / quit
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "chase/chase.h"
+#include "chase/chase_graph.h"
+#include "core/containment.h"
+#include "core/minimize.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "schema/catalog.h"
+#include "symbols/symbol_table.h"
+
+using namespace cqchase;
+
+namespace {
+
+struct Session {
+  Catalog catalog;
+  SymbolTable symbols;
+  DependencySet deps;
+  std::map<std::string, ConjunctiveQuery> queries;
+};
+
+void Help() {
+  std::printf(
+      "commands: relation NAME ATTR... | dep TEXT | query NAME TEXT |\n"
+      "          chase NAME O|R LEVEL | dot NAME O|R LEVEL |\n"
+      "          contains NAME NAME | minimize NAME | show | help | quit\n");
+}
+
+bool RunChase(Session& session, const std::string& name,
+              const std::string& variant_str, uint32_t level, bool dot) {
+  auto it = session.queries.find(name);
+  if (it == session.queries.end()) {
+    std::printf("unknown query '%s'\n", name.c_str());
+    return true;
+  }
+  ChaseVariant variant = (variant_str == "O" || variant_str == "o")
+                             ? ChaseVariant::kOblivious
+                             : ChaseVariant::kRequired;
+  ChaseLimits limits;
+  limits.max_level = level;
+  limits.max_conjuncts = 100000;
+  Chase chase(&session.catalog, &session.symbols, &session.deps, variant,
+              limits);
+  Status init = chase.Init(it->second);
+  if (!init.ok()) {
+    std::printf("chase error: %s\n", init.ToString().c_str());
+    return true;
+  }
+  Result<ChaseOutcome> outcome = chase.ExpandToLevel(level);
+  if (!outcome.ok()) {
+    std::printf("chase stopped: %s\n", outcome.status().ToString().c_str());
+    return true;
+  }
+  if (dot) {
+    std::printf("%s", ChaseGraphToDot(chase).c_str());
+  } else {
+    std::printf("%s", ChaseGraphToText(chase).c_str());
+    std::printf("outcome: %s; conjuncts: %zu\n",
+                *outcome == ChaseOutcome::kSaturated ? "saturated (finite)"
+                : *outcome == ChaseOutcome::kEmptyQuery
+                    ? "empty query (constant clash)"
+                    : "truncated (continues below)",
+                chase.AliveFacts().size());
+  }
+  return true;
+}
+
+bool HandleLine(Session& session, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty() || cmd[0] == '#') return true;
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    Help();
+  } else if (cmd == "relation") {
+    std::string name, attr;
+    std::vector<std::string> attrs;
+    in >> name;
+    while (in >> attr) attrs.push_back(attr);
+    Result<RelationId> id = session.catalog.AddRelation(name, attrs);
+    std::printf("%s\n", id.ok() ? "ok" : id.status().ToString().c_str());
+  } else if (cmd == "dep") {
+    std::string rest;
+    std::getline(in, rest);
+    Result<DependencySet> parsed = ParseDependencies(session.catalog, rest);
+    if (!parsed.ok()) {
+      std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+      return true;
+    }
+    for (const FunctionalDependency& fd : parsed->fds()) {
+      (void)session.deps.AddFd(session.catalog, fd);
+    }
+    for (const InclusionDependency& ind : parsed->inds()) {
+      (void)session.deps.AddInd(session.catalog, ind);
+    }
+    std::printf("ok\n");
+  } else if (cmd == "query") {
+    std::string name, rest;
+    in >> name;
+    std::getline(in, rest);
+    Result<ConjunctiveQuery> q =
+        ParseQuery(session.catalog, session.symbols, rest);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return true;
+    }
+    session.queries.insert_or_assign(name, *q);
+    std::printf("%s = %s\n", name.c_str(), q->ToString().c_str());
+  } else if (cmd == "chase" || cmd == "dot") {
+    std::string name, variant;
+    uint32_t level = 3;
+    in >> name >> variant >> level;
+    return RunChase(session, name, variant, level, cmd == "dot");
+  } else if (cmd == "contains") {
+    std::string a, b;
+    in >> a >> b;
+    auto ita = session.queries.find(a);
+    auto itb = session.queries.find(b);
+    if (ita == session.queries.end() || itb == session.queries.end()) {
+      std::printf("unknown query\n");
+      return true;
+    }
+    ContainmentOptions options;
+    options.allow_semidecision = true;
+    Result<ContainmentReport> r = CheckContainment(
+        ita->second, itb->second, session.deps, session.symbols, options);
+    if (!r.ok()) {
+      std::printf("undecided: %s\n", r.status().ToString().c_str());
+      return true;
+    }
+    std::printf("Sigma |= %s <=inf %s : %s", a.c_str(), b.c_str(),
+                r->contained ? "yes" : "no");
+    if (r->contained) {
+      std::printf(" (witness within level %u; Lemma 5 bound %llu)",
+                  r->witness_max_level,
+                  static_cast<unsigned long long>(r->level_bound));
+    }
+    std::printf("\n");
+  } else if (cmd == "minimize") {
+    std::string name;
+    in >> name;
+    auto it = session.queries.find(name);
+    if (it == session.queries.end()) {
+      std::printf("unknown query\n");
+      return true;
+    }
+    ContainmentOptions options;
+    options.allow_semidecision = true;
+    Result<MinimizeReport> r =
+        MinimizeQuery(it->second, session.deps, session.symbols, options);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return true;
+    }
+    std::printf("%s (removed %zu conjunct(s))\n", r->query.ToString().c_str(),
+                r->removed_conjuncts);
+  } else if (cmd == "show") {
+    std::printf("relations:\n");
+    for (RelationId r = 0; r < session.catalog.num_relations(); ++r) {
+      const RelationSchema& schema = session.catalog.relation(r);
+      std::printf("  %s(", schema.name().c_str());
+      for (size_t i = 0; i < schema.arity(); ++i) {
+        std::printf("%s%s", i ? ", " : "", schema.attribute(i).c_str());
+      }
+      std::printf(")\n");
+    }
+    std::printf("Sigma:\n%s", session.deps.ToString(session.catalog).c_str());
+    std::printf("queries:\n");
+    for (const auto& [name, q] : session.queries) {
+      std::printf("  %s = %s\n", name.c_str(), q.ToString().c_str());
+    }
+  } else {
+    std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("cqchase explorer — 'help' lists commands, 'quit' exits\n");
+  Session session;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!HandleLine(session, line)) break;
+  }
+  return 0;
+}

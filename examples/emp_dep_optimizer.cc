@@ -1,0 +1,102 @@
+// A miniature dependency-aware query optimizer session over the paper's
+// EMP/DEP schema: loads a small database, runs three increasingly redundant
+// queries through the optimizer, and shows that the rewritten queries return
+// identical answers while doing measurably less join work.
+//
+//   $ ./build/examples/emp_dep_optimizer
+#include <cstdio>
+
+#include "core/containment.h"
+#include "cq/cq_parser.h"
+#include "data/instance.h"
+#include "deps/deps_parser.h"
+#include "gen/scenarios.h"
+#include "opt/optimizer.h"
+
+using namespace cqchase;
+
+namespace {
+
+// Builds a plausible EMP/DEP database that satisfies the IND.
+Instance BuildDatabase(const Catalog& catalog, SymbolTable& symbols) {
+  Instance db(&catalog);
+  RelationId emp = *catalog.FindRelation("EMP");
+  RelationId dep = *catalog.FindRelation("DEP");
+  auto c = [&](const char* name) { return symbols.InternConstant(name); };
+  struct EmpRow {
+    const char *eno, *sal, *dept;
+  };
+  for (const EmpRow& r : {EmpRow{"e1", "50", "sales"}, EmpRow{"e2", "60", "sales"},
+                          EmpRow{"e3", "70", "eng"}, EmpRow{"e4", "55", "eng"},
+                          EmpRow{"e5", "65", "ops"}}) {
+    (void)db.AddTuple(emp, {c(r.eno), c(r.sal), c(r.dept)});
+  }
+  struct DepRow {
+    const char *dept, *loc;
+  };
+  for (const DepRow& r : {DepRow{"sales", "nyc"}, DepRow{"eng", "sf"},
+                          DepRow{"ops", "chi"}, DepRow{"hr", "nyc"}}) {
+    (void)db.AddTuple(dep, {c(r.dept), c(r.loc)});
+  }
+  return db;
+}
+
+void PrintRows(const std::vector<std::vector<Term>>& rows,
+               const SymbolTable& symbols) {
+  for (const auto& row : rows) {
+    std::printf("  %s\n", TermsToString(row, symbols).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Scenario s = EmpDepScenario();
+  Instance db = BuildDatabase(*s.catalog, *s.symbols);
+  TableStats stats = TableStats::FromInstance(db);
+
+  const char* queries[] = {
+      // The intro's Q1: the DEP join is redundant under the IND.
+      "ans(e) :- EMP(e, s, d), DEP(d, l)",
+      // Doubly redundant: a renamed duplicate EMP conjunct on top.
+      "ans(e) :- EMP(e, s, d), EMP(e, s2, d2), DEP(d, l)",
+      // Selective constant: reordering should drive the plan from DEP('eng').
+      "ans(e, l) :- EMP(e, s, d), DEP(d, l), DEP(d2, 'nyc')",
+  };
+
+  for (const char* text : queries) {
+    Result<ConjunctiveQuery> q = ParseQuery(*s.catalog, *s.symbols, text);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      continue;
+    }
+    std::printf("=====\ninput : %s\n", q->ToString().c_str());
+
+    OptimizerOptions options;
+    options.stats = stats;
+    Result<OptimizeReport> opt =
+        OptimizeQuery(*q, s.deps, *s.symbols, options);
+    if (!opt.ok()) {
+      std::printf("optimizer error: %s\n", opt.status().ToString().c_str());
+      continue;
+    }
+    std::printf("output: %s\n", opt->query.ToString().c_str());
+    for (const std::string& line : opt->trace) std::printf("  %s\n", line.c_str());
+
+    // The rewrite is only correct on databases satisfying Σ — check ours
+    // does, then compare answers.
+    if (!db.Satisfies(s.deps)) {
+      std::printf("database violates Sigma?!\n");
+      return 1;
+    }
+    auto before = db.Eval(*q);
+    auto after = db.Eval(opt->query);
+    std::printf("answers identical: %s (%zu row(s))\n",
+                before == after ? "yes" : "NO", after.size());
+    PrintRows(after, *s.symbols);
+    std::printf("estimated cost: %.1f -> %.1f\n",
+                EstimatePlanCost(stats, *q),
+                EstimatePlanCost(stats, opt->query));
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Section 4's cautionary tale, end to end: two queries that every finite
+// Σ-database considers equivalent, yet the chase — an infinite Σ-database —
+// separates. Prints the chase prefix that acts as the infinite
+// counterexample and exhaustively verifies there is no finite one at small
+// scales.
+//
+//   $ ./build/examples/finite_vs_infinite
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "core/containment.h"
+#include "finite/finite_containment.h"
+#include "gen/scenarios.h"
+
+using namespace cqchase;
+
+int main() {
+  Scenario s = Section4Scenario();
+  std::printf("Sigma:\n%s\n", s.deps.ToString(*s.catalog).c_str());
+  std::printf("Q1: %s\nQ2: %s\n\n", s.queries[0].ToString().c_str(),
+              s.queries[1].ToString().c_str());
+
+  // The chase of Q1: R(x,y), then R[2] <= R[1] demands a row starting with
+  // y, the FD R:2->1 never merges anything here, and the process runs
+  // forever: x <- y <- n1 <- n2 <- ... an infinite backward chain.
+  {
+    ChaseLimits limits;
+    limits.max_level = 6;
+    Chase chase(s.catalog.get(), s.symbols.get(), &s.deps,
+                ChaseVariant::kRequired, limits);
+    if (!chase.Init(s.queries[0]).ok()) return 1;
+    (void)chase.ExpandToLevel(6);
+    std::printf("chase_Sigma(Q1), levels 0..6 (%s):\n%s\n",
+                chase.outcome() == ChaseOutcome::kSaturated ? "saturated"
+                                                            : "infinite",
+                chase.ToString().c_str());
+    std::printf(
+        "Q2 needs some R(y', x): a row *ending* in Q1's x. No prefix of the\n"
+        "chase ever creates one, so Q2 does not map into chase(Q1):\n\n");
+  }
+
+  ContainmentOptions options;
+  options.allow_semidecision = true;  // Sigma mixes an FD with an IND
+  options.limits.max_level = 40;
+  options.limits.max_conjuncts = 100000;
+  Result<ContainmentReport> fwd = CheckContainment(
+      s.queries[0], s.queries[1], s.deps, *s.symbols, options);
+  if (fwd.ok()) {
+    std::printf("Sigma |= Q1 <=inf Q2 ?  %s\n", fwd->contained ? "yes" : "no");
+  } else {
+    std::printf("Sigma |= Q1 <=inf Q2 ?  no witness within 40 chase levels "
+                "(Section 4 proves none exists)\n");
+  }
+
+  // Finite side: every Σ-database over up to 3 constants — exhaustively.
+  std::printf("\nexhaustive finite check (is there a finite Sigma-database "
+              "where Q1(D) !<= Q2(D)?):\n");
+  for (size_t domain = 1; domain <= 3; ++domain) {
+    ExhaustiveSearchParams params;
+    params.domain_size = domain;
+    params.max_candidate_tuples = 16;
+    Result<std::optional<Instance>> cex = ExhaustiveFiniteCounterexample(
+        s.queries[0], s.queries[1], s.deps, *s.symbols, params);
+    if (!cex.ok()) {
+      std::printf("  domain %zu: %s\n", domain,
+                  cex.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  domain %zu: %s\n", domain,
+                cex->has_value() ? "counterexample found (unexpected!)"
+                                 : "none — Q1(D) <= Q2(D) on all of them");
+  }
+
+  // Why finiteness matters: in a finite Σ-database the chain x <- y <- ...
+  // must close into a cycle, the FD R:2->1 then squeezes the cycle, and
+  // every R-row's first column also appears somewhere as a second column —
+  // which is exactly what Q2 asks for.
+  std::printf(
+      "\nSigma |= Q1 <=f Q2 holds, Sigma |= Q1 <=inf Q2 fails: containment\n"
+      "under this Sigma (an FD plus an IND) is not finitely controllable.\n"
+      "Theorem 3 proves this cannot happen for width-1-IND-only or key-based "
+      "Sigma.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// IND implication two ways (Corollary 2.3): the axiomatic CFP proof system
+// (reflexivity / projection-permutation / transitivity) and the paper's
+// reduction to conjunctive-query containment. Both deciders answer a chain
+// of implication questions over a three-relation schema; the reduction also
+// prints the two queries it builds.
+//
+//   $ ./build/examples/ind_inference_demo
+#include <cstdio>
+
+#include "deps/deps_parser.h"
+#include "inference/ind_inference.h"
+#include "schema/catalog.h"
+
+using namespace cqchase;
+
+int main() {
+  Catalog catalog;
+  (void)catalog.AddRelation("R", {"a", "b", "c"});
+  (void)catalog.AddRelation("S", {"x", "y", "z"});
+  (void)catalog.AddRelation("T", {"u", "v"});
+
+  // Given INDs: R[a,b] <= S[x,y], S[x,y] <= R[b,c], S[x] <= T[u].
+  Result<DependencySet> deps = ParseDependencies(catalog,
+                                                 "R[a,b] <= S[x,y]\n"
+                                                 "S[x,y] <= R[b,c]\n"
+                                                 "S[x] <= T[u]");
+  if (!deps.ok()) {
+    std::printf("parse error: %s\n", deps.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Sigma:\n%s\n", deps->ToString(catalog).c_str());
+
+  // Queries to the oracle. Expected answers, by hand:
+  //   R[a,b] <= R[b,c]  yes (transitivity through S)
+  //   R[a]   <= S[x]    yes (projection of the first IND)
+  //   R[a]   <= T[u]    yes (projection + transitivity)
+  //   R[b,a] <= S[y,x]  yes (permutation of the first IND)
+  //   R[a,c] <= S[x,z]  no  (no IND relates column c of R to z of S)
+  //   T[u]   <= R[a]    no  (nothing constrains T)
+  const char* questions[] = {
+      "R[a,b] <= R[b,c]", "R[a] <= S[x]",    "R[a] <= T[u]",
+      "R[b,a] <= S[y,x]", "R[a,c] <= S[x,z]", "T[u] <= R[a]",
+  };
+
+  std::printf("%-22s %10s %12s\n", "does Sigma imply...", "axiomatic",
+              "containment");
+  for (const char* text : questions) {
+    Result<InclusionDependency> target = ParseInd(catalog, text);
+    if (!target.ok()) {
+      std::printf("%-22s parse error\n", text);
+      continue;
+    }
+    Result<bool> ax = IndImpliedAxiomatic(*deps, catalog, *target);
+    Result<bool> red = IndImpliedViaContainment(*deps, catalog, *target);
+    std::printf("%-22s %10s %12s\n", text,
+                ax.ok() ? (*ax ? "yes" : "no") : "error",
+                red.ok() ? (*red ? "yes" : "no") : "error");
+  }
+
+  std::printf(
+      "\nNote: IND inference alone is PSPACE-complete in general "
+      "(Casanova-Fagin-\nPapadimitriou), yet polynomial for every fixed "
+      "width — these deciders agree\nbecause finite and unrestricted "
+      "implication coincide for INDs.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Hash combinators for cqchase value types.
+#ifndef CQCHASE_BASE_HASH_H_
+#define CQCHASE_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cqchase {
+
+// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+// Hashes a range of hashable elements into one value.
+template <typename It>
+size_t HashRange(It begin, It end, size_t seed = 0xcbf29ce484222325ULL) {
+  for (It it = begin; it != end; ++it) {
+    seed = HashCombine(seed, std::hash<typename std::iterator_traits<It>::value_type>{}(*it));
+  }
+  return seed;
+}
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_BASE_HASH_H_

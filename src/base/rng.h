@@ -1,0 +1,54 @@
+// Deterministic random number generation for workload generators, property
+// tests and benchmarks. All randomized cqchase components take an explicit
+// Rng so that every run is reproducible from a seed.
+#ifndef CQCHASE_BASE_RNG_H_
+#define CQCHASE_BASE_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cqchase {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    assert(n > 0);
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p < 0 ? 0 : (p > 1 ? 1 : p))(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Index(v.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_BASE_RNG_H_

@@ -1,0 +1,154 @@
+// Status and Result<T>: exception-free error handling for the cqchase
+// library, in the style of RocksDB's Status / Abseil's StatusOr.
+//
+// Library code never throws. Every fallible operation returns a Status or a
+// Result<T>; callers are expected to check `ok()` before use.
+#ifndef CQCHASE_BASE_STATUS_H_
+#define CQCHASE_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cqchase {
+
+// Canonical error space. Kept deliberately small: the library has few
+// distinct failure modes.
+enum class StatusCode {
+  kOk = 0,
+  // Malformed input: bad parse, arity mismatch, unknown relation/attribute.
+  kInvalidArgument = 1,
+  // A lookup failed (relation, attribute, dependency, ...).
+  kNotFound = 2,
+  // A configured resource budget (chase level / conjunct cap, model size,
+  // proof depth) was exhausted before the algorithm could decide. The result
+  // is "unknown", never a wrong answer.
+  kResourceExhausted = 3,
+  // Precondition violated: e.g., running the key-based containment procedure
+  // on a dependency set that is not key-based.
+  kFailedPrecondition = 4,
+  // Internal invariant violation; indicates a bug in cqchase itself.
+  kInternal = 5,
+  // The requested combination is not implemented (e.g., general FD+IND
+  // containment, which the paper leaves open).
+  kUnimplemented = 6,
+};
+
+// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap value type carrying a code and, for errors, a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Result<T> holds either a T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so functions can `return value;` / `return
+  // status;` — the same convenience absl::StatusOr provides.
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is engaged.
+};
+
+}  // namespace cqchase
+
+// Propagates an error status out of the enclosing function.
+#define CQCHASE_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::cqchase::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+// Evaluates a Result<T> expression and either binds its value or returns the
+// error. Usage: CQCHASE_ASSIGN_OR_RETURN(auto v, MakeV());
+#define CQCHASE_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  CQCHASE_ASSIGN_OR_RETURN_IMPL_(                                   \
+      CQCHASE_STATUS_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+#define CQCHASE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+#define CQCHASE_STATUS_CONCAT_(a, b) CQCHASE_STATUS_CONCAT_IMPL_(a, b)
+#define CQCHASE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CQCHASE_BASE_STATUS_H_

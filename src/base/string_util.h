@@ -1,0 +1,70 @@
+// Small string helpers used throughout cqchase: concatenation, joining,
+// splitting and trimming. No locale dependence, ASCII only.
+#ifndef CQCHASE_BASE_STRING_UTIL_H_
+#define CQCHASE_BASE_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cqchase {
+
+namespace internal_strings {
+inline void AppendPieces(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  AppendPieces(os, rest...);
+}
+}  // namespace internal_strings
+
+// Concatenates the streamable arguments into one string.
+// StrCat("level ", 3, "/", 10) == "level 3/10".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_strings::AppendPieces(os, args...);
+  return os.str();
+}
+
+// Joins the elements of `parts` with `sep`, streaming each element.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << p;
+  }
+  return os.str();
+}
+
+// Joins after applying `fn` to each element.
+template <typename Container, typename Fn>
+std::string StrJoinMapped(const Container& parts, std::string_view sep,
+                          Fn&& fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << fn(p);
+  }
+  return os.str();
+}
+
+// Splits `input` on the single character `sep`. Empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// True iff `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_BASE_STRING_UTIL_H_

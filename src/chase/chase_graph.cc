@@ -1,0 +1,100 @@
+#include "chase/chase_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+std::string ChaseGraphToDot(const Chase& chase) {
+  // Reconstruct catalog/symbols from the chase's query view.
+  ConjunctiveQuery view = chase.AsQuery();
+  const Catalog& catalog = view.catalog();
+  const SymbolTable& symbols = view.symbols();
+
+  std::string out = "digraph chase {\n  rankdir=TB;\n";
+  for (const ChaseConjunct* c : chase.AliveConjuncts()) {
+    out += StrCat("  n", c->id, " [label=\"",
+                  c->fact.ToString(catalog, symbols), "\\nL", c->level,
+                  "\"];\n");
+  }
+  for (const ChaseArc& arc : chase.arcs()) {
+    out += StrCat("  n", arc.from, " -> n", arc.to, " [label=\"i", arc.ind_index,
+                  "\"", arc.cross ? ", style=dashed" : "", "];\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ChaseGraphToText(const Chase& chase) {
+  ConjunctiveQuery view = chase.AsQuery();
+  const Catalog& catalog = view.catalog();
+  const SymbolTable& symbols = view.symbols();
+
+  std::string out;
+  uint32_t max_level = chase.MaxAliveLevel();
+  std::unordered_map<uint64_t, const ChaseArc*> cross_from;
+  for (const ChaseArc& arc : chase.arcs()) {
+    if (arc.cross) cross_from.emplace(arc.from, &arc);
+  }
+  for (uint32_t level = 0; level <= max_level; ++level) {
+    out += StrCat("level ", level, ":\n");
+    for (const ChaseConjunct* c : chase.AliveConjuncts()) {
+      if (c->level != level) continue;
+      out += StrCat("  #", c->id, " ", c->fact.ToString(catalog, symbols));
+      if (c->parent.has_value()) {
+        out += StrCat("   <-i", *c->parent_ind, "- #", *c->parent);
+      }
+      auto it = cross_from.find(c->id);
+      if (it != cross_from.end()) {
+        out += StrCat("   [cross -i", it->second->ind_index, "-> #",
+                      it->second->to, "]");
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<Chase> FactorizedRChase(const ConjunctiveQuery& query,
+                               const DependencySet& deps, SymbolTable& symbols,
+                               ChaseLimits limits) {
+  DependencySet fds = deps.FdsOnly();
+  DependencySet inds = deps.IndsOnly();
+  CQCHASE_ASSIGN_OR_RETURN(
+      Chase fd_chase, BuildChase(query, fds, symbols, ChaseVariant::kRequired,
+                                 limits));
+  ConjunctiveQuery fd_chased = fd_chase.AsQuery();
+  // The IND phase needs the dependency set to outlive the Chase; build the
+  // final chase against the caller's `deps` INDs by value semantics: we
+  // construct with a heap-free local copy stored inside the returned Chase's
+  // dependency pointer — instead, simply require `deps` to outlive the
+  // result and chase against a static view of its INDs.
+  //
+  // To keep lifetimes simple we chase against `deps` directly: with the
+  // R-chase, FD applications after the initial phase never fire for
+  // key-based Σ (Lemma 2), so chasing with all of Σ from the FD-chased query
+  // is exactly R-chase_Σ[I](chase_Σ[F](Q)).
+  return BuildChase(fd_chased, deps, symbols, ChaseVariant::kRequired, limits);
+}
+
+uint32_t MaxSymbolLevelSpan(const Chase& chase) {
+  std::unordered_map<Term, std::pair<uint32_t, uint32_t>> spans;
+  for (const ChaseConjunct* c : chase.AliveConjuncts()) {
+    for (Term t : c->fact.terms) {
+      auto [it, inserted] = spans.emplace(t, std::pair{c->level, c->level});
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, c->level);
+        it->second.second = std::max(it->second.second, c->level);
+      }
+    }
+  }
+  uint32_t max_span = 0;
+  for (const auto& [t, span] : spans) {
+    max_span = std::max(max_span, span.second - span.first);
+  }
+  return max_span;
+}
+
+}  // namespace cqchase

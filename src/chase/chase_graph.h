@@ -1,0 +1,40 @@
+// Chase-graph utilities: the directed-graph view of a chase used throughout
+// Section 3 of the paper (vertices = conjuncts, ordinary arcs = IND
+// creations, cross arcs = R-chase redundancy edges), plus the Lemma 2
+// factorization of the R-chase for key-based dependency sets.
+#ifndef CQCHASE_CHASE_CHASE_GRAPH_H_
+#define CQCHASE_CHASE_CHASE_GRAPH_H_
+
+#include <string>
+
+#include "chase/chase.h"
+
+namespace cqchase {
+
+// Renders the chase graph in Graphviz DOT format: one node per alive
+// conjunct (labelled with its fact and level), solid edges for ordinary
+// arcs, dashed edges for cross arcs, edge labels naming the IND applied.
+// This regenerates Figure 1 of the paper for its example inputs.
+std::string ChaseGraphToDot(const Chase& chase);
+
+// A plain-text, level-by-level rendering of the chase graph (Figure 1 as
+// text): each line shows "level | conjunct | <-IND- parent".
+std::string ChaseGraphToText(const Chase& chase);
+
+// Lemma 2: for key-based Σ, R-chaseΣ(Q) = R-chase_Σ[I](chase_Σ[F](Q)).
+// This computes the right-hand side: first the (always terminating) FD-only
+// chase of Q, then the R-chase of the result under the INDs of Σ only.
+// The caller can compare it with the direct R-chase; see
+// QueriesIsomorphic() in core/homomorphism.h for the comparison.
+Result<Chase> FactorizedRChase(const ConjunctiveQuery& query,
+                               const DependencySet& deps, SymbolTable& symbols,
+                               ChaseLimits limits = {});
+
+// Maximum distance between the levels of two occurrences of one symbol in
+// the alive conjuncts (0 if every symbol is level-local). Lemma 6 asserts
+// this is <= 1 for key-based R-chases.
+uint32_t MaxSymbolLevelSpan(const Chase& chase);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_CHASE_CHASE_GRAPH_H_

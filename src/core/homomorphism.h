@@ -1,0 +1,69 @@
+// Query homomorphisms (Section 2/3 of the paper): symbol mappings that fix
+// constants, send each conjunct of the source query onto a target fact, and
+// send the source summary row pointwise onto the target summary row.
+//
+// Deciding existence is NP-complete (Chandra & Merlin); the solver here is a
+// backtracking search with relation indexing and dynamic most-constrained
+// conjunct selection, which is fast on the structured queries the paper's
+// constructions produce.
+#ifndef CQCHASE_CORE_HOMOMORPHISM_H_
+#define CQCHASE_CORE_HOMOMORPHISM_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/fact.h"
+#include "cq/query.h"
+#include "symbols/term.h"
+
+namespace cqchase {
+
+struct Homomorphism {
+  // Image of every source variable (constants map to themselves and are not
+  // recorded).
+  std::unordered_map<Term, Term> mapping;
+  // For source conjunct i, the index into the target fact vector it was
+  // mapped onto. Lets callers recover e.g. chase levels of the image.
+  std::vector<size_t> conjunct_images;
+
+  // Applies the mapping to a term (identity for constants/unmapped).
+  Term Apply(Term t) const {
+    if (t.is_constant()) return t;
+    auto it = mapping.find(t);
+    return it == mapping.end() ? t : it->second;
+  }
+};
+
+struct HomomorphismOptions {
+  // Require the mapping to be injective on source terms (used for
+  // isomorphism checks).
+  bool injective = false;
+  // Upper bound on backtracking nodes; 0 means unlimited. When exceeded the
+  // search returns nullopt-with-exhausted via FindHomomorphismBounded.
+  size_t max_nodes = 0;
+};
+
+// Finds a homomorphism from `source` into (`target_facts`, `target_summary`).
+// `target_summary` must have the same arity as source.summary(). Returns
+// nullopt if none exists.
+std::optional<Homomorphism> FindHomomorphism(
+    const ConjunctiveQuery& source, const std::vector<Fact>& target_facts,
+    const std::vector<Term>& target_summary,
+    const HomomorphismOptions& options = {});
+
+// Query-to-query convenience: target = q2's conjuncts and summary row.
+std::optional<Homomorphism> FindQueryHomomorphism(
+    const ConjunctiveQuery& source, const ConjunctiveQuery& target,
+    const HomomorphismOptions& options = {});
+
+// True iff the two queries are isomorphic: equal conjunct counts, equal
+// summary arity, and injective homomorphisms both ways. This is equality
+// "up to a renaming of the variables" — the sense in which chase results
+// are unique (Maier–Mendelzon–Sagiv) and Lemma 2's factorization equality
+// holds.
+bool QueriesIsomorphic(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_CORE_HOMOMORPHISM_H_

@@ -1,0 +1,39 @@
+// Conjunctive-query minimization under dependencies — the optimization
+// application motivating the paper (a query is *non-minimal* if some proper
+// subquery is equivalent to it under Σ; e.g. the intro's Q1/Q2 pair, where
+// the IND EMP[dept] ⊆ DEP[dept] makes the DEP conjunct redundant).
+//
+// Removing a conjunct only weakens a query (Q ⊆ Q−c always), so Q−c is
+// equivalent to Q under Σ iff Σ ⊨ Q−c ⊆ Q. MinimizeQuery greedily removes
+// removable conjuncts until none remains; the result is a Σ-core of Q.
+#ifndef CQCHASE_CORE_MINIMIZE_H_
+#define CQCHASE_CORE_MINIMIZE_H_
+
+#include "core/containment.h"
+#include "cq/query.h"
+#include "deps/dependency_set.h"
+
+namespace cqchase {
+
+struct MinimizeReport {
+  ConjunctiveQuery query;        // the minimized query
+  size_t removed_conjuncts = 0;  // how many conjuncts were dropped
+  size_t containment_checks = 0;
+};
+
+// True iff Q is non-minimal under Σ: some single conjunct can be removed
+// while preserving Σ-equivalence.
+Result<bool> IsNonMinimal(const ConjunctiveQuery& q, const DependencySet& deps,
+                          SymbolTable& symbols,
+                          const ContainmentOptions& options = {});
+
+// Greedily removes redundant conjuncts (first-removable-first, restarting
+// after each removal) until the query is minimal under Σ.
+Result<MinimizeReport> MinimizeQuery(const ConjunctiveQuery& q,
+                                     const DependencySet& deps,
+                                     SymbolTable& symbols,
+                                     const ContainmentOptions& options = {});
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_CORE_MINIMIZE_H_

@@ -1,0 +1,83 @@
+// Corollary 2.3's space story, made executable. The paper observes that the
+// Theorem 2 "proof" can be constructed and checked *level by level*, with
+// only the information from one or two levels retained at any given time —
+// which is what puts general-width containment in PSPACE even though the
+// number of chase levels can be exponential in the IND width W.
+//
+// Two deterministic realizations:
+//
+//  * StreamingVerifyCertificate — re-checks a ContainmentCertificate in one
+//    pass over its derivation steps, retaining only the symbols of the last
+//    `window` levels. Lemma 6 (key-based Σ: symbols span ≤ 2 adjacent
+//    levels) and the k_Σ propagation bound (width-1 IND sets) guarantee that
+//    a chase-generated certificate never references anything older, so the
+//    windowed pass reaches the same verdict as the full verifier while its
+//    peak symbol memory stays proportional to the widest window rather than
+//    to the whole certificate. The pass *rejects* any certificate that
+//    reaches outside its window, so it never accepts more than
+//    VerifyCertificate does on these classes.
+//
+//  * StreamingSingleConjunctContainment — decides Σ ⊨ Q ⊆∞ Q' outright for
+//    IND-only Σ when Q' has a single conjunct (the special case Vardi's
+//    remark in Section 5 singles out), by streaming the O-chase frontier
+//    level by level and testing each conjunct in isolation: a one-conjunct
+//    Q' maps into the chase iff some single chase conjunct matches it
+//    consistently with the summary row, so no cross-level state is needed
+//    and memory is bounded by one frontier.
+#ifndef CQCHASE_CORE_PSPACE_H_
+#define CQCHASE_CORE_PSPACE_H_
+
+#include <cstdint>
+
+#include "core/certificate.h"
+#include "cq/query.h"
+#include "deps/dependency_set.h"
+
+namespace cqchase {
+
+struct StreamingVerifyReport {
+  bool valid = false;
+  std::string rejection;   // first failure, empty when valid
+  // Space accounting: peak number of symbols retained at once vs the total
+  // number of distinct symbols in the certificate (the full verifier's
+  // working set).
+  size_t peak_window_symbols = 0;
+  size_t total_symbols = 0;
+  uint32_t levels = 0;
+};
+
+// Windowed one-pass re-verification of `certificate` (see header comment).
+// `window` is the number of trailing levels whose symbols are retained;
+// Lemma 6 justifies window >= 2 for key-based Σ, and the k_Σ bound justifies
+// window >= k_Σ + 1 for width-1 IND sets. The derivation steps must be
+// grouped by non-decreasing level (chase creation order, which
+// BuildCertificate preserves).
+Result<StreamingVerifyReport> StreamingVerifyCertificate(
+    const ContainmentCertificate& certificate, const ConjunctiveQuery& q,
+    const ConjunctiveQuery& q_prime, const DependencySet& deps,
+    SymbolTable& symbols, uint32_t window = 2);
+
+struct StreamingContainmentOptions {
+  uint32_t max_level = 64;
+  size_t max_frontier = 100000;  // conjuncts retained at once
+};
+
+struct StreamingContainmentReport {
+  bool contained = false;
+  uint32_t decided_at_level = 0;  // level of the matching conjunct
+  size_t peak_frontier = 0;       // conjuncts held at the widest level
+  size_t conjuncts_streamed = 0;  // total conjuncts ever generated
+};
+
+// Frontier-streaming decision of Σ ⊨ Q ⊆∞ Q' for IND-only Σ and a Q' with
+// exactly one conjunct. Complete: a negative answer is certified by the
+// Lemma 5 level bound. kFailedPrecondition for other shapes;
+// kResourceExhausted when a frontier or level limit is hit first.
+Result<StreamingContainmentReport> StreamingSingleConjunctContainment(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, SymbolTable& symbols,
+    const StreamingContainmentOptions& options = {});
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_CORE_PSPACE_H_

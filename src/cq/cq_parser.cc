@@ -1,0 +1,199 @@
+#include "cq/cq_parser.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+namespace {
+
+// A parsed atom before symbol resolution: predicate name + argument tokens.
+struct RawAtom {
+  std::string predicate;
+  std::vector<std::string> args;  // raw tokens, constants still quoted
+};
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_).substr(0, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Scans one atom "Name(arg, arg, ...)". Arguments may be identifiers,
+  // numeric literals, or single-quoted strings.
+  Result<RawAtom> ScanAtom() {
+    SkipSpace();
+    RawAtom atom;
+    while (pos_ < text_.size() && (IsIdentChar(text_[pos_]))) {
+      atom.predicate.push_back(text_[pos_++]);
+    }
+    if (atom.predicate.empty()) {
+      return Status::InvalidArgument(
+          StrCat("expected predicate name at offset ", pos_));
+    }
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return Status::InvalidArgument(
+          StrCat("expected '(' after predicate '", atom.predicate, "'"));
+    }
+    ++pos_;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ')') {  // empty argument list
+      ++pos_;
+      return atom;
+    }
+    while (true) {
+      CQCHASE_ASSIGN_OR_RETURN(std::string arg, ScanArg());
+      atom.args.push_back(std::move(arg));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ')') {
+        ++pos_;
+        return atom;
+      }
+      return Status::InvalidArgument(
+          StrCat("expected ',' or ')' in argument list of '", atom.predicate,
+                 "'"));
+    }
+  }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  Result<std::string> ScanArg() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of input in atom");
+    }
+    std::string out;
+    if (text_[pos_] == '\'') {  // quoted constant; keep the quotes as marker
+      out.push_back(text_[pos_++]);
+      while (pos_ < text_.size() && text_[pos_] != '\'') {
+        out.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated quoted constant");
+      }
+      out.push_back(text_[pos_++]);
+      return out;
+    }
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) {
+      out.push_back(text_[pos_++]);
+    }
+    if (out.empty()) {
+      return Status::InvalidArgument(
+          StrCat("expected argument at offset ", pos_));
+    }
+    return out;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool IsNumeric(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool IsQuoted(std::string_view s) {
+  return s.size() >= 2 && s.front() == '\'' && s.back() == '\'';
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(const Catalog& catalog,
+                                    SymbolTable& symbols,
+                                    std::string_view text) {
+  Scanner scanner(text);
+  CQCHASE_ASSIGN_OR_RETURN(RawAtom head, scanner.ScanAtom());
+  if (!scanner.Consume(":-")) {
+    if (!scanner.AtEnd()) {
+      return Status::InvalidArgument("expected ':-' after query head");
+    }
+  }
+  std::vector<RawAtom> body;
+  if (!scanner.AtEnd()) {
+    while (true) {
+      CQCHASE_ASSIGN_OR_RETURN(RawAtom atom, scanner.ScanAtom());
+      body.push_back(std::move(atom));
+      if (scanner.Consume(",")) continue;
+      break;
+    }
+    if (!scanner.AtEnd()) {
+      return Status::InvalidArgument("trailing input after query body");
+    }
+  }
+
+  // Head variables become DVs everywhere in this query.
+  std::unordered_set<std::string> head_vars;
+  for (const std::string& arg : head.args) {
+    if (!IsNumeric(arg) && !IsQuoted(arg)) head_vars.insert(arg);
+  }
+
+  auto resolve = [&](const std::string& arg) -> Term {
+    if (IsQuoted(arg)) {
+      return symbols.InternConstant(
+          std::string_view(arg).substr(1, arg.size() - 2));
+    }
+    if (IsNumeric(arg)) return symbols.InternConstant(arg);
+    if (head_vars.count(arg) > 0) return symbols.InternDistVar(arg);
+    return symbols.InternNondistVar(arg);
+  };
+
+  ConjunctiveQuery query(&catalog, &symbols);
+  std::vector<Term> summary;
+  summary.reserve(head.args.size());
+  for (const std::string& arg : head.args) summary.push_back(resolve(arg));
+  query.SetSummary(std::move(summary));
+
+  for (const RawAtom& atom : body) {
+    std::optional<RelationId> rel = catalog.FindRelation(atom.predicate);
+    if (!rel.has_value()) {
+      return Status::InvalidArgument(
+          StrCat("unknown relation '", atom.predicate, "'"));
+    }
+    Fact fact;
+    fact.relation = *rel;
+    fact.terms.reserve(atom.args.size());
+    for (const std::string& arg : atom.args) {
+      fact.terms.push_back(resolve(arg));
+    }
+    query.AddConjunct(std::move(fact));
+  }
+  CQCHASE_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+}  // namespace cqchase

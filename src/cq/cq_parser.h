@@ -1,0 +1,29 @@
+// Datalog-style text syntax for conjunctive queries:
+//
+//   ans(x) :- EMP(x, s, d), DEP(d, l)
+//   ans(x, 'acme') :- R(x, y, 42)
+//
+// Variables are identifiers; variables occurring in the head become
+// distinguished variables, all others nondistinguished. Constants are
+// numeric literals (42) or single-quoted strings ('acme'). The head
+// predicate name is arbitrary and ignored. A Boolean query uses "ans()".
+#ifndef CQCHASE_CQ_CQ_PARSER_H_
+#define CQCHASE_CQ_CQ_PARSER_H_
+
+#include <string_view>
+
+#include "cq/query.h"
+
+namespace cqchase {
+
+// Parses `text` against `catalog`, interning symbols into `symbols`.
+// Variables re-used across multiple ParseQuery calls on the same SymbolTable
+// refer to the same Term, which is the intended way to build Q and Q' for a
+// containment test.
+Result<ConjunctiveQuery> ParseQuery(const Catalog& catalog,
+                                    SymbolTable& symbols,
+                                    std::string_view text);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_CQ_CQ_PARSER_H_

@@ -1,0 +1,23 @@
+#include "cq/fact.h"
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+std::string Fact::ToString(const Catalog& catalog,
+                           const SymbolTable& symbols) const {
+  return StrCat(catalog.relation(relation).name(), "(",
+                StrJoinMapped(terms, ", ",
+                              [&](Term t) { return symbols.DisplayName(t); }),
+                ")");
+}
+
+std::string TermsToString(const std::vector<Term>& terms,
+                          const SymbolTable& symbols) {
+  return StrCat(
+      "(",
+      StrJoinMapped(terms, ", ", [&](Term t) { return symbols.Name(t); }),
+      ")");
+}
+
+}  // namespace cqchase

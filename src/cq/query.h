@@ -1,0 +1,81 @@
+// ConjunctiveQuery: the paper's formal query object (Section 2):
+// an input scheme (Catalog), conjuncts, a set of distinguished variables, a
+// set of nondistinguished variables, constants, and a summary row whose
+// entries are DVs or constants.
+//
+// Queries reference — but do not own — a Catalog and a SymbolTable; all
+// queries taking part in one containment problem must share both.
+#ifndef CQCHASE_CQ_QUERY_H_
+#define CQCHASE_CQ_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/fact.h"
+#include "schema/catalog.h"
+#include "symbols/symbol_table.h"
+#include "symbols/term.h"
+
+namespace cqchase {
+
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery(const Catalog* catalog, const SymbolTable* symbols)
+      : catalog_(catalog), symbols_(symbols) {}
+
+  const Catalog& catalog() const { return *catalog_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  const std::vector<Fact>& conjuncts() const { return conjuncts_; }
+  const std::vector<Term>& summary() const { return summary_; }
+
+  void AddConjunct(Fact fact) { conjuncts_.push_back(std::move(fact)); }
+  void SetSummary(std::vector<Term> summary) { summary_ = std::move(summary); }
+
+  // All distinct variables occurring in the conjuncts or summary row, in
+  // first-occurrence order (summary first).
+  std::vector<Term> Variables() const;
+
+  // All distinct terms (variables and constants), first-occurrence order.
+  std::vector<Term> AllTerms() const;
+
+  // Structural checks:
+  //  * conjunct arity matches its relation scheme;
+  //  * summary entries are DVs or constants (never NDVs);
+  //  * every summary DV occurs in some conjunct (safety);
+  //  * conjuncts are distinct (the paper's C_Q is a set).
+  Status Validate() const;
+
+  // Number of conjuncts — |Q| in the paper's complexity bounds.
+  size_t size() const { return conjuncts_.size(); }
+
+  // Renders as "ans(x) :- EMP(x, s, d), DEP(d, l)". A query with an empty
+  // summary row renders the head as "ans()"; an empty (contradictory) query
+  // — the FD chase's constant-clash result — renders as "ans(...) :- false".
+  std::string ToString() const;
+
+  // True iff the query was marked contradictory (chase constant clash):
+  // a query whose result is empty on every database.
+  bool is_empty_query() const { return empty_query_; }
+  void MarkEmptyQuery() {
+    empty_query_ = true;
+    conjuncts_.clear();
+  }
+
+  friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+    return a.conjuncts_ == b.conjuncts_ && a.summary_ == b.summary_ &&
+           a.empty_query_ == b.empty_query_;
+  }
+
+ private:
+  const Catalog* catalog_;
+  const SymbolTable* symbols_;
+  std::vector<Fact> conjuncts_;
+  std::vector<Term> summary_;
+  bool empty_query_ = false;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_CQ_QUERY_H_

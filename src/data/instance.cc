@@ -1,0 +1,291 @@
+#include "data/instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+Status Instance::AddTuple(RelationId relation, std::vector<Term> terms) {
+  if (relation >= catalog_->num_relations()) {
+    return Status::InvalidArgument("unknown relation");
+  }
+  if (terms.size() != catalog_->arity(relation)) {
+    return Status::InvalidArgument(
+        StrCat("arity mismatch inserting into '",
+               catalog_->relation(relation).name(), "': got ", terms.size(),
+               ", want ", catalog_->arity(relation)));
+  }
+  Fact fact{relation, terms};
+  if (tuple_set_.insert(fact).second) {
+    tuples_by_relation_[relation].push_back(std::move(terms));
+  }
+  return Status::OK();
+}
+
+bool Instance::RemoveTuple(RelationId relation,
+                           const std::vector<Term>& terms) {
+  Fact fact{relation, terms};
+  if (tuple_set_.erase(fact) == 0) return false;
+  auto& rows = tuples_by_relation_[relation];
+  rows.erase(std::find(rows.begin(), rows.end(), terms));
+  return true;
+}
+
+bool Instance::Contains(RelationId relation,
+                        const std::vector<Term>& terms) const {
+  return tuple_set_.count(Fact{relation, terms}) > 0;
+}
+
+size_t Instance::TotalTuples() const { return tuple_set_.size(); }
+
+bool Instance::Satisfies(const FunctionalDependency& fd) const {
+  // Group rows by their lhs projection; all rows in a group must agree on rhs.
+  std::unordered_map<size_t, std::vector<const std::vector<Term>*>> groups;
+  for (const auto& row : tuples_by_relation_[fd.relation]) {
+    size_t h = 0x811c9dc5;
+    for (uint32_t c : fd.lhs) h = HashCombine(h, row[c].hash());
+    auto& bucket = groups[h];
+    for (const auto* other : bucket) {
+      bool same_lhs = true;
+      for (uint32_t c : fd.lhs) {
+        if ((*other)[c] != row[c]) {
+          same_lhs = false;
+          break;
+        }
+      }
+      if (same_lhs && (*other)[fd.rhs] != row[fd.rhs]) return false;
+    }
+    bucket.push_back(&row);
+  }
+  return true;
+}
+
+bool Instance::Satisfies(const InclusionDependency& ind) const {
+  // Index rhs projections, then probe with each lhs projection.
+  std::unordered_set<size_t> rhs_proj_hashes;
+  std::vector<std::vector<Term>> rhs_projections;
+  for (const auto& row : tuples_by_relation_[ind.rhs_relation]) {
+    std::vector<Term> proj;
+    proj.reserve(ind.rhs_columns.size());
+    for (uint32_t c : ind.rhs_columns) proj.push_back(row[c]);
+    rhs_projections.push_back(std::move(proj));
+  }
+  std::sort(rhs_projections.begin(), rhs_projections.end());
+  for (const auto& row : tuples_by_relation_[ind.lhs_relation]) {
+    std::vector<Term> proj;
+    proj.reserve(ind.lhs_columns.size());
+    for (uint32_t c : ind.lhs_columns) proj.push_back(row[c]);
+    if (!std::binary_search(rhs_projections.begin(), rhs_projections.end(),
+                            proj)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Instance::Satisfies(const DependencySet& deps) const {
+  for (const auto& fd : deps.fds()) {
+    if (!Satisfies(fd)) return false;
+  }
+  for (const auto& ind : deps.inds()) {
+    if (!Satisfies(ind)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Instance::Violations(const DependencySet& deps,
+                                              const SymbolTable&) const {
+  std::vector<std::string> out;
+  for (const auto& fd : deps.fds()) {
+    if (!Satisfies(fd)) out.push_back(fd.ToString(*catalog_));
+  }
+  for (const auto& ind : deps.inds()) {
+    if (!Satisfies(ind)) out.push_back(ind.ToString(*catalog_));
+  }
+  return out;
+}
+
+namespace {
+
+// Backtracking evaluator: enumerates homomorphisms from `query` into the
+// instance and collects the images of the summary row.
+class Evaluator {
+ public:
+  Evaluator(const ConjunctiveQuery& query, const Instance& instance)
+      : query_(query), instance_(instance) {}
+
+  std::vector<std::vector<Term>> Run() {
+    if (query_.is_empty_query()) return {};
+    Search(0);
+    std::sort(results_.begin(), results_.end());
+    results_.erase(std::unique(results_.begin(), results_.end()),
+                   results_.end());
+    return std::move(results_);
+  }
+
+ private:
+  void Search(size_t conjunct_index) {
+    if (conjunct_index == query_.conjuncts().size()) {
+      std::vector<Term> row;
+      row.reserve(query_.summary().size());
+      for (Term t : query_.summary()) row.push_back(Image(t));
+      results_.push_back(std::move(row));
+      return;
+    }
+    const Fact& conjunct = query_.conjuncts()[conjunct_index];
+    for (const auto& row : instance_.tuples(conjunct.relation)) {
+      std::vector<Term> newly_bound;
+      if (TryBind(conjunct.terms, row, newly_bound)) {
+        Search(conjunct_index + 1);
+      }
+      for (Term t : newly_bound) binding_.erase(t);
+    }
+  }
+
+  Term Image(Term t) const {
+    if (t.is_constant()) return t;
+    auto it = binding_.find(t);
+    assert(it != binding_.end() && "summary variable unbound (unsafe query)");
+    return it->second;
+  }
+
+  // Attempts to extend the current binding so that the conjunct's terms map
+  // pointwise onto `row`. Constants must match themselves.
+  bool TryBind(const std::vector<Term>& pattern, const std::vector<Term>& row,
+               std::vector<Term>& newly_bound) {
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      Term p = pattern[i];
+      if (p.is_constant()) {
+        if (p != row[i]) return false;
+        continue;
+      }
+      auto it = binding_.find(p);
+      if (it != binding_.end()) {
+        if (it->second != row[i]) return false;
+      } else {
+        binding_.emplace(p, row[i]);
+        newly_bound.push_back(p);
+      }
+    }
+    return true;
+  }
+
+  const ConjunctiveQuery& query_;
+  const Instance& instance_;
+  std::unordered_map<Term, Term> binding_;
+  std::vector<std::vector<Term>> results_;
+};
+
+}  // namespace
+
+std::vector<std::vector<Term>> Instance::Eval(
+    const ConjunctiveQuery& query) const {
+  return Evaluator(query, *this).Run();
+}
+
+bool Instance::EvalContained(const ConjunctiveQuery& q,
+                             const ConjunctiveQuery& q2) const {
+  std::vector<std::vector<Term>> a = Eval(q);
+  std::vector<std::vector<Term>> b = Eval(q2);
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::string Instance::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (RelationId r = 0; r < catalog_->num_relations(); ++r) {
+    // Sort by rendered text, not by term ids, so the listing is stable under
+    // different interning orders.
+    std::vector<std::string> rows;
+    rows.reserve(tuples_by_relation_[r].size());
+    for (const auto& row : tuples_by_relation_[r]) {
+      rows.push_back(TermsToString(row, symbols));
+    }
+    std::sort(rows.begin(), rows.end());
+    for (const std::string& row : rows) {
+      out += StrCat(catalog_->relation(r).name(), row, "\n");
+    }
+  }
+  return out;
+}
+
+Status RepairToSatisfy(const DependencySet& deps, SymbolTable& symbols,
+                       size_t max_added_tuples, Instance& instance) {
+  size_t added = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // FD repair: delete the lexicographically larger of a violating pair.
+    for (const auto& fd : deps.fds()) {
+      while (!instance.Satisfies(fd)) {
+        const auto& rows = instance.tuples(fd.relation);
+        bool repaired = false;
+        for (size_t i = 0; i < rows.size() && !repaired; ++i) {
+          for (size_t j = i + 1; j < rows.size() && !repaired; ++j) {
+            bool same_lhs = true;
+            for (uint32_t c : fd.lhs) {
+              if (rows[i][c] != rows[j][c]) {
+                same_lhs = false;
+                break;
+              }
+            }
+            if (same_lhs && rows[i][fd.rhs] != rows[j][fd.rhs]) {
+              std::vector<Term> victim =
+                  std::max(rows[i], rows[j]);  // deterministic choice
+              instance.RemoveTuple(fd.relation, victim);
+              changed = true;
+              repaired = true;
+            }
+          }
+        }
+        if (!repaired) break;
+      }
+    }
+    // IND repair: add witness rows with fresh constants outside Y.
+    for (const auto& ind : deps.inds()) {
+      // Snapshot, since we add rows while iterating.
+      std::vector<std::vector<Term>> lhs_rows =
+          instance.tuples(ind.lhs_relation);
+      for (const auto& row : lhs_rows) {
+        std::vector<Term> proj;
+        for (uint32_t c : ind.lhs_columns) proj.push_back(row[c]);
+        bool found = false;
+        for (const auto& rhs_row : instance.tuples(ind.rhs_relation)) {
+          bool match = true;
+          for (size_t k = 0; k < ind.rhs_columns.size(); ++k) {
+            if (rhs_row[ind.rhs_columns[k]] != proj[k]) {
+              match = false;
+              break;
+            }
+          }
+          if (match) {
+            found = true;
+            break;
+          }
+        }
+        if (found) continue;
+        if (added >= max_added_tuples) {
+          return Status::ResourceExhausted(
+              StrCat("IND repair did not converge within ", max_added_tuples,
+                     " added tuples"));
+        }
+        std::vector<Term> fresh(instance.catalog().arity(ind.rhs_relation));
+        for (size_t i = 0; i < fresh.size(); ++i) {
+          fresh[i] = symbols.MakeFreshConstant("null");
+        }
+        for (size_t k = 0; k < ind.rhs_columns.size(); ++k) {
+          fresh[ind.rhs_columns[k]] = proj[k];
+        }
+        CQCHASE_RETURN_IF_ERROR(
+            instance.AddTuple(ind.rhs_relation, std::move(fresh)));
+        ++added;
+        changed = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cqchase

@@ -1,0 +1,97 @@
+// Instance: a finite database over a Catalog. Rows are Facts whose terms are
+// usually constants, but any Term is allowed — the paper's key device is to
+// read a (partial) chase, whose rows contain variables, as a database in
+// which each variable is a fresh constant. Satisfaction and evaluation here
+// treat every term purely as a value, which implements exactly that reading.
+#ifndef CQCHASE_DATA_INSTANCE_H_
+#define CQCHASE_DATA_INSTANCE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/fact.h"
+#include "cq/query.h"
+#include "deps/dependency_set.h"
+#include "schema/catalog.h"
+
+namespace cqchase {
+
+class Instance {
+ public:
+  explicit Instance(const Catalog* catalog) : catalog_(catalog) {
+    tuples_by_relation_.resize(catalog->num_relations());
+  }
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  // Inserts a tuple; duplicate tuples are ignored (relations are sets).
+  // Fails on arity mismatch or unknown relation.
+  Status AddTuple(RelationId relation, std::vector<Term> terms);
+  Status AddFact(const Fact& fact) {
+    return AddTuple(fact.relation, fact.terms);
+  }
+
+  // Removes a tuple if present; returns whether it was present.
+  bool RemoveTuple(RelationId relation, const std::vector<Term>& terms);
+
+  const std::vector<std::vector<Term>>& tuples(RelationId relation) const {
+    return tuples_by_relation_[relation];
+  }
+
+  bool Contains(RelationId relation, const std::vector<Term>& terms) const;
+
+  size_t TotalTuples() const;
+  bool empty() const { return TotalTuples() == 0; }
+
+  // --- Dependency satisfaction (Section 2 definitions) -------------------
+
+  // True iff no two tuples of fd.relation agree on fd.lhs but differ on
+  // fd.rhs.
+  bool Satisfies(const FunctionalDependency& fd) const;
+
+  // True iff for every tuple t of ind.lhs_relation there is a tuple u of
+  // ind.rhs_relation with u[Y] = t[X].
+  bool Satisfies(const InclusionDependency& ind) const;
+
+  bool Satisfies(const DependencySet& deps) const;
+
+  // Human-readable list of violated dependencies (for diagnostics/tests).
+  std::vector<std::string> Violations(const DependencySet& deps,
+                                      const SymbolTable& symbols) const;
+
+  // --- Query evaluation ----------------------------------------------------
+  // Q(B): the set of images of Q's summary row under all homomorphisms from
+  // Q to this instance (constants fixed). Result rows are sorted and
+  // distinct. An empty-marked query evaluates to the empty relation.
+  std::vector<std::vector<Term>> Eval(const ConjunctiveQuery& query) const;
+
+  // True iff Eval(q)(this) ⊆ Eval(q2)(this) — a single-database containment
+  // check, the building block of finite-containment sampling.
+  bool EvalContained(const ConjunctiveQuery& q, const ConjunctiveQuery& q2) const;
+
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<std::vector<std::vector<Term>>> tuples_by_relation_;
+  std::unordered_set<Fact> tuple_set_;
+};
+
+// Repairs `instance` toward satisfying `deps`, mimicking a finite chase of a
+// database:
+//  * FD violation between two rows: the row added later is deleted (a repair
+//    policy, not the chase's merge — instances hold constants, which the FD
+//    chase rule cannot merge);
+//  * IND violation: a witness row is added, filling non-Y columns with fresh
+//    constants interned into `symbols`.
+// Iterates to a fixpoint; returns kResourceExhausted if `max_added_tuples`
+// new rows do not suffice (the finite chase can diverge — that divergence is
+// the subject of Section 4 of the paper).
+Status RepairToSatisfy(const DependencySet& deps, SymbolTable& symbols,
+                       size_t max_added_tuples, Instance& instance);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_DATA_INSTANCE_H_

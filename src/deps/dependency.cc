@@ -1,0 +1,100 @@
+#include "deps/dependency.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+void FunctionalDependency::Normalize() {
+  std::sort(lhs.begin(), lhs.end());
+  lhs.erase(std::unique(lhs.begin(), lhs.end()), lhs.end());
+}
+
+std::string FunctionalDependency::ToString(const Catalog& catalog) const {
+  const RelationSchema& r = catalog.relation(relation);
+  return StrCat(r.name(), ": ",
+                StrJoinMapped(lhs, " ",
+                              [&](uint32_t c) { return r.attribute(c); }),
+                " -> ", r.attribute(rhs));
+}
+
+std::string InclusionDependency::ToString(const Catalog& catalog) const {
+  const RelationSchema& r = catalog.relation(lhs_relation);
+  const RelationSchema& s = catalog.relation(rhs_relation);
+  return StrCat(
+      r.name(), "[",
+      StrJoinMapped(lhs_columns, ",",
+                    [&](uint32_t c) { return r.attribute(c); }),
+      "] <= ", s.name(), "[",
+      StrJoinMapped(rhs_columns, ",",
+                    [&](uint32_t c) { return s.attribute(c); }),
+      "]");
+}
+
+Status ValidateFd(const FunctionalDependency& fd, const Catalog& catalog) {
+  if (fd.relation >= catalog.num_relations()) {
+    return Status::InvalidArgument("FD references unknown relation");
+  }
+  const size_t arity = catalog.arity(fd.relation);
+  if (fd.lhs.empty()) {
+    return Status::InvalidArgument("FD left-hand side must be non-empty");
+  }
+  for (uint32_t c : fd.lhs) {
+    if (c >= arity) {
+      return Status::InvalidArgument(
+          StrCat("FD lhs column ", c, " out of range for relation '",
+                 catalog.relation(fd.relation).name(), "'"));
+    }
+  }
+  for (size_t i = 1; i < fd.lhs.size(); ++i) {
+    if (fd.lhs[i - 1] >= fd.lhs[i]) {
+      return Status::InvalidArgument(
+          "FD left-hand side must be sorted and duplicate-free "
+          "(call Normalize())");
+    }
+  }
+  if (fd.rhs >= arity) {
+    return Status::InvalidArgument(
+        StrCat("FD rhs column ", fd.rhs, " out of range for relation '",
+               catalog.relation(fd.relation).name(), "'"));
+  }
+  return Status::OK();
+}
+
+Status ValidateInd(const InclusionDependency& ind, const Catalog& catalog) {
+  if (ind.lhs_relation >= catalog.num_relations() ||
+      ind.rhs_relation >= catalog.num_relations()) {
+    return Status::InvalidArgument("IND references unknown relation");
+  }
+  if (ind.lhs_columns.empty()) {
+    return Status::InvalidArgument("IND sides must be non-empty");
+  }
+  if (ind.lhs_columns.size() != ind.rhs_columns.size()) {
+    return Status::InvalidArgument("IND sides must have equal width");
+  }
+  auto check_side = [&](RelationId rel, const std::vector<uint32_t>& cols) {
+    const size_t arity = catalog.arity(rel);
+    for (uint32_t c : cols) {
+      if (c >= arity) {
+        return Status::InvalidArgument(
+            StrCat("IND column ", c, " out of range for relation '",
+                   catalog.relation(rel).name(), "'"));
+      }
+    }
+    for (size_t i = 0; i < cols.size(); ++i) {
+      for (size_t j = i + 1; j < cols.size(); ++j) {
+        if (cols[i] == cols[j]) {
+          return Status::InvalidArgument(
+              "IND side must not repeat a column");
+        }
+      }
+    }
+    return Status::OK();
+  };
+  CQCHASE_RETURN_IF_ERROR(check_side(ind.lhs_relation, ind.lhs_columns));
+  CQCHASE_RETURN_IF_ERROR(check_side(ind.rhs_relation, ind.rhs_columns));
+  return Status::OK();
+}
+
+}  // namespace cqchase

@@ -1,0 +1,63 @@
+// Functional and inclusion dependencies (Section 2 of the paper).
+//
+//   FD:  R: Z -> A       (Z a set of attributes of R, A one attribute of R)
+//   IND: R[X] ⊆ S[Y]     (X, Y equal-length ordered attribute lists; the
+//                         common length is the *width* of the IND)
+//
+// Attributes are stored as column indices against a Catalog. FD left-hand
+// sides are kept sorted; IND sides preserve order (the paper's INDs are
+// ordered lists — R[1,3] ⊆ S[1,2] maps column 1 to 1 and 3 to 2).
+#ifndef CQCHASE_DEPS_DEPENDENCY_H_
+#define CQCHASE_DEPS_DEPENDENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/catalog.h"
+
+namespace cqchase {
+
+struct FunctionalDependency {
+  RelationId relation = 0;
+  std::vector<uint32_t> lhs;  // sorted, de-duplicated column indices (Z)
+  uint32_t rhs = 0;           // column index (A)
+
+  // Canonicalizes lhs (sort + unique). Call after manual construction.
+  void Normalize();
+
+  // Renders against the catalog, e.g. "EMP: emp -> sal".
+  std::string ToString(const Catalog& catalog) const;
+
+  friend bool operator==(const FunctionalDependency& a,
+                         const FunctionalDependency& b) {
+    return a.relation == b.relation && a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+struct InclusionDependency {
+  RelationId lhs_relation = 0;
+  std::vector<uint32_t> lhs_columns;  // X, ordered
+  RelationId rhs_relation = 0;
+  std::vector<uint32_t> rhs_columns;  // Y, ordered, same length as X
+
+  size_t width() const { return lhs_columns.size(); }
+
+  // Renders against the catalog, e.g. "EMP[dept] <= DEP[dept]".
+  std::string ToString(const Catalog& catalog) const;
+
+  friend bool operator==(const InclusionDependency& a,
+                         const InclusionDependency& b) {
+    return a.lhs_relation == b.lhs_relation && a.lhs_columns == b.lhs_columns &&
+           a.rhs_relation == b.rhs_relation && a.rhs_columns == b.rhs_columns;
+  }
+};
+
+// Validation against a catalog: column indices in range, no duplicate columns
+// within one IND side, equal side lengths, non-empty sides.
+Status ValidateFd(const FunctionalDependency& fd, const Catalog& catalog);
+Status ValidateInd(const InclusionDependency& ind, const Catalog& catalog);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_DEPS_DEPENDENCY_H_

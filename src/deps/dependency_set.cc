@@ -1,0 +1,180 @@
+#include "deps/dependency_set.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+Status DependencySet::AddFd(const Catalog& catalog, FunctionalDependency fd) {
+  fd.Normalize();
+  CQCHASE_RETURN_IF_ERROR(ValidateFd(fd, catalog));
+  if (std::find(fds_.begin(), fds_.end(), fd) == fds_.end()) {
+    fds_.push_back(std::move(fd));
+  }
+  return Status::OK();
+}
+
+Status DependencySet::AddInd(const Catalog& catalog, InclusionDependency ind) {
+  CQCHASE_RETURN_IF_ERROR(ValidateInd(ind, catalog));
+  if (std::find(inds_.begin(), inds_.end(), ind) == inds_.end()) {
+    inds_.push_back(std::move(ind));
+  }
+  return Status::OK();
+}
+
+size_t DependencySet::MaxIndWidth() const {
+  size_t w = 0;
+  for (const auto& ind : inds_) w = std::max(w, ind.width());
+  return w;
+}
+
+bool DependencySet::AllIndsWidthOne() const {
+  for (const auto& ind : inds_) {
+    if (ind.width() != 1) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<uint32_t>> DependencySet::KeyOf(
+    RelationId relation) const {
+  for (const auto& fd : fds_) {
+    if (fd.relation == relation) return fd.lhs;
+  }
+  return std::nullopt;
+}
+
+bool DependencySet::IsKeyBased(const Catalog& catalog, std::string* why) const {
+  auto fail = [&](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+
+  // Condition (a): per relation, one common lhs Z; every attribute outside Z
+  // is the rhs of some FD.
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    std::optional<std::vector<uint32_t>> key;
+    std::vector<bool> covered(catalog.arity(r), false);
+    bool has_fd = false;
+    for (const auto& fd : fds_) {
+      if (fd.relation != r) continue;
+      has_fd = true;
+      if (!key.has_value()) {
+        key = fd.lhs;
+      } else if (*key != fd.lhs) {
+        return fail(StrCat("relation '", catalog.relation(r).name(),
+                           "' has FDs with different left-hand sides"));
+      }
+      covered[fd.rhs] = true;
+    }
+    if (!has_fd) continue;
+    for (uint32_t c : *key) covered[c] = true;
+    for (uint32_t c = 0; c < covered.size(); ++c) {
+      if (!covered[c]) {
+        return fail(StrCat("attribute '", catalog.relation(r).attribute(c),
+                           "' of relation '", catalog.relation(r).name(),
+                           "' is neither in the key nor the rhs of an FD"));
+      }
+    }
+  }
+
+  // Condition (b): IND rhs ⊆ key(S); IND lhs disjoint from key(R). The
+  // paper's phrasing "the left-hand side of an FD for the relation S"
+  // presupposes S has FDs; we read (b) as requiring that.
+  for (const auto& ind : inds_) {
+    std::optional<std::vector<uint32_t>> rhs_key = KeyOf(ind.rhs_relation);
+    if (!rhs_key.has_value()) {
+      return fail(StrCat("IND ", ind.ToString(catalog),
+                         ": right-hand relation has no FDs (no key)"));
+    }
+    for (uint32_t c : ind.rhs_columns) {
+      if (std::find(rhs_key->begin(), rhs_key->end(), c) == rhs_key->end()) {
+        return fail(StrCat("IND ", ind.ToString(catalog),
+                           ": rhs column not contained in the key of '",
+                           catalog.relation(ind.rhs_relation).name(), "'"));
+      }
+    }
+    std::optional<std::vector<uint32_t>> lhs_key = KeyOf(ind.lhs_relation);
+    if (lhs_key.has_value()) {
+      for (uint32_t c : ind.lhs_columns) {
+        if (std::find(lhs_key->begin(), lhs_key->end(), c) !=
+            lhs_key->end()) {
+          return fail(StrCat("IND ", ind.ToString(catalog),
+                             ": lhs column intersects the key of '",
+                             catalog.relation(ind.lhs_relation).name(), "'"));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+DependencySet DependencySet::FdsOnly() const {
+  DependencySet out;
+  out.fds_ = fds_;
+  return out;
+}
+
+DependencySet DependencySet::IndsOnly() const {
+  DependencySet out;
+  out.inds_ = inds_;
+  return out;
+}
+
+std::optional<uint32_t> DependencySet::MaxIndPathLength(
+    const Catalog& catalog) const {
+  const size_t n = catalog.num_relations();
+  std::vector<std::vector<size_t>> adj(n);
+  for (const InclusionDependency& ind : inds_) {
+    adj[ind.lhs_relation].push_back(ind.rhs_relation);
+  }
+  // Longest path via DFS with cycle detection (colors: 0 new, 1 on stack,
+  // 2 done). depth[v] = longest path starting at v.
+  std::vector<int> color(n, 0);
+  std::vector<uint32_t> depth(n, 0);
+  bool cyclic = false;
+  // Iterative DFS to stay safe on deep graphs.
+  struct Frame {
+    size_t v;
+    size_t next_child;
+  };
+  for (size_t root = 0; root < n && !cyclic; ++root) {
+    if (color[root] != 0) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty() && !cyclic) {
+      Frame& f = stack.back();
+      if (f.next_child < adj[f.v].size()) {
+        size_t w = adj[f.v][f.next_child++];
+        if (color[w] == 1) {
+          cyclic = true;
+        } else if (color[w] == 0) {
+          color[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        color[f.v] = 2;
+        uint32_t best = 0;
+        for (size_t w : adj[f.v]) {
+          best = std::max(best, depth[w] + 1);
+        }
+        depth[f.v] = best;
+        stack.pop_back();
+      }
+    }
+  }
+  if (cyclic) return std::nullopt;
+  uint32_t longest = 0;
+  for (size_t v = 0; v < n; ++v) longest = std::max(longest, depth[v]);
+  return longest;
+}
+
+std::string DependencySet::ToString(const Catalog& catalog) const {
+  std::vector<std::string> parts;
+  parts.reserve(size());
+  for (const auto& fd : fds_) parts.push_back(fd.ToString(catalog));
+  for (const auto& ind : inds_) parts.push_back(ind.ToString(catalog));
+  return StrJoin(parts, "; ");
+}
+
+}  // namespace cqchase

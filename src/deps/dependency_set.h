@@ -1,0 +1,81 @@
+// DependencySet: the set Σ of FDs and INDs a containment problem is posed
+// against, plus the structural classifications the paper's algorithms key on:
+//
+//  * IND-only           — Σ contains no FDs (Theorem 2 case (i));
+//  * width-1            — every IND has width 1 (Theorem 3 case (i));
+//  * key-based          — Section 2's definition:
+//      (a) for each relation R with FDs, all FDs R: Z -> A share one
+//          left-hand side Z, and every attribute of R outside Z is the rhs
+//          of some FD for R (so Z is a key and the FDs cover R);
+//      (b) each IND R[X] ⊆ S[Y] has Y contained in the FD left-hand side
+//          (key) of S, and X disjoint from the FD left-hand side of R.
+//
+// The classification functions are pure queries; they do not mutate Σ.
+#ifndef CQCHASE_DEPS_DEPENDENCY_SET_H_
+#define CQCHASE_DEPS_DEPENDENCY_SET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+#include "schema/catalog.h"
+
+namespace cqchase {
+
+class DependencySet {
+ public:
+  DependencySet() = default;
+
+  // Validates against `catalog` before inserting; duplicates are ignored.
+  Status AddFd(const Catalog& catalog, FunctionalDependency fd);
+  Status AddInd(const Catalog& catalog, InclusionDependency ind);
+
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+  const std::vector<InclusionDependency>& inds() const { return inds_; }
+
+  size_t size() const { return fds_.size() + inds_.size(); }
+  bool empty() const { return fds_.empty() && inds_.empty(); }
+
+  bool ContainsOnlyInds() const { return fds_.empty(); }
+  bool ContainsOnlyFds() const { return inds_.empty(); }
+
+  // Maximum IND width W; 0 when there are no INDs.
+  size_t MaxIndWidth() const;
+
+  // True iff every IND has width exactly 1 (vacuously true without INDs).
+  bool AllIndsWidthOne() const;
+
+  // True iff Σ is key-based per the paper's definition. When false and
+  // `why` is non-null, a one-line explanation is stored there.
+  bool IsKeyBased(const Catalog& catalog, std::string* why = nullptr) const;
+
+  // For a key-based Σ: the common FD left-hand side (the key) of `relation`,
+  // or nullopt if the relation has no FDs in Σ.
+  std::optional<std::vector<uint32_t>> KeyOf(RelationId relation) const;
+
+  // Restrictions Σ[F] (FDs only) and Σ[I] (INDs only), used by the Lemma 2
+  // factorization R-chase_Σ(Q) = R-chase_Σ[I](chase_Σ[F](Q)).
+  DependencySet FdsOnly() const;
+  DependencySet IndsOnly() const;
+
+  // The IND graph has a vertex per relation and an arc lhs -> rhs per IND.
+  // When it is acyclic, every chase (O or R) of every query terminates: a
+  // conjunct at level L sits at the end of an L-arc path, so L is bounded by
+  // the longest path. Returns that longest path length, or nullopt when the
+  // graph has a cycle (the chase may then be infinite — Figure 1's Σ).
+  std::optional<uint32_t> MaxIndPathLength(const Catalog& catalog) const;
+  bool IndGraphAcyclic(const Catalog& catalog) const {
+    return MaxIndPathLength(catalog).has_value();
+  }
+
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+  std::vector<InclusionDependency> inds_;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_DEPS_DEPENDENCY_SET_H_

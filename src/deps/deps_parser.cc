@@ -1,0 +1,181 @@
+#include "deps/deps_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+namespace {
+
+// Resolves an attribute token against a relation: a positive integer is a
+// 1-based column position; anything else is an attribute name.
+Result<uint32_t> ResolveColumn(const Catalog& catalog, RelationId rel,
+                               std::string_view token) {
+  std::string_view t = StripWhitespace(token);
+  if (t.empty()) {
+    return Status::InvalidArgument("empty attribute reference");
+  }
+  bool all_digits = true;
+  for (char c : t) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      all_digits = false;
+      break;
+    }
+  }
+  const RelationSchema& schema = catalog.relation(rel);
+  if (all_digits) {
+    size_t pos = std::stoul(std::string(t));
+    if (pos == 0 || pos > schema.arity()) {
+      return Status::InvalidArgument(
+          StrCat("column position ", pos, " out of range for relation '",
+                 schema.name(), "'"));
+    }
+    return static_cast<uint32_t>(pos - 1);
+  }
+  std::optional<uint32_t> idx = schema.AttributeIndex(t);
+  if (!idx.has_value()) {
+    return Status::InvalidArgument(StrCat("unknown attribute '", t,
+                                          "' of relation '", schema.name(),
+                                          "'"));
+  }
+  return *idx;
+}
+
+Result<RelationId> ResolveRelation(const Catalog& catalog,
+                                   std::string_view token) {
+  std::string_view t = StripWhitespace(token);
+  std::optional<RelationId> rel = catalog.FindRelation(t);
+  if (!rel.has_value()) {
+    return Status::InvalidArgument(StrCat("unknown relation '", t, "'"));
+  }
+  return *rel;
+}
+
+// Splits a whitespace-separated attribute list.
+std::vector<std::string> SplitAttrList(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+// Parses one side of an IND: "R[A,B]" -> (relation, columns).
+Result<std::pair<RelationId, std::vector<uint32_t>>> ParseIndSide(
+    const Catalog& catalog, std::string_view text) {
+  std::string_view t = StripWhitespace(text);
+  size_t open = t.find('[');
+  if (open == std::string_view::npos || t.back() != ']') {
+    return Status::InvalidArgument(
+        StrCat("expected 'R[cols]' in IND side, got '", t, "'"));
+  }
+  CQCHASE_ASSIGN_OR_RETURN(RelationId rel,
+                           ResolveRelation(catalog, t.substr(0, open)));
+  std::string_view cols_text = t.substr(open + 1, t.size() - open - 2);
+  std::vector<uint32_t> cols;
+  for (const std::string& tok : SplitAttrList(cols_text)) {
+    CQCHASE_ASSIGN_OR_RETURN(uint32_t col, ResolveColumn(catalog, rel, tok));
+    cols.push_back(col);
+  }
+  return std::make_pair(rel, std::move(cols));
+}
+
+}  // namespace
+
+Result<FunctionalDependency> ParseFd(const Catalog& catalog,
+                                     std::string_view text) {
+  std::string_view t = StripWhitespace(text);
+  size_t colon = t.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument(
+        StrCat("expected 'R: lhs -> rhs' in FD, got '", t, "'"));
+  }
+  CQCHASE_ASSIGN_OR_RETURN(RelationId rel,
+                           ResolveRelation(catalog, t.substr(0, colon)));
+  std::string_view rest = t.substr(colon + 1);
+  size_t arrow = rest.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument(StrCat("missing '->' in FD '", t, "'"));
+  }
+  FunctionalDependency fd;
+  fd.relation = rel;
+  for (const std::string& tok : SplitAttrList(rest.substr(0, arrow))) {
+    CQCHASE_ASSIGN_OR_RETURN(uint32_t col, ResolveColumn(catalog, rel, tok));
+    fd.lhs.push_back(col);
+  }
+  std::vector<std::string> rhs_tokens = SplitAttrList(rest.substr(arrow + 2));
+  if (rhs_tokens.size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("FD right-hand side must be a single attribute in '", t, "'"));
+  }
+  CQCHASE_ASSIGN_OR_RETURN(fd.rhs, ResolveColumn(catalog, rel, rhs_tokens[0]));
+  fd.Normalize();
+  CQCHASE_RETURN_IF_ERROR(ValidateFd(fd, catalog));
+  return fd;
+}
+
+Result<InclusionDependency> ParseInd(const Catalog& catalog,
+                                     std::string_view text) {
+  std::string t(StripWhitespace(text));
+  // Accept "<=" or the UTF-8 subset-or-equal sign.
+  size_t sep = t.find("<=");
+  size_t sep_len = 2;
+  if (sep == std::string::npos) {
+    sep = t.find("\xe2\x8a\x86");  // ⊆
+    sep_len = 3;
+  }
+  if (sep == std::string::npos) {
+    return Status::InvalidArgument(
+        StrCat("expected 'R[X] <= S[Y]' in IND, got '", t, "'"));
+  }
+  CQCHASE_ASSIGN_OR_RETURN(auto lhs,
+                           ParseIndSide(catalog, t.substr(0, sep)));
+  CQCHASE_ASSIGN_OR_RETURN(auto rhs,
+                           ParseIndSide(catalog, t.substr(sep + sep_len)));
+  InclusionDependency ind;
+  ind.lhs_relation = lhs.first;
+  ind.lhs_columns = std::move(lhs.second);
+  ind.rhs_relation = rhs.first;
+  ind.rhs_columns = std::move(rhs.second);
+  CQCHASE_RETURN_IF_ERROR(ValidateInd(ind, catalog));
+  return ind;
+}
+
+Result<DependencySet> ParseDependencies(const Catalog& catalog,
+                                        std::string_view text) {
+  DependencySet deps;
+  std::string normalized(text);
+  for (char& c : normalized) {
+    if (c == '\n') c = ';';
+  }
+  for (const std::string& raw : StrSplit(normalized, ';')) {
+    std::string_view entry = StripWhitespace(raw);
+    if (entry.empty() || entry.front() == '#') continue;
+    // Heuristic: an IND contains '[' before any ':'.
+    size_t bracket = entry.find('[');
+    size_t colon = entry.find(':');
+    if (bracket != std::string_view::npos &&
+        (colon == std::string_view::npos || bracket < colon)) {
+      CQCHASE_ASSIGN_OR_RETURN(InclusionDependency ind,
+                               ParseInd(catalog, entry));
+      CQCHASE_RETURN_IF_ERROR(deps.AddInd(catalog, std::move(ind)));
+    } else {
+      CQCHASE_ASSIGN_OR_RETURN(FunctionalDependency fd,
+                               ParseFd(catalog, entry));
+      CQCHASE_RETURN_IF_ERROR(deps.AddFd(catalog, std::move(fd)));
+    }
+  }
+  return deps;
+}
+
+}  // namespace cqchase

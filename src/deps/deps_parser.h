@@ -1,0 +1,30 @@
+// Text syntax for dependencies.
+//
+//   FD :  "R: A B -> C"          attributes by name, or 1-based positions
+//   IND:  "R[X1,...,Xk] <= S[Y1,...,Yk]"   ("<=" or the UTF-8 "⊆")
+//
+// Positional references use 1-based column numbers, matching the paper's
+// notation (e.g. "R[1,3] <= S[1,2]", "R: 2 -> 1").
+#ifndef CQCHASE_DEPS_DEPS_PARSER_H_
+#define CQCHASE_DEPS_DEPS_PARSER_H_
+
+#include <string_view>
+
+#include "deps/dependency_set.h"
+
+namespace cqchase {
+
+// Parses a single FD or IND.
+Result<FunctionalDependency> ParseFd(const Catalog& catalog,
+                                     std::string_view text);
+Result<InclusionDependency> ParseInd(const Catalog& catalog,
+                                     std::string_view text);
+
+// Parses a ';'- or newline-separated list of dependencies, auto-detecting FD
+// vs IND per entry. Blank entries and '#'-comment lines are skipped.
+Result<DependencySet> ParseDependencies(const Catalog& catalog,
+                                        std::string_view text);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_DEPS_DEPS_PARSER_H_

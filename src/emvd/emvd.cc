@@ -1,0 +1,165 @@
+#include "emvd/emvd.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+bool EmbeddedMvd::IsFullMvd(const Catalog& catalog) const {
+  return x_columns.size() + y_columns.size() + z_columns.size() ==
+         catalog.arity(relation);
+}
+
+std::string EmbeddedMvd::ToString(const Catalog& catalog) const {
+  const RelationSchema& r = catalog.relation(relation);
+  auto names = [&](const std::vector<uint32_t>& cols) {
+    return StrJoinMapped(cols, ",",
+                         [&](uint32_t c) { return r.attribute(c); });
+  };
+  return StrCat(r.name(), ": ", names(x_columns), " ->> ", names(y_columns),
+                " | ", names(z_columns));
+}
+
+Status ValidateEmvd(const EmbeddedMvd& emvd, const Catalog& catalog) {
+  if (emvd.relation >= catalog.num_relations()) {
+    return Status::InvalidArgument("EMVD references unknown relation");
+  }
+  const size_t arity = catalog.arity(emvd.relation);
+  if (emvd.y_columns.empty() || emvd.z_columns.empty()) {
+    return Status::InvalidArgument("EMVD Y and Z sides must be non-empty");
+  }
+  std::set<uint32_t> seen;
+  for (const std::vector<uint32_t>* side :
+       {&emvd.x_columns, &emvd.y_columns, &emvd.z_columns}) {
+    for (uint32_t c : *side) {
+      if (c >= arity) {
+        return Status::InvalidArgument(
+            StrCat("EMVD column ", c, " out of range for relation '",
+                   catalog.relation(emvd.relation).name(), "'"));
+      }
+      if (!seen.insert(c).second) {
+        return Status::InvalidArgument(
+            "EMVD sides must be pairwise disjoint and duplicate-free");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<std::vector<uint32_t>> ResolveCols(const Catalog& catalog,
+                                          RelationId rel,
+                                          std::string_view list) {
+  std::vector<uint32_t> out;
+  std::string token;
+  auto flush = [&]() -> Status {
+    if (token.empty()) return Status::OK();
+    const RelationSchema& schema = catalog.relation(rel);
+    std::optional<uint32_t> byname = schema.AttributeIndex(token);
+    if (byname.has_value()) {
+      out.push_back(*byname);
+    } else {
+      bool numeric = !token.empty();
+      for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) numeric = false;
+      }
+      if (!numeric) {
+        return Status::InvalidArgument(
+            StrCat("unknown attribute '", token, "' of relation '",
+                   schema.name(), "'"));
+      }
+      const unsigned long pos = std::stoul(token);
+      if (pos == 0 || pos > schema.arity()) {
+        return Status::InvalidArgument(
+            StrCat("column position ", pos, " out of range"));
+      }
+      out.push_back(static_cast<uint32_t>(pos - 1));
+    }
+    token.clear();
+    return Status::OK();
+  };
+  for (char c : list) {
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+      CQCHASE_RETURN_IF_ERROR(flush());
+    } else {
+      token.push_back(c);
+    }
+  }
+  CQCHASE_RETURN_IF_ERROR(flush());
+  return out;
+}
+
+}  // namespace
+
+Result<EmbeddedMvd> ParseEmvd(const Catalog& catalog, std::string_view text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument("EMVD must look like 'R: X ->> Y | Z'");
+  }
+  std::string rel_name;
+  for (char c : text.substr(0, colon)) {
+    if (!std::isspace(static_cast<unsigned char>(c))) rel_name.push_back(c);
+  }
+  std::optional<RelationId> rel = catalog.FindRelation(rel_name);
+  if (!rel.has_value()) {
+    return Status::InvalidArgument(
+        StrCat("unknown relation '", rel_name, "'"));
+  }
+  std::string_view rest = text.substr(colon + 1);
+  const size_t arrow = rest.find("->>");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("EMVD is missing '->>'");
+  }
+  std::string_view after = rest.substr(arrow + 3);
+  const size_t bar = after.find('|');
+  if (bar == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "EMVD is missing the '| Z' side (for a full MVD list the "
+        "complement explicitly)");
+  }
+  EmbeddedMvd emvd;
+  emvd.relation = *rel;
+  CQCHASE_ASSIGN_OR_RETURN(emvd.x_columns,
+                           ResolveCols(catalog, *rel, rest.substr(0, arrow)));
+  CQCHASE_ASSIGN_OR_RETURN(emvd.y_columns,
+                           ResolveCols(catalog, *rel, after.substr(0, bar)));
+  CQCHASE_ASSIGN_OR_RETURN(emvd.z_columns,
+                           ResolveCols(catalog, *rel, after.substr(bar + 1)));
+  CQCHASE_RETURN_IF_ERROR(ValidateEmvd(emvd, catalog));
+  return emvd;
+}
+
+bool SatisfiesEmvd(const Instance& instance, const EmbeddedMvd& emvd) {
+  const auto& tuples = instance.tuples(emvd.relation);
+  auto project = [](const std::vector<Term>& row,
+                    const std::vector<uint32_t>& cols) {
+    std::vector<Term> out;
+    out.reserve(cols.size());
+    for (uint32_t c : cols) out.push_back(row[c]);
+    return out;
+  };
+  for (const auto& t1 : tuples) {
+    for (const auto& t2 : tuples) {
+      if (project(t1, emvd.x_columns) != project(t2, emvd.x_columns)) {
+        continue;
+      }
+      bool witness = false;
+      for (const auto& w : tuples) {
+        if (project(w, emvd.x_columns) == project(t1, emvd.x_columns) &&
+            project(w, emvd.y_columns) == project(t1, emvd.y_columns) &&
+            project(w, emvd.z_columns) == project(t2, emvd.z_columns)) {
+          witness = true;
+          break;
+        }
+      }
+      if (!witness) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cqchase

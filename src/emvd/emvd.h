@@ -1,0 +1,59 @@
+// Embedded multivalued dependencies — the extension Section 5 of the paper
+// proposes as a direction for further work ("Chases involving EMVDs also
+// introduce new symbols and so do not terminate. Which sets of EMVDs give
+// rise to containment problems that are 'only' as hard as NP?").
+//
+// An EMVD is written  R: X ->> Y | Z  with X, Y, Z disjoint column lists of
+// R. A database obeys it if, whenever two R-tuples agree on X, there is an
+// R-tuple agreeing with the first on X∪Y and with the second on Z (the
+// projection of R onto X∪Y∪Z satisfies the multivalued dependency X ->> Y).
+// When X∪Y∪Z covers all of R's columns this is a plain MVD; "embedded"
+// allows a proper subset, and it is the embedded case whose chase needs
+// fresh symbols (the uncovered columns of the witness are unconstrained).
+#ifndef CQCHASE_EMVD_EMVD_H_
+#define CQCHASE_EMVD_EMVD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "schema/catalog.h"
+
+namespace cqchase {
+
+struct EmbeddedMvd {
+  RelationId relation = 0;
+  std::vector<uint32_t> x_columns;  // the agreeing prefix
+  std::vector<uint32_t> y_columns;  // inherited from the first tuple
+  std::vector<uint32_t> z_columns;  // inherited from the second tuple
+
+  // True when X∪Y∪Z covers every column of `relation` in `catalog` — the
+  // classical (non-embedded) MVD case, whose chase needs no fresh symbols.
+  bool IsFullMvd(const Catalog& catalog) const;
+
+  // Renders e.g. "R: a ->> b | c".
+  std::string ToString(const Catalog& catalog) const;
+
+  friend bool operator==(const EmbeddedMvd& a, const EmbeddedMvd& b) {
+    return a.relation == b.relation && a.x_columns == b.x_columns &&
+           a.y_columns == b.y_columns && a.z_columns == b.z_columns;
+  }
+};
+
+// Column indices in range, sides pairwise disjoint and duplicate-free, Y and
+// Z non-empty (X may be empty: the "degenerate" EMVD relating any two rows).
+Status ValidateEmvd(const EmbeddedMvd& emvd, const Catalog& catalog);
+
+// Parses "R: X ->> Y | Z" where each side is a comma-separated list of
+// attribute names or 1-based positions, e.g. "R: a ->> b | c" or
+// "R: 1,2 ->> 3 | 4".
+Result<EmbeddedMvd> ParseEmvd(const Catalog& catalog, std::string_view text);
+
+// Satisfaction on finite instances (Section 2-style definition above).
+bool SatisfiesEmvd(const Instance& instance, const EmbeddedMvd& emvd);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_EMVD_EMVD_H_

@@ -1,0 +1,349 @@
+#include "emvd/emvd_chase.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+EmvdChase::EmvdChase(const Catalog* catalog, SymbolTable* symbols,
+                     const DependencySet* fds,
+                     const std::vector<EmbeddedMvd>* emvds, ChaseLimits limits)
+    : catalog_(catalog),
+      symbols_(symbols),
+      fds_(fds),
+      emvds_(emvds),
+      limits_(limits) {}
+
+Status EmvdChase::Init(const ConjunctiveQuery& query) {
+  if (initialized_) {
+    return Status::FailedPrecondition("EmvdChase::Init called twice");
+  }
+  initialized_ = true;
+  if (!fds_->ContainsOnlyFds()) {
+    return Status::FailedPrecondition(
+        "EmvdChase takes INDs nowhere: pass FDs only");
+  }
+  CQCHASE_RETURN_IF_ERROR(query.Validate());
+  for (const EmbeddedMvd& emvd : *emvds_) {
+    CQCHASE_RETURN_IF_ERROR(ValidateEmvd(emvd, *catalog_));
+  }
+  if (query.is_empty_query()) {
+    outcome_ = ChaseOutcome::kEmptyQuery;
+    summary_ = query.summary();
+    return Status::OK();
+  }
+  for (const Fact& f : query.conjuncts()) {
+    conjuncts_.push_back(ChaseConjunct{next_id_++, f, 0, true, std::nullopt,
+                                       std::nullopt});
+  }
+  summary_ = query.summary();
+  return RunFdPhase();
+}
+
+Status EmvdChase::RunFdPhase() {
+  if (fds_->fds().empty()) return Status::OK();
+  while (outcome_ != ChaseOutcome::kEmptyQuery) {
+    bool applied = false;
+    for (const FunctionalDependency& fd : fds_->fds()) {
+      std::map<std::vector<Term>, size_t> by_lhs;
+      std::vector<size_t> order;
+      for (size_t i = 0; i < conjuncts_.size(); ++i) {
+        if (conjuncts_[i].alive && conjuncts_[i].fact.relation == fd.relation) {
+          order.push_back(i);
+        }
+      }
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (conjuncts_[a].fact != conjuncts_[b].fact) {
+          return conjuncts_[a].fact < conjuncts_[b].fact;
+        }
+        return conjuncts_[a].id < conjuncts_[b].id;
+      });
+      for (size_t i : order) {
+        std::vector<Term> key;
+        for (uint32_t c : fd.lhs) key.push_back(conjuncts_[i].fact.terms[c]);
+        auto [it, inserted] = by_lhs.emplace(std::move(key), i);
+        if (inserted) continue;
+        Term u = conjuncts_[it->second].fact.terms[fd.rhs];
+        Term v = conjuncts_[i].fact.terms[fd.rhs];
+        if (u == v) continue;
+        ++steps_;
+        if (steps_ > limits_.max_steps) {
+          return Status::ResourceExhausted(
+              StrCat("EMVD chase exceeded max_steps=", limits_.max_steps));
+        }
+        if (u.is_constant() && v.is_constant()) {
+          for (ChaseConjunct& c : conjuncts_) c.alive = false;
+          outcome_ = ChaseOutcome::kEmptyQuery;
+          return Status::OK();
+        }
+        Term winner = std::min(u, v);
+        Term loser = std::max(u, v);
+        for (ChaseConjunct& c : conjuncts_) {
+          if (!c.alive) continue;
+          for (Term& t : c.fact.terms) {
+            if (t == loser) t = winner;
+          }
+        }
+        for (Term& t : summary_) {
+          if (t == loser) t = winner;
+        }
+        // Dedupe identical facts (min level, min id survive).
+        std::map<Fact, size_t> first;
+        for (size_t j = 0; j < conjuncts_.size(); ++j) {
+          ChaseConjunct& c = conjuncts_[j];
+          if (!c.alive) continue;
+          auto [fit, finserted] = first.emplace(c.fact, j);
+          if (finserted) continue;
+          ChaseConjunct& survivor = conjuncts_[fit->second];
+          survivor.level = std::min(survivor.level, c.level);
+          c.alive = false;
+        }
+        applied = true;
+        break;
+      }
+      if (applied) break;
+    }
+    if (!applied) break;
+  }
+  return Status::OK();
+}
+
+Result<bool> EmvdChase::OneEmvdStep(uint32_t level) {
+  if (emvds_->empty()) return false;
+  // Candidate selection: deterministic scan order over (pair level, facts,
+  // ids, emvd index). Quadratic in the prefix size — the EMVD chase has no
+  // Lemma 5 analogue, so prefixes stay small by construction (limits).
+  while (true) {
+    struct Candidate {
+      uint32_t pair_level;
+      size_t i, j;
+      uint32_t emvd;
+    };
+    std::optional<Candidate> best;
+    auto better = [&](const Candidate& a, const Candidate& b) {
+      auto key = [&](const Candidate& c) {
+        return std::tuple(c.pair_level, conjuncts_[c.i].fact,
+                          conjuncts_[c.j].fact, conjuncts_[c.i].id,
+                          conjuncts_[c.j].id, c.emvd);
+      };
+      return key(a) < key(b);
+    };
+    for (size_t i = 0; i < conjuncts_.size(); ++i) {
+      if (!conjuncts_[i].alive) continue;
+      for (size_t j = 0; j < conjuncts_.size(); ++j) {
+        if (!conjuncts_[j].alive) continue;
+        const uint32_t pair_level =
+            std::max(conjuncts_[i].level, conjuncts_[j].level);
+        if (pair_level >= level) continue;
+        for (uint32_t k = 0; k < emvds_->size(); ++k) {
+          const EmbeddedMvd& emvd = (*emvds_)[k];
+          if (conjuncts_[i].fact.relation != emvd.relation ||
+              conjuncts_[j].fact.relation != emvd.relation) {
+            continue;
+          }
+          if (considered_.count({k, conjuncts_[i].id, conjuncts_[j].id}) > 0) {
+            continue;
+          }
+          bool x_match = true;
+          for (uint32_t c : emvd.x_columns) {
+            if (conjuncts_[i].fact.terms[c] != conjuncts_[j].fact.terms[c]) {
+              x_match = false;
+              break;
+            }
+          }
+          if (!x_match) continue;
+          Candidate cand{pair_level, i, j, k};
+          if (!best.has_value() || better(cand, *best)) best = cand;
+        }
+      }
+    }
+    if (!best.has_value()) return false;
+
+    ++steps_;
+    if (steps_ > limits_.max_steps) {
+      return Status::ResourceExhausted(
+          StrCat("EMVD chase exceeded max_steps=", limits_.max_steps));
+    }
+    const EmbeddedMvd& emvd = (*emvds_)[best->emvd];
+    const ChaseConjunct& c1 = conjuncts_[best->i];
+    const ChaseConjunct& c2 = conjuncts_[best->j];
+    considered_.emplace(best->emvd, c1.id, c2.id);
+
+    // Required discipline: skip when a witness already carries (X, Y, Z).
+    bool witness = false;
+    for (const ChaseConjunct& w : conjuncts_) {
+      if (!w.alive || w.fact.relation != emvd.relation) continue;
+      bool match = true;
+      for (uint32_t c : emvd.x_columns) {
+        if (w.fact.terms[c] != c1.fact.terms[c]) match = false;
+      }
+      for (uint32_t c : emvd.y_columns) {
+        if (w.fact.terms[c] != c1.fact.terms[c]) match = false;
+      }
+      for (uint32_t c : emvd.z_columns) {
+        if (w.fact.terms[c] != c2.fact.terms[c]) match = false;
+      }
+      if (match) {
+        witness = true;
+        break;
+      }
+    }
+    if (witness) continue;  // consumed this candidate, pick the next
+
+    if (conjuncts_.size() >= limits_.max_conjuncts) {
+      return Status::ResourceExhausted(
+          StrCat("EMVD chase exceeded max_conjuncts=", limits_.max_conjuncts));
+    }
+    Fact created;
+    created.relation = emvd.relation;
+    created.terms.resize(catalog_->arity(emvd.relation));
+    for (uint32_t c : emvd.x_columns) created.terms[c] = c1.fact.terms[c];
+    for (uint32_t c : emvd.y_columns) created.terms[c] = c1.fact.terms[c];
+    for (uint32_t c : emvd.z_columns) created.terms[c] = c2.fact.terms[c];
+    const uint32_t new_level = best->pair_level + 1;
+    for (uint32_t col = 0; col < created.terms.size(); ++col) {
+      if (!created.terms[col].is_valid()) {
+        created.terms[col] = symbols_->MakeChaseNdv(
+            NdvProvenance{col, c1.id, best->emvd, new_level});
+      }
+    }
+    conjuncts_.push_back(ChaseConjunct{next_id_++, std::move(created),
+                                       new_level, true, c1.id,
+                                       std::nullopt});
+    return true;
+  }
+}
+
+bool EmvdChase::HasPendingWork(uint32_t level) const {
+  for (size_t i = 0; i < conjuncts_.size(); ++i) {
+    if (!conjuncts_[i].alive) continue;
+    for (size_t j = 0; j < conjuncts_.size(); ++j) {
+      if (!conjuncts_[j].alive) continue;
+      if (std::max(conjuncts_[i].level, conjuncts_[j].level) >= level) {
+        continue;
+      }
+      for (uint32_t k = 0; k < emvds_->size(); ++k) {
+        const EmbeddedMvd& emvd = (*emvds_)[k];
+        if (conjuncts_[i].fact.relation != emvd.relation ||
+            conjuncts_[j].fact.relation != emvd.relation) {
+          continue;
+        }
+        if (considered_.count({k, conjuncts_[i].id, conjuncts_[j].id}) > 0) {
+          continue;
+        }
+        bool x_match = true;
+        for (uint32_t c : emvd.x_columns) {
+          if (conjuncts_[i].fact.terms[c] != conjuncts_[j].fact.terms[c]) {
+            x_match = false;
+          }
+        }
+        if (x_match) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Result<ChaseOutcome> EmvdChase::ExpandToLevel(uint32_t level) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("EmvdChase::Init not called");
+  }
+  if (outcome_ == ChaseOutcome::kEmptyQuery) return outcome_;
+  const uint32_t effective = std::min(level, limits_.max_level);
+  while (true) {
+    CQCHASE_RETURN_IF_ERROR(RunFdPhase());
+    if (outcome_ == ChaseOutcome::kEmptyQuery) return outcome_;
+    CQCHASE_ASSIGN_OR_RETURN(bool stepped, OneEmvdStep(effective));
+    if (!stepped) break;
+  }
+  outcome_ = HasPendingWork(std::numeric_limits<uint32_t>::max())
+                 ? ChaseOutcome::kTruncated
+                 : ChaseOutcome::kSaturated;
+  return outcome_;
+}
+
+std::vector<Fact> EmvdChase::AliveFacts() const {
+  std::vector<Fact> out;
+  for (const ChaseConjunct& c : conjuncts_) {
+    if (c.alive) out.push_back(c.fact);
+  }
+  return out;
+}
+
+uint32_t EmvdChase::MaxAliveLevel() const {
+  uint32_t m = 0;
+  for (const ChaseConjunct& c : conjuncts_) {
+    if (c.alive) m = std::max(m, c.level);
+  }
+  return m;
+}
+
+Instance EmvdChase::AsInstance() const {
+  Instance out(catalog_);
+  for (const ChaseConjunct& c : conjuncts_) {
+    if (c.alive) (void)out.AddFact(c.fact);
+  }
+  return out;
+}
+
+std::string EmvdChase::ToString() const {
+  std::string out;
+  for (const ChaseConjunct& c : conjuncts_) {
+    if (!c.alive) continue;
+    out += StrCat("L", c.level, "  ", c.fact.ToString(*catalog_, *symbols_),
+                  "\n");
+  }
+  return out;
+}
+
+Result<ContainmentReport> CheckContainmentEmvd(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& fds, const std::vector<EmbeddedMvd>& emvds,
+    SymbolTable& symbols, const ContainmentOptions& options) {
+  CQCHASE_RETURN_IF_ERROR(q.Validate());
+  CQCHASE_RETURN_IF_ERROR(q_prime.Validate());
+  if (q.summary().size() != q_prime.summary().size()) {
+    return Status::InvalidArgument(
+        "queries must have the same output arity for containment");
+  }
+  ContainmentReport report;
+  report.level_bound = 0;  // no Lemma 5 analogue: semi-decision only
+
+  EmvdChase chase(&q.catalog(), &symbols, &fds, &emvds, options.limits);
+  CQCHASE_RETURN_IF_ERROR(chase.Init(q));
+  for (uint32_t level = 0;; ++level) {
+    CQCHASE_ASSIGN_OR_RETURN(ChaseOutcome outcome, chase.ExpandToLevel(level));
+    report.chase_outcome = outcome;
+    report.chase_conjuncts = chase.AliveFacts().size();
+    report.chase_levels = chase.MaxAliveLevel();
+    if (outcome == ChaseOutcome::kEmptyQuery) {
+      report.contained = true;
+      return report;
+    }
+    if (!q_prime.is_empty_query()) {
+      std::optional<Homomorphism> hom =
+          FindHomomorphism(q_prime, chase.AliveFacts(), chase.summary());
+      if (hom.has_value()) {
+        report.contained = true;
+        report.witness = std::move(hom);
+        report.witness_max_level = chase.MaxAliveLevel();
+        return report;
+      }
+    }
+    if (outcome == ChaseOutcome::kSaturated) {
+      report.contained = false;
+      return report;
+    }
+    if (level >= options.limits.max_level) {
+      return Status::ResourceExhausted(
+          StrCat("EMVD containment undecided at chase level ", level,
+                 " (no level bound exists for EMVDs — open problem in the "
+                 "paper's Section 5)"));
+    }
+  }
+}
+
+}  // namespace cqchase

@@ -1,0 +1,104 @@
+// A chase engine for FDs + EMVDs, the extension Section 5 sketches. The
+// EMVD chase rule mirrors Maier–Mendelzon–Sagiv generalized to the embedded
+// case:
+//
+// EMVD CHASE RULE. For an EMVD R: X ->> Y | Z applicable to an ordered pair
+// (c1, c2) of R-conjuncts with c1[X] = c2[X], add a new conjunct c' with
+// c'[X] = c1[X], c'[Y] = c1[Y], c'[Z] = c2[Z] and a fresh NDV in every
+// remaining column. As with INDs we use the *required* discipline: the rule
+// fires only when no conjunct already carries that (X, Y, Z) combination.
+//
+// Like the IND chase, the embedded rule introduces new symbols and the chase
+// can be infinite; the engine is incremental with explicit limits. Levels:
+// level(c') = max(level(c1), level(c2)) + 1.
+//
+// Termination: a SINGLE EMVD always saturates under the required discipline
+// — fresh symbols land only in uncovered columns, so the set of (X, Y, Z)
+// combinations never grows beyond the original active domain. Divergence
+// needs interacting EMVDs whose fresh columns feed each other's covered
+// sides (bench_emvd_chase exhibits a two-EMVD set growing forever), which is
+// the precise form of Section 5's "chases involving EMVDs ... do not
+// terminate" caveat in this tuple-level formalization.
+//
+// The Theorem 1 argument extends verbatim (the Lemma 1 induction needs only
+// that a Σ-obeying database supply a witness row, which the EMVD definition
+// provides), so a homomorphism Q' -> emvd-chase(Q) certifies containment.
+// The paper leaves the complexity question open ("Which sets of EMVDs give
+// rise to containment problems that are 'only' as hard as NP?") — there is
+// no analogue of the Lemma 5 level bound here, so CheckContainmentEmvd is a
+// sound SEMI-decision: "contained" and saturation-certified "not contained"
+// are exact; hitting a limit yields kResourceExhausted.
+#ifndef CQCHASE_EMVD_EMVD_CHASE_H_
+#define CQCHASE_EMVD_EMVD_CHASE_H_
+
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/containment.h"
+#include "core/homomorphism.h"
+#include "cq/query.h"
+#include "deps/dependency_set.h"
+#include "emvd/emvd.h"
+
+namespace cqchase {
+
+class EmvdChase {
+ public:
+  EmvdChase(const Catalog* catalog, SymbolTable* symbols,
+            const DependencySet* fds, const std::vector<EmbeddedMvd>* emvds,
+            ChaseLimits limits);
+
+  // Loads Q's conjuncts at level 0 and runs the initial FD phase (via the
+  // core chase engine). `fds` must contain FDs only.
+  Status Init(const ConjunctiveQuery& query);
+
+  // Completes the prefix up to `level` (every pair of conjuncts with level
+  // < `level` has been considered for every EMVD, FDs re-exhausted after
+  // each step). Monotone and resumable.
+  Result<ChaseOutcome> ExpandToLevel(uint32_t level);
+  Result<ChaseOutcome> Run() { return ExpandToLevel(limits_.max_level); }
+
+  const std::vector<ChaseConjunct>& conjuncts() const { return conjuncts_; }
+  std::vector<Fact> AliveFacts() const;
+  const std::vector<Term>& summary() const { return summary_; }
+  ChaseOutcome outcome() const { return outcome_; }
+  uint32_t MaxAliveLevel() const;
+  Instance AsInstance() const;
+  std::string ToString() const;
+
+ private:
+  Status RunFdPhase();
+  // One required EMVD application below `level`; deterministic selection:
+  // minimum (pair level, first fact, second fact, emvd index).
+  Result<bool> OneEmvdStep(uint32_t level);
+  bool HasPendingWork(uint32_t level) const;
+
+  const Catalog* catalog_;
+  SymbolTable* symbols_;
+  const DependencySet* fds_;
+  const std::vector<EmbeddedMvd>* emvds_;
+  ChaseLimits limits_;
+
+  std::vector<ChaseConjunct> conjuncts_;
+  std::vector<Term> summary_;
+  // (emvd index, id1, id2) triples already considered.
+  std::set<std::tuple<uint32_t, uint64_t, uint64_t>> considered_;
+  ChaseOutcome outcome_ = ChaseOutcome::kTruncated;
+  bool initialized_ = false;
+  uint64_t next_id_ = 0;
+  size_t steps_ = 0;
+};
+
+// Sound semi-decision of Σ ⊨ Q ⊆∞ Q' for Σ = FDs ∪ EMVDs (see header
+// comment). `fds` must contain FDs only.
+Result<ContainmentReport> CheckContainmentEmvd(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& fds, const std::vector<EmbeddedMvd>& emvds,
+    SymbolTable& symbols, const ContainmentOptions& options = {});
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_EMVD_EMVD_CHASE_H_

@@ -1,0 +1,329 @@
+#include "finite/finite_containment.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+
+namespace cqchase {
+
+namespace {
+
+// Constants appearing in a query (conjuncts + summary), in occurrence order.
+std::vector<Term> QueryConstants(const ConjunctiveQuery& q) {
+  std::vector<Term> out;
+  std::unordered_set<Term> seen;
+  auto visit = [&](Term t) {
+    if (t.is_constant() && seen.insert(t).second) out.push_back(t);
+  };
+  for (Term t : q.summary()) visit(t);
+  for (const Fact& f : q.conjuncts()) {
+    for (Term t : f.terms) visit(t);
+  }
+  return out;
+}
+
+// All tuples over `domain` for every relation of the catalog.
+std::vector<Fact> AllTuples(const Catalog& catalog,
+                            const std::vector<Term>& domain) {
+  std::vector<Fact> out;
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    const size_t arity = catalog.arity(r);
+    std::vector<size_t> idx(arity, 0);
+    while (true) {
+      Fact f;
+      f.relation = r;
+      f.terms.reserve(arity);
+      for (size_t i = 0; i < arity; ++i) f.terms.push_back(domain[idx[i]]);
+      out.push_back(std::move(f));
+      size_t i = 0;
+      for (; i < arity; ++i) {
+        if (++idx[i] < domain.size()) break;
+        idx[i] = 0;
+      }
+      if (i == arity) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::optional<Instance>> ExhaustiveFiniteCounterexample(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, SymbolTable& symbols,
+    const ExhaustiveSearchParams& params) {
+  // Domain: the queries' own constants, padded with fresh ones.
+  std::vector<Term> domain = QueryConstants(q);
+  for (Term t : QueryConstants(q_prime)) {
+    if (std::find(domain.begin(), domain.end(), t) == domain.end()) {
+      domain.push_back(t);
+    }
+  }
+  while (domain.size() < params.domain_size) {
+    domain.push_back(symbols.MakeFreshConstant("d"));
+  }
+
+  std::vector<Fact> universe = AllTuples(q.catalog(), domain);
+  if (universe.size() > params.max_candidate_tuples) {
+    return Status::ResourceExhausted(
+        StrCat("exhaustive search universe has ", universe.size(),
+               " tuples (cap ", params.max_candidate_tuples, ")"));
+  }
+  const uint64_t subsets = 1ull << universe.size();
+  for (uint64_t mask = 1; mask < subsets; ++mask) {
+    Instance instance(&q.catalog());
+    for (size_t i = 0; i < universe.size(); ++i) {
+      if (mask & (1ull << i)) {
+        CQCHASE_RETURN_IF_ERROR(instance.AddFact(universe[i]));
+      }
+    }
+    if (!instance.Satisfies(deps)) continue;
+    if (!instance.EvalContained(q, q_prime)) {
+      return std::optional<Instance>(std::move(instance));
+    }
+  }
+  return std::optional<Instance>(std::nullopt);
+}
+
+Result<std::optional<Instance>> RandomFiniteCounterexample(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, SymbolTable& symbols,
+    const RandomSearchParams& params) {
+  Rng rng(params.seed);
+  std::vector<Term> domain = QueryConstants(q);
+  for (Term t : QueryConstants(q_prime)) {
+    if (std::find(domain.begin(), domain.end(), t) == domain.end()) {
+      domain.push_back(t);
+    }
+  }
+  while (domain.size() < params.domain_size) {
+    domain.push_back(symbols.MakeFreshConstant("d"));
+  }
+  const Catalog& catalog = q.catalog();
+  for (size_t s = 0; s < params.samples; ++s) {
+    Instance instance(&catalog);
+    for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+      for (size_t k = 0; k < params.tuples_per_relation; ++k) {
+        std::vector<Term> row(catalog.arity(r));
+        for (Term& t : row) t = rng.Pick(domain);
+        CQCHASE_RETURN_IF_ERROR(instance.AddTuple(r, std::move(row)));
+      }
+    }
+    Status repaired =
+        RepairToSatisfy(deps, symbols, params.repair_budget, instance);
+    if (!repaired.ok()) continue;  // diverged: skip this sample
+    if (!instance.Satisfies(deps)) continue;
+    if (!instance.EvalContained(q, q_prime)) {
+      return std::optional<Instance>(std::move(instance));
+    }
+  }
+  return std::optional<Instance>(std::nullopt);
+}
+
+std::optional<uint32_t> KSigma(const DependencySet& deps,
+                               const Catalog& catalog) {
+  if (deps.IsKeyBased(catalog)) return 1;  // Lemma 6
+  if (deps.ContainsOnlyInds() && deps.AllIndsWidthOne()) {
+    // Bounded by the sum of the widths (arities) of the relations occurring
+    // as IND right-hand sides.
+    std::vector<bool> seen(catalog.num_relations(), false);
+    uint32_t sum = 0;
+    for (const InclusionDependency& ind : deps.inds()) {
+      if (!seen[ind.rhs_relation]) {
+        seen[ind.rhs_relation] = true;
+        sum += static_cast<uint32_t>(catalog.arity(ind.rhs_relation));
+      }
+    }
+    return std::max<uint32_t>(sum, 1);
+  }
+  return std::nullopt;
+}
+
+uint32_t QueryGraphDiameter(const ConjunctiveQuery& q) {
+  // Vertices: conjuncts plus the summary row.
+  const size_t n = q.conjuncts().size() + 1;
+  auto terms_of = [&](size_t v) -> std::vector<Term> {
+    if (v < q.conjuncts().size()) return q.conjuncts()[v].terms;
+    return q.summary();
+  };
+  std::vector<std::vector<size_t>> adj(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Term> ti = terms_of(i);
+    for (size_t j = i + 1; j < n; ++j) {
+      std::vector<Term> tj = terms_of(j);
+      bool share = false;
+      for (Term a : ti) {
+        if (std::find(tj.begin(), tj.end(), a) != tj.end()) {
+          share = true;
+          break;
+        }
+      }
+      if (share) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+      }
+    }
+  }
+  uint32_t diameter = 0;
+  for (size_t start = 0; start < n; ++start) {
+    std::vector<int64_t> dist(n, -1);
+    std::deque<size_t> queue{start};
+    dist[start] = 0;
+    while (!queue.empty()) {
+      size_t v = queue.front();
+      queue.pop_front();
+      for (size_t w : adj[v]) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          diameter = std::max<uint32_t>(diameter,
+                                        static_cast<uint32_t>(dist[w]));
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return diameter;
+}
+
+std::optional<uint32_t> SuggestCutoff(const ConjunctiveQuery& q_prime,
+                                      const DependencySet& deps) {
+  std::optional<uint32_t> k = KSigma(deps, q_prime.catalog());
+  if (!k.has_value()) return std::nullopt;
+  return (QueryGraphDiameter(q_prime) + 1) * *k;
+}
+
+Result<FiniteWitness> BuildFiniteWitness(const ConjunctiveQuery& q,
+                                         const DependencySet& deps,
+                                         SymbolTable& symbols,
+                                         const FiniteWitnessParams& params) {
+  const Catalog& catalog = q.catalog();
+  if (!deps.ContainsOnlyInds() && !deps.IsKeyBased(catalog)) {
+    return Status::FailedPrecondition(
+        "BuildFiniteWitness requires an IND-only or key-based set "
+        "(Theorem 3 coverage)");
+  }
+
+  // FD phase first (Lemma 2: afterwards no FD ever fires in the R-chase).
+  DependencySet fds = deps.FdsOnly();
+  CQCHASE_ASSIGN_OR_RETURN(
+      Chase fd_chase,
+      BuildChase(q, fds, symbols, ChaseVariant::kRequired, ChaseLimits{}));
+  if (fd_chase.is_empty_query()) {
+    // Q is unsatisfiable under Σ: the empty database is a (degenerate)
+    // Σ-satisfying witness on which Q returns nothing.
+    FiniteWitness w{Instance(&catalog), fd_chase.summary(),
+                    params.cutoff_level, 0, 0};
+    return w;
+  }
+
+  // Special symbol per (relation, column): the z_A of the Theorem 3 proof.
+  std::vector<std::vector<Term>> special(catalog.num_relations());
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    special[r].resize(catalog.arity(r));
+    for (uint32_t c = 0; c < catalog.arity(r); ++c) {
+      special[r][c] = symbols.InternNondistVar(
+          StrCat("z!", catalog.relation(r).name(), ".",
+                 catalog.relation(r).attribute(c)));
+    }
+  }
+
+  // Modified R-chase over plain facts.
+  struct Entry {
+    Fact fact;
+    uint32_t level;
+  };
+  std::vector<Entry> entries;
+  std::unordered_set<Fact> present;
+  std::deque<size_t> worklist;
+  for (const Fact& f : fd_chase.AliveFacts()) {
+    if (present.insert(f).second) {
+      entries.push_back(Entry{f, 0});
+      worklist.push_back(entries.size() - 1);
+    }
+  }
+
+  size_t below_cutoff = entries.size();
+  while (!worklist.empty()) {
+    const size_t ei = worklist.front();
+    worklist.pop_front();
+    for (uint32_t k = 0; k < deps.inds().size(); ++k) {
+      const InclusionDependency& ind = deps.inds()[k];
+      const Fact source = entries[ei].fact;  // copy: entries may grow
+      const uint32_t source_level = entries[ei].level;
+      if (ind.lhs_relation != source.relation) continue;
+      std::vector<Term> x_values;
+      for (uint32_t c : ind.lhs_columns) x_values.push_back(source.terms[c]);
+      // Required? (R-chase discipline)
+      bool witness_exists = false;
+      for (const Entry& e : entries) {
+        if (e.fact.relation != ind.rhs_relation) continue;
+        bool match = true;
+        for (size_t j = 0; j < ind.rhs_columns.size(); ++j) {
+          if (e.fact.terms[ind.rhs_columns[j]] != x_values[j]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          witness_exists = true;
+          break;
+        }
+      }
+      if (witness_exists) continue;
+      const uint32_t new_level = source_level + 1;
+      Fact created;
+      created.relation = ind.rhs_relation;
+      created.terms.resize(catalog.arity(ind.rhs_relation));
+      for (size_t j = 0; j < ind.rhs_columns.size(); ++j) {
+        created.terms[ind.rhs_columns[j]] = x_values[j];
+      }
+      for (uint32_t col = 0; col < created.terms.size(); ++col) {
+        if (created.terms[col].is_valid()) continue;
+        created.terms[col] =
+            new_level > params.cutoff_level
+                ? special[ind.rhs_relation][col]
+                : symbols.MakeChaseNdv(
+                      NdvProvenance{col, ei, k, new_level});
+      }
+      if (!present.insert(created).second) continue;
+      entries.push_back(Entry{std::move(created), new_level});
+      if (new_level <= params.cutoff_level) ++below_cutoff;
+      worklist.push_back(entries.size() - 1);
+      if (entries.size() > params.max_conjuncts) {
+        return Status::ResourceExhausted(
+            StrCat("finite witness exceeded max_conjuncts=",
+                   params.max_conjuncts));
+      }
+    }
+  }
+
+  Instance instance(&catalog);
+  for (const Entry& e : entries) {
+    CQCHASE_RETURN_IF_ERROR(instance.AddFact(e.fact));
+  }
+  FiniteWitness w{std::move(instance), fd_chase.summary(),
+                  params.cutoff_level, below_cutoff, entries.size()};
+  return w;
+}
+
+Result<std::optional<Instance>> FiniteCounterexampleFromWitness(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, SymbolTable& symbols,
+    const FiniteWitnessParams& params) {
+  CQCHASE_ASSIGN_OR_RETURN(FiniteWitness witness,
+                           BuildFiniteWitness(q, deps, symbols, params));
+  if (!witness.instance.Satisfies(deps)) {
+    return Status::Internal(
+        "finite witness does not satisfy the dependencies (cutoff too "
+        "small for this Σ shape?)");
+  }
+  if (!witness.instance.EvalContained(q, q_prime)) {
+    return std::optional<Instance>(std::move(witness.instance));
+  }
+  return std::optional<Instance>(std::nullopt);
+}
+
+}  // namespace cqchase

@@ -1,0 +1,115 @@
+// Finite containment (Section 4 of the paper): Σ ⊨ Q ⊆f Q' quantifies over
+// finite databases only. ⊆∞ always implies ⊆f; the converse ("finite
+// controllability") holds for FD-only sets, width-1 IND sets and key-based
+// sets (Theorem 3), but fails in general — the paper's example with
+// Σ = { R:2→1, R[2] ⊆ R[1] } is provided by Section4Example() in
+// gen/scenarios.h.
+//
+// Tools here:
+//  * ExhaustiveFiniteCounterexample — enumerates every instance over a small
+//    constant domain, keeping those that satisfy Σ, and looks for one where
+//    Q(D) ⊄ Q'(D). Sound and complete up to the domain/tuple budget.
+//  * RandomFiniteCounterexample — randomized sampling with Σ-repair; much
+//    larger instances, no completeness.
+//  * BuildFiniteWitness — Theorem 3's Q* construction (connected case):
+//    chases Q but replaces fresh NDVs by per-column special symbols beyond a
+//    cutoff level, "closing off" the possibly-infinite chase into a finite
+//    Σ-satisfying database that behaves like the chase up to the cutoff.
+//    When Σ ⊭ Q ⊆∞ Q' and the cutoff is deep enough, Q* is a *finite*
+//    counterexample — the effective content of Theorem 3.
+#ifndef CQCHASE_FINITE_FINITE_CONTAINMENT_H_
+#define CQCHASE_FINITE_FINITE_CONTAINMENT_H_
+
+#include <optional>
+
+#include "chase/chase.h"
+#include "cq/query.h"
+#include "data/instance.h"
+#include "deps/dependency_set.h"
+
+namespace cqchase {
+
+struct ExhaustiveSearchParams {
+  size_t domain_size = 3;     // number of distinct constants
+  size_t max_candidate_tuples = 20;  // refuse blowups beyond 2^this subsets
+};
+
+// Searches every database over `domain_size` constants (all subsets of all
+// possible tuples) for a Σ-satisfying instance with Q(D) ⊄ Q'(D). Returns
+// such an instance, or nullopt if none exists at this scale. Fails with
+// kResourceExhausted if the tuple universe exceeds max_candidate_tuples.
+Result<std::optional<Instance>> ExhaustiveFiniteCounterexample(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, SymbolTable& symbols,
+    const ExhaustiveSearchParams& params = {});
+
+struct RandomSearchParams {
+  size_t samples = 200;
+  size_t domain_size = 6;
+  size_t tuples_per_relation = 6;
+  size_t repair_budget = 200;
+  uint64_t seed = 1;
+};
+
+// Randomized finite counterexample search: draws random instances, repairs
+// them toward Σ, and tests containment on the survivors.
+Result<std::optional<Instance>> RandomFiniteCounterexample(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, SymbolTable& symbols,
+    const RandomSearchParams& params = {});
+
+// --- Theorem 3: the Q* construction --------------------------------------
+
+struct FiniteWitnessParams {
+  // Levels of genuine chase before closing off with special symbols. The
+  // theorem uses (d+1)·k_Σ with d = diameter of G_Q'; callers can pass
+  // SuggestCutoff() or any larger value.
+  uint32_t cutoff_level = 4;
+  size_t max_conjuncts = 200000;
+};
+
+struct FiniteWitness {
+  Instance instance;         // Q* viewed as a finite database
+  std::vector<Term> summary; // image of Q's summary row in Q*
+  uint32_t cutoff_level = 0;
+  size_t conjuncts_below_cutoff = 0;
+  size_t conjuncts_total = 0;
+};
+
+// The symbol-propagation constant k_Σ of the Theorem 3 proof: 1 for
+// key-based Σ (Lemma 6); the sum of the arities of IND right-hand-side
+// relations for width-1 IND sets. nullopt for other shapes (the theorem
+// does not cover them).
+std::optional<uint32_t> KSigma(const DependencySet& deps,
+                               const Catalog& catalog);
+
+// Diameter of the paper's G_Q' graph: vertices are Q's conjuncts plus the
+// summary row, edges join vertices sharing a symbol. For a disconnected
+// graph, the maximum component diameter is returned.
+uint32_t QueryGraphDiameter(const ConjunctiveQuery& q);
+
+// The cutoff (d+1)·k_Σ from the theorem, or nullopt when k_Σ is undefined.
+std::optional<uint32_t> SuggestCutoff(const ConjunctiveQuery& q_prime,
+                                      const DependencySet& deps);
+
+// Builds Q*: an R-chase of `q` under `deps` in which every NDV that would be
+// created at a level exceeding params.cutoff_level is replaced by the
+// special symbol z_{relation.column}. The resulting chase is finite and
+// satisfies deps. Requires deps to be IND-only or key-based (the FD phase is
+// run first; per Lemma 2 no FD fires afterwards).
+Result<FiniteWitness> BuildFiniteWitness(
+    const ConjunctiveQuery& q, const DependencySet& deps,
+    SymbolTable& symbols, const FiniteWitnessParams& params = {});
+
+// End-to-end Theorem 3 tool: if Σ ⊭ Q ⊆∞ Q' (per the chase decision), looks
+// for a finite counterexample database by evaluating both queries on Q*.
+// Returns the counterexample, or nullopt if Q* does not separate them at
+// this cutoff.
+Result<std::optional<Instance>> FiniteCounterexampleFromWitness(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, SymbolTable& symbols,
+    const FiniteWitnessParams& params = {});
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_FINITE_FINITE_CONTAINMENT_H_

@@ -1,0 +1,303 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/string_util.h"
+#include "chase/chase.h"
+
+namespace cqchase {
+
+Catalog RandomCatalog(Rng& rng, const RandomCatalogParams& params) {
+  Catalog catalog;
+  for (size_t r = 0; r < params.num_relations; ++r) {
+    size_t arity = static_cast<size_t>(
+        rng.Uniform(static_cast<int64_t>(params.min_arity),
+                    static_cast<int64_t>(params.max_arity)));
+    std::vector<std::string> attrs;
+    for (size_t a = 0; a < arity; ++a) attrs.push_back(StrCat("a", a));
+    Result<RelationId> added =
+        catalog.AddRelation(StrCat("R", r), std::move(attrs));
+    assert(added.ok());
+    (void)added;
+  }
+  return catalog;
+}
+
+ConjunctiveQuery RandomQuery(Rng& rng, const Catalog& catalog,
+                             SymbolTable& symbols,
+                             const RandomQueryParams& params) {
+  std::vector<Term> dvs;
+  for (size_t i = 0; i < params.num_dist_vars; ++i) {
+    dvs.push_back(
+        symbols.InternDistVar(StrCat(params.name_prefix, "_x", i)));
+  }
+  std::vector<Term> pool = dvs;
+  for (size_t i = 0; i < params.num_vars; ++i) {
+    pool.push_back(
+        symbols.InternNondistVar(StrCat(params.name_prefix, "_v", i)));
+  }
+  std::vector<Term> constants;
+  for (size_t i = 0; i < params.constant_pool; ++i) {
+    constants.push_back(symbols.InternConstant(StrCat("k", i)));
+  }
+
+  ConjunctiveQuery query(&catalog, &symbols);
+  std::vector<Fact> facts;
+  std::unordered_set<Fact> seen;
+  while (facts.size() < params.num_conjuncts) {
+    Fact f;
+    f.relation = static_cast<RelationId>(rng.Index(catalog.num_relations()));
+    f.terms.resize(catalog.arity(f.relation));
+    for (Term& t : f.terms) {
+      if (!constants.empty() && rng.Bernoulli(params.constant_prob)) {
+        t = rng.Pick(constants);
+      } else {
+        t = rng.Pick(pool);
+      }
+    }
+    if (seen.insert(f).second) facts.push_back(std::move(f));
+  }
+  // Safety: force every DV to occur somewhere in the body. A patch must
+  // never displace another DV's only occurrence (patch only non-DV slots)
+  // and never duplicate an existing conjunct.
+  auto occurs = [&facts](Term dv) {
+    for (const Fact& f : facts) {
+      if (std::find(f.terms.begin(), f.terms.end(), dv) != f.terms.end()) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto duplicates = [&facts](const Fact& candidate) {
+    return std::find(facts.begin(), facts.end(), candidate) != facts.end();
+  };
+  for (Term dv : dvs) {
+    if (occurs(dv)) continue;
+    bool placed = false;
+    // Try each slot once, starting at a random fact/position so placement
+    // stays random but termination is certain.
+    const size_t f0 = rng.Index(facts.size());
+    for (size_t fi = 0; fi < facts.size() && !placed; ++fi) {
+      Fact& f = facts[(f0 + fi) % facts.size()];
+      const size_t p0 = rng.Index(f.terms.size());
+      for (size_t pi = 0; pi < f.terms.size() && !placed; ++pi) {
+        const size_t pos = (p0 + pi) % f.terms.size();
+        if (f.terms[pos].is_dist_var()) continue;
+        Fact patched = f;
+        patched.terms[pos] = dv;
+        if (duplicates(patched)) continue;
+        f = std::move(patched);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Every slot holds a DV or would duplicate: add one extra conjunct
+      // carrying this DV (the query grows by one conjunct, which callers of
+      // a *random* generator tolerate; safety is non-negotiable).
+      for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+        Fact f;
+        f.relation =
+            static_cast<RelationId>(rng.Index(catalog.num_relations()));
+        f.terms.resize(catalog.arity(f.relation));
+        for (Term& t : f.terms) t = rng.Pick(pool);
+        f.terms[rng.Index(f.terms.size())] = dv;
+        if (duplicates(f)) continue;
+        facts.push_back(std::move(f));
+        placed = true;
+      }
+    }
+    assert(placed);
+  }
+  for (Fact& f : facts) query.AddConjunct(std::move(f));
+  query.SetSummary(dvs);
+  return query;
+}
+
+DependencySet RandomIndOnlyDeps(Rng& rng, const Catalog& catalog,
+                                const RandomIndParams& params) {
+  DependencySet deps;
+  // Relations wide enough to host a `width`-column side.
+  std::vector<RelationId> eligible;
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    if (catalog.arity(r) >= params.width) eligible.push_back(r);
+  }
+  if (eligible.empty()) return deps;
+  size_t attempts = 0;
+  size_t added = 0;
+  while (added < params.count && attempts++ < params.count * 20) {
+    InclusionDependency ind;
+    ind.lhs_relation = rng.Pick(eligible);
+    ind.rhs_relation = rng.Pick(eligible);
+    auto pick_cols = [&](RelationId rel) {
+      std::vector<uint32_t> all(catalog.arity(rel));
+      for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+      std::shuffle(all.begin(), all.end(), rng.engine());
+      all.resize(params.width);
+      return all;
+    };
+    ind.lhs_columns = pick_cols(ind.lhs_relation);
+    ind.rhs_columns = pick_cols(ind.rhs_relation);
+    // Skip trivial self-INDs R[X] ⊆ R[X].
+    if (ind.lhs_relation == ind.rhs_relation &&
+        ind.lhs_columns == ind.rhs_columns) {
+      continue;
+    }
+    size_t before = deps.inds().size();
+    Status s = deps.AddInd(catalog, std::move(ind));
+    assert(s.ok());
+    (void)s;
+    if (deps.inds().size() > before) ++added;
+  }
+  return deps;
+}
+
+DependencySet RandomKeyBasedDeps(Rng& rng, const Catalog& catalog,
+                                 const RandomKeyBasedParams& params) {
+  DependencySet deps;
+  std::vector<uint32_t> key(params.key_size);
+  for (uint32_t i = 0; i < params.key_size; ++i) key[i] = i;
+
+  std::vector<RelationId> eligible;
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    if (catalog.arity(r) > params.key_size) eligible.push_back(r);
+  }
+  for (RelationId r : eligible) {
+    for (uint32_t c = static_cast<uint32_t>(params.key_size);
+         c < catalog.arity(r); ++c) {
+      FunctionalDependency fd;
+      fd.relation = r;
+      fd.lhs = key;
+      fd.rhs = c;
+      Status s = deps.AddFd(catalog, std::move(fd));
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  if (eligible.empty()) return deps;
+  size_t attempts = 0;
+  size_t added = 0;
+  while (added < params.num_inds && attempts++ < params.num_inds * 20) {
+    RelationId lhs = rng.Pick(eligible);
+    RelationId rhs = rng.Pick(eligible);
+    // Width: at most the lhs non-key width and the rhs key size.
+    size_t max_width = std::min<size_t>(catalog.arity(lhs) - params.key_size,
+                                        params.key_size);
+    if (max_width == 0) continue;
+    size_t width = static_cast<size_t>(
+        rng.Uniform(1, static_cast<int64_t>(max_width)));
+    InclusionDependency ind;
+    ind.lhs_relation = lhs;
+    ind.rhs_relation = rhs;
+    // lhs columns: distinct non-key columns of lhs.
+    std::vector<uint32_t> nonkey;
+    for (uint32_t c = static_cast<uint32_t>(params.key_size);
+         c < catalog.arity(lhs); ++c) {
+      nonkey.push_back(c);
+    }
+    std::shuffle(nonkey.begin(), nonkey.end(), rng.engine());
+    nonkey.resize(width);
+    ind.lhs_columns = std::move(nonkey);
+    // rhs columns: a prefix-permutation of rhs's key.
+    std::vector<uint32_t> rhs_key = key;
+    std::shuffle(rhs_key.begin(), rhs_key.end(), rng.engine());
+    rhs_key.resize(width);
+    ind.rhs_columns = std::move(rhs_key);
+    size_t before = deps.inds().size();
+    Status s = deps.AddInd(catalog, std::move(ind));
+    assert(s.ok());
+    (void)s;
+    if (deps.inds().size() > before) ++added;
+  }
+  return deps;
+}
+
+Instance RandomInstance(Rng& rng, const Catalog& catalog, SymbolTable& symbols,
+                        const RandomInstanceParams& params) {
+  std::vector<Term> domain;
+  for (size_t i = 0; i < params.domain_size; ++i) {
+    domain.push_back(
+        symbols.InternConstant(StrCat(params.constant_prefix, i)));
+  }
+  Instance instance(&catalog);
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    for (size_t k = 0; k < params.tuples_per_relation; ++k) {
+      std::vector<Term> row(catalog.arity(r));
+      for (Term& t : row) t = rng.Pick(domain);
+      Status s = instance.AddTuple(r, std::move(row));
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  return instance;
+}
+
+Result<ConjunctiveQuery> PlantedSuperQuery(Rng& rng,
+                                           const ConjunctiveQuery& q,
+                                           const DependencySet& deps,
+                                           SymbolTable& symbols,
+                                           size_t extra_conjuncts,
+                                           uint32_t chase_depth) {
+  ChaseLimits limits;
+  limits.max_level = chase_depth;
+  Chase chase(&q.catalog(), &symbols, &deps, ChaseVariant::kRequired, limits);
+  CQCHASE_RETURN_IF_ERROR(chase.Init(q));
+  CQCHASE_ASSIGN_OR_RETURN(ChaseOutcome outcome,
+                           chase.ExpandToLevel(chase_depth));
+  if (outcome == ChaseOutcome::kEmptyQuery) {
+    return Status::FailedPrecondition(
+        "cannot plant a super-query on a Σ-unsatisfiable query");
+  }
+
+  // Start from the facts that keep the summary DVs covered (one fact of Q
+  // per summary DV), then add random chase facts.
+  std::vector<Fact> chase_facts = chase.AliveFacts();
+  std::vector<Fact> chosen;
+  std::unordered_set<Fact> chosen_set;
+  auto choose = [&](const Fact& f) {
+    if (chosen_set.insert(f).second) chosen.push_back(f);
+  };
+  for (Term t : chase.summary()) {
+    if (!t.is_variable()) continue;
+    for (const Fact& f : chase_facts) {
+      if (std::find(f.terms.begin(), f.terms.end(), t) != f.terms.end()) {
+        choose(f);
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i < extra_conjuncts && !chase_facts.empty(); ++i) {
+    choose(chase_facts[rng.Index(chase_facts.size())]);
+  }
+
+  // Rename: constants and summary DVs stay; everything else becomes a fresh
+  // NDV. The inverse renaming is a homomorphism Q' -> chase(Q).
+  std::unordered_set<Term> keep(chase.summary().begin(),
+                                chase.summary().end());
+  std::unordered_map<Term, Term> rename;
+  auto image = [&](Term t) -> Term {
+    if (t.is_constant() || keep.count(t) > 0) return t;
+    auto it = rename.find(t);
+    if (it != rename.end()) return it->second;
+    Term fresh = symbols.MakeFreshNondistVar("p");
+    rename.emplace(t, fresh);
+    return fresh;
+  };
+
+  ConjunctiveQuery q_prime(&q.catalog(), &symbols);
+  std::unordered_set<Fact> emitted;
+  for (const Fact& f : chosen) {
+    Fact g;
+    g.relation = f.relation;
+    g.terms.reserve(f.terms.size());
+    for (Term t : f.terms) g.terms.push_back(image(t));
+    if (emitted.insert(g).second) q_prime.AddConjunct(std::move(g));
+  }
+  q_prime.SetSummary(chase.summary());
+  CQCHASE_RETURN_IF_ERROR(q_prime.Validate());
+  return q_prime;
+}
+
+}  // namespace cqchase

@@ -1,0 +1,88 @@
+// Randomized workload generators for benchmarks and property tests. The
+// paper (1982) has no workloads; these exercise the same code paths at
+// controlled sizes. Everything is seeded-deterministic through Rng.
+#ifndef CQCHASE_GEN_GENERATORS_H_
+#define CQCHASE_GEN_GENERATORS_H_
+
+#include <string>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "cq/query.h"
+#include "data/instance.h"
+#include "deps/dependency_set.h"
+#include "schema/catalog.h"
+#include "symbols/symbol_table.h"
+
+namespace cqchase {
+
+struct RandomCatalogParams {
+  size_t num_relations = 3;
+  size_t min_arity = 2;
+  size_t max_arity = 4;
+};
+
+// Relations "R0", "R1", ... with attributes "a0", "a1", ...
+Catalog RandomCatalog(Rng& rng, const RandomCatalogParams& params = {});
+
+struct RandomQueryParams {
+  size_t num_conjuncts = 4;
+  size_t num_vars = 6;       // size of the NDV pool
+  size_t num_dist_vars = 1;  // summary arity
+  double constant_prob = 0.0;
+  size_t constant_pool = 3;
+  // Prefix for generated variable names; vary per query to keep two queries'
+  // variables disjoint within one SymbolTable.
+  std::string name_prefix = "q";
+};
+
+// A safe random query: every summary DV occurs in the body.
+ConjunctiveQuery RandomQuery(Rng& rng, const Catalog& catalog,
+                             SymbolTable& symbols,
+                             const RandomQueryParams& params = {});
+
+struct RandomIndParams {
+  size_t count = 3;
+  size_t width = 1;
+};
+
+// Random IND-only Σ with exactly `width`-wide INDs (relations with smaller
+// arity are skipped as endpoints).
+DependencySet RandomIndOnlyDeps(Rng& rng, const Catalog& catalog,
+                                const RandomIndParams& params = {});
+
+struct RandomKeyBasedParams {
+  size_t key_size = 1;   // columns 0..key_size-1 are each relation's key
+  size_t num_inds = 3;
+};
+
+// A key-based Σ over `catalog`: per relation, FDs key → every non-key
+// column; INDs from non-key columns of one relation into (a prefix of) the
+// key of another. Relations whose arity is <= key_size get no dependencies.
+DependencySet RandomKeyBasedDeps(Rng& rng, const Catalog& catalog,
+                                 const RandomKeyBasedParams& params = {});
+
+struct RandomInstanceParams {
+  size_t domain_size = 8;
+  size_t tuples_per_relation = 10;
+  std::string constant_prefix = "v";
+};
+
+Instance RandomInstance(Rng& rng, const Catalog& catalog, SymbolTable& symbols,
+                        const RandomInstanceParams& params = {});
+
+// A query Q' with Σ ⊨ Q ⊆∞ Q' *by construction*: its conjuncts are renamed
+// copies of facts from a chase prefix of Q (fresh NDVs for everything except
+// Q's constants and summary DVs), so the renaming itself is a homomorphism
+// Q' → chaseΣ(Q). Used to generate positive instances for validation
+// benchmarks. `chase_depth` controls how deep the planted facts may sit.
+Result<ConjunctiveQuery> PlantedSuperQuery(Rng& rng,
+                                           const ConjunctiveQuery& q,
+                                           const DependencySet& deps,
+                                           SymbolTable& symbols,
+                                           size_t extra_conjuncts,
+                                           uint32_t chase_depth);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_GEN_GENERATORS_H_

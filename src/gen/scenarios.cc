@@ -1,0 +1,78 @@
+#include "gen/scenarios.h"
+
+#include <cassert>
+
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+
+namespace cqchase {
+
+namespace {
+
+// Builders below assemble scenarios from the text syntaxes; the inputs are
+// trusted literals, so failures are programming errors.
+template <typename T>
+T Unwrap(Result<T> result) {
+  assert(result.ok() && result.status().message().c_str());
+  return std::move(result).value();
+}
+
+void AddQuery(Scenario& s, std::string_view text) {
+  s.queries.push_back(Unwrap(ParseQuery(*s.catalog, *s.symbols, text)));
+}
+
+}  // namespace
+
+Scenario EmpDepScenario() {
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>();
+  s.symbols = std::make_unique<SymbolTable>();
+  Unwrap(s.catalog->AddRelation("EMP", {"eno", "sal", "dept"}));
+  Unwrap(s.catalog->AddRelation("DEP", {"dept", "loc"}));
+  s.deps = Unwrap(ParseDependencies(*s.catalog, "EMP[dept] <= DEP[dept]"));
+  AddQuery(s, "ans(e) :- EMP(e, sq, d), DEP(d, l)");
+  AddQuery(s, "ans(e) :- EMP(e, sq, d)");
+  return s;
+}
+
+Scenario Fig1Scenario() {
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>();
+  s.symbols = std::make_unique<SymbolTable>();
+  Unwrap(s.catalog->AddRelation("R", {"r1", "r2", "r3"}));
+  Unwrap(s.catalog->AddRelation("S", {"s1", "s2", "s3"}));
+  Unwrap(s.catalog->AddRelation("T", {"t1", "t2"}));
+  s.deps = Unwrap(ParseDependencies(
+      *s.catalog, "R[1] <= T[1]; R[1,3] <= S[1,2]; S[1,3] <= R[1,2]"));
+  AddQuery(s, "ans(c) :- R(a, b, c)");
+  return s;
+}
+
+Scenario Section4Scenario() {
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>();
+  s.symbols = std::make_unique<SymbolTable>();
+  Unwrap(s.catalog->AddRelation("R", {"a1", "a2"}));
+  s.deps = Unwrap(ParseDependencies(*s.catalog, "R: 2 -> 1; R[2] <= R[1]"));
+  AddQuery(s, "ans(x) :- R(x, y)");
+  AddQuery(s, "ans(x) :- R(x, y), R(yp, x)");
+  return s;
+}
+
+Scenario KeyBasedEmpDepScenario() {
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>();
+  s.symbols = std::make_unique<SymbolTable>();
+  Unwrap(s.catalog->AddRelation("EMP", {"eno", "sal", "dept"}));
+  Unwrap(s.catalog->AddRelation("DEP", {"dept", "loc"}));
+  s.deps = Unwrap(ParseDependencies(*s.catalog,
+                                    "EMP: eno -> sal\n"
+                                    "EMP: eno -> dept\n"
+                                    "DEP: dept -> loc\n"
+                                    "EMP[dept] <= DEP[dept]"));
+  AddQuery(s, "ans(e) :- EMP(e, sq, d), DEP(d, l)");
+  AddQuery(s, "ans(e) :- EMP(e, sq, d)");
+  return s;
+}
+
+}  // namespace cqchase

@@ -1,0 +1,55 @@
+// Canonical scenarios from the paper, packaged as self-owning bundles
+// (catalog + symbol table + dependencies + queries) so examples, tests and
+// benchmarks reproduce exactly the objects the paper discusses.
+#ifndef CQCHASE_GEN_SCENARIOS_H_
+#define CQCHASE_GEN_SCENARIOS_H_
+
+#include <memory>
+#include <vector>
+
+#include "cq/query.h"
+#include "deps/dependency_set.h"
+#include "schema/catalog.h"
+#include "symbols/symbol_table.h"
+
+namespace cqchase {
+
+// A self-contained problem instance. The unique_ptrs keep the catalog and
+// symbol-table addresses stable, so the queries' internal pointers survive
+// moves of the Scenario itself.
+struct Scenario {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<SymbolTable> symbols;
+  DependencySet deps;
+  std::vector<ConjunctiveQuery> queries;
+};
+
+// Introduction example: EMP(eno, sal, dept), DEP(dept, loc);
+//   Σ = { EMP[dept] ⊆ DEP[dept] };
+//   queries[0] = Q1 = {(e): ∃s,d,l EMP(e,s,d) ∧ DEP(d,l)};
+//   queries[1] = Q2 = {(e): ∃s,d   EMP(e,s,d)}.
+// Q1 ≡ Q2 under Σ; Q1 ⊆ Q2 but not conversely without Σ.
+Scenario EmpDepScenario();
+
+// Figure 1 example: R(3), S(3), T(2);
+//   Σ = { R[1] ⊆ T[1],  R[1,3] ⊆ S[1,2],  S[1,3] ⊆ R[1,2] };
+//   queries[0] = Q = {(c): ∃a,b R(a,b,c)}.
+// Both the O-chase and the R-chase of Q are infinite.
+Scenario Fig1Scenario();
+
+// Section 4 example: R(2);
+//   Σ = { R: 2 → 1,  R[2] ⊆ R[1] };
+//   queries[0] = Q1 = {(x): ∃y R(x,y)};
+//   queries[1] = Q2 = {(x): ∃y,y' R(x,y) ∧ R(y',x)}.
+// Q1 ≡f Q2 (equivalent on every finite Σ-database) yet Q1 ⊄∞ Q2.
+Scenario Section4Scenario();
+
+// A key-based variant of the EMP/DEP schema for Theorem 2 case (ii):
+//   Σ = { EMP: eno → sal, EMP: eno → dept, DEP: dept → loc,
+//         EMP[dept] ⊆ DEP[dept] };
+//   queries as in EmpDepScenario().
+Scenario KeyBasedEmpDepScenario();
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_GEN_SCENARIOS_H_

@@ -1,0 +1,48 @@
+#include "inference/fd_inference.h"
+
+#include <algorithm>
+
+namespace cqchase {
+
+std::vector<uint32_t> AttributeClosure(const DependencySet& deps,
+                                       RelationId relation,
+                                       std::vector<uint32_t> attributes) {
+  std::sort(attributes.begin(), attributes.end());
+  attributes.erase(std::unique(attributes.begin(), attributes.end()),
+                   attributes.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : deps.fds()) {
+      if (fd.relation != relation) continue;
+      if (std::binary_search(attributes.begin(), attributes.end(), fd.rhs)) {
+        continue;
+      }
+      bool lhs_covered = std::all_of(
+          fd.lhs.begin(), fd.lhs.end(), [&](uint32_t c) {
+            return std::binary_search(attributes.begin(), attributes.end(), c);
+          });
+      if (lhs_covered) {
+        attributes.insert(
+            std::upper_bound(attributes.begin(), attributes.end(), fd.rhs),
+            fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return attributes;
+}
+
+bool FdImplied(const DependencySet& deps, const FunctionalDependency& fd) {
+  std::vector<uint32_t> closure =
+      AttributeClosure(deps, fd.relation, fd.lhs);
+  return std::binary_search(closure.begin(), closure.end(), fd.rhs);
+}
+
+bool IsSuperkey(const DependencySet& deps, const Catalog& catalog,
+                RelationId relation, const std::vector<uint32_t>& key) {
+  std::vector<uint32_t> closure = AttributeClosure(deps, relation, key);
+  return closure.size() == catalog.arity(relation);
+}
+
+}  // namespace cqchase

@@ -1,0 +1,30 @@
+// FD implication via Armstrong attribute-set closure — the polynomial-time
+// baseline the paper contrasts with IND inference (PSPACE-complete) and
+// FD+IND inference (undecidable, Mitchell).
+#ifndef CQCHASE_INFERENCE_FD_INFERENCE_H_
+#define CQCHASE_INFERENCE_FD_INFERENCE_H_
+
+#include <vector>
+
+#include "deps/dependency_set.h"
+
+namespace cqchase {
+
+// The closure of `attributes` (column indices of `relation`) under the FDs
+// of `deps` that concern `relation`. Sorted, duplicate-free.
+std::vector<uint32_t> AttributeClosure(const DependencySet& deps,
+                                       RelationId relation,
+                                       std::vector<uint32_t> attributes);
+
+// True iff deps ⊨ fd (for FDs this is the same for finite and unrestricted
+// implication).
+bool FdImplied(const DependencySet& deps, const FunctionalDependency& fd);
+
+// True iff `key` (column indices) functionally determines every attribute of
+// `relation` under the FDs of `deps`.
+bool IsSuperkey(const DependencySet& deps, const Catalog& catalog,
+                RelationId relation, const std::vector<uint32_t>& key);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_INFERENCE_FD_INFERENCE_H_

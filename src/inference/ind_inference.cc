@@ -1,0 +1,186 @@
+#include "inference/ind_inference.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "base/string_util.h"
+#include "cq/query.h"
+
+namespace cqchase {
+
+namespace {
+
+// A BFS node: relation + ordered column sequence of the target's width.
+// The node (R, X) stands for the derivable IND goal[lhs] ⊆ R[X].
+using Node = std::pair<RelationId, std::vector<uint32_t>>;
+
+// Applies one given IND to a node by projection-and-permutation followed by
+// transitivity: if node = (R, X) and the given is R[A] ⊆ S[B], and every X_j
+// occurs in A (IND sides are duplicate-free, so positions are unique), the
+// successor is (S, (B at those positions)).
+std::optional<Node> Follow(const Node& node, const InclusionDependency& ind) {
+  if (node.first != ind.lhs_relation) return std::nullopt;
+  std::vector<uint32_t> image;
+  image.reserve(node.second.size());
+  for (uint32_t col : node.second) {
+    std::optional<size_t> pos;
+    for (size_t i = 0; i < ind.lhs_columns.size(); ++i) {
+      if (ind.lhs_columns[i] == col) {
+        pos = i;
+        break;
+      }
+    }
+    if (!pos.has_value()) return std::nullopt;
+    image.push_back(ind.rhs_columns[*pos]);
+  }
+  return Node{ind.rhs_relation, std::move(image)};
+}
+
+}  // namespace
+
+std::string IndDerivation::ToString(const DependencySet& deps,
+                                    const Catalog& catalog,
+                                    const InclusionDependency& target) const {
+  Node node{target.lhs_relation, target.lhs_columns};
+  InclusionDependency so_far;
+  so_far.lhs_relation = target.lhs_relation;
+  so_far.lhs_columns = target.lhs_columns;
+  so_far.rhs_relation = node.first;
+  so_far.rhs_columns = node.second;
+  std::string out = StrCat(so_far.ToString(catalog), "   (reflexivity)\n");
+  for (uint32_t k : ind_chain) {
+    std::optional<Node> next = Follow(node, deps.inds()[k]);
+    if (!next.has_value()) return out + "  <invalid derivation>\n";
+    node = *next;
+    so_far.rhs_relation = node.first;
+    so_far.rhs_columns = node.second;
+    out += StrCat(so_far.ToString(catalog),
+                  "   (project/permute given IND #", k,
+                  " = ", deps.inds()[k].ToString(catalog),
+                  ", then transitivity)\n");
+  }
+  return out;
+}
+
+Result<std::optional<IndDerivation>> DeriveInd(
+    const DependencySet& deps, const Catalog& catalog,
+    const InclusionDependency& ind, const IndInferenceLimits& limits) {
+  if (!deps.ContainsOnlyInds()) {
+    return Status::FailedPrecondition(
+        "DeriveInd requires an IND-only dependency set");
+  }
+  CQCHASE_RETURN_IF_ERROR(ValidateInd(ind, catalog));
+
+  const Node start{ind.lhs_relation, ind.lhs_columns};
+  const Node goal{ind.rhs_relation, ind.rhs_columns};
+  if (start == goal) {
+    return std::optional<IndDerivation>(IndDerivation{});  // reflexivity
+  }
+
+  // BFS recording, per visited node, which (predecessor, given-IND) reached
+  // it first, so the shortest derivation can be read back.
+  std::map<Node, std::pair<Node, uint32_t>> parent;
+  std::deque<Node> frontier;
+  parent.emplace(start, std::pair<Node, uint32_t>{start, 0});
+  frontier.push_back(start);
+  auto read_back = [&](Node node) {
+    IndDerivation derivation;
+    while (node != start) {
+      const auto& [prev, k] = parent.at(node);
+      derivation.ind_chain.push_back(k);
+      node = prev;
+    }
+    std::reverse(derivation.ind_chain.begin(), derivation.ind_chain.end());
+    return derivation;
+  };
+  while (!frontier.empty()) {
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+    for (uint32_t k = 0; k < deps.inds().size(); ++k) {
+      std::optional<Node> next = Follow(node, deps.inds()[k]);
+      if (!next.has_value()) continue;
+      if (parent.count(*next) > 0) continue;
+      parent.emplace(*next, std::pair<Node, uint32_t>{node, k});
+      if (*next == goal) {
+        return std::optional<IndDerivation>(read_back(goal));
+      }
+      if (parent.size() > limits.max_states) {
+        return Status::ResourceExhausted(
+            StrCat("IND inference exceeded max_states=", limits.max_states));
+      }
+      frontier.push_back(std::move(*next));
+    }
+  }
+  return std::optional<IndDerivation>();
+}
+
+Result<bool> IndImpliedAxiomatic(const DependencySet& deps,
+                                 const Catalog& catalog,
+                                 const InclusionDependency& ind,
+                                 const IndInferenceLimits& limits) {
+  CQCHASE_ASSIGN_OR_RETURN(std::optional<IndDerivation> derivation,
+                           DeriveInd(deps, catalog, ind, limits));
+  return derivation.has_value();
+}
+
+Result<bool> IndImpliedViaContainment(const DependencySet& deps,
+                                      const Catalog& catalog,
+                                      const InclusionDependency& ind,
+                                      const ContainmentOptions& options) {
+  if (!deps.ContainsOnlyInds()) {
+    return Status::FailedPrecondition(
+        "IndImpliedViaContainment requires an IND-only dependency set");
+  }
+  CQCHASE_RETURN_IF_ERROR(ValidateInd(ind, catalog));
+
+  // The Corollary 2.3 construction (generalized to arbitrary column lists):
+  //   Q  = {(x_1..x_w) : ∃ȳ  R(..x at X.., ȳ elsewhere)}
+  //   Q' = {(x_1..x_w) : ∃ȳ,z̄  R(..x at X..) ∧ S(..x at Y.., z̄ elsewhere)}
+  // Then deps ⊨ R[X] ⊆ S[Y]  iff  deps ⊨ Q ⊆∞ Q'.
+  SymbolTable symbols;
+  std::vector<Term> xs;
+  xs.reserve(ind.width());
+  for (size_t i = 0; i < ind.width(); ++i) {
+    xs.push_back(symbols.InternDistVar(StrCat("x", i)));
+  }
+
+  Fact r_conjunct;
+  r_conjunct.relation = ind.lhs_relation;
+  r_conjunct.terms.resize(catalog.arity(ind.lhs_relation));
+  for (size_t i = 0; i < ind.width(); ++i) {
+    r_conjunct.terms[ind.lhs_columns[i]] = xs[i];
+  }
+  for (Term& t : r_conjunct.terms) {
+    if (!t.is_valid()) t = symbols.MakeFreshNondistVar("y");
+  }
+
+  Fact s_conjunct;
+  s_conjunct.relation = ind.rhs_relation;
+  s_conjunct.terms.resize(catalog.arity(ind.rhs_relation));
+  for (size_t i = 0; i < ind.width(); ++i) {
+    s_conjunct.terms[ind.rhs_columns[i]] = xs[i];
+  }
+  for (Term& t : s_conjunct.terms) {
+    if (!t.is_valid()) t = symbols.MakeFreshNondistVar("z");
+  }
+
+  ConjunctiveQuery q(&catalog, &symbols);
+  q.AddConjunct(r_conjunct);
+  q.SetSummary(xs);
+
+  ConjunctiveQuery q_prime(&catalog, &symbols);
+  q_prime.AddConjunct(r_conjunct);
+  // Same-relation INDs can make the two conjuncts identical when X == Y;
+  // the query remains valid because we only add a distinct S-conjunct.
+  if (s_conjunct != r_conjunct) q_prime.AddConjunct(s_conjunct);
+  q_prime.SetSummary(xs);
+
+  CQCHASE_ASSIGN_OR_RETURN(
+      ContainmentReport report,
+      CheckContainment(q, q_prime, deps, symbols, options));
+  return report.contained;
+}
+
+}  // namespace cqchase

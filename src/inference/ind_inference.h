@@ -1,0 +1,70 @@
+// IND implication — the problem Corollary 2.3 reduces from.
+//
+// Two independent deciders are provided:
+//
+//  1. IndImpliedAxiomatic: forward search over the Casanova–Fagin–
+//     Papadimitriou proof system (reflexivity; projection-and-permutation;
+//     transitivity), which is sound and complete for IND-only sets, where
+//     finite and unrestricted implication coincide. Derivations are
+//     normalized to "project each given IND, then chain by transitivity",
+//     so the search is a BFS over (relation, column-sequence) nodes of the
+//     target's width — polynomial for fixed width, per the paper's remark
+//     after Corollary 2.3.
+//
+//  2. IndImpliedViaContainment: the paper's reduction (proof of Cor. 2.3):
+//     Σ ⊨ R[X] ⊆ S[Y] iff Σ ⊨ Q ⊆∞ Q', where Q projects X out of one
+//     R-conjunct and Q' additionally requires an S-conjunct carrying the
+//     same values in Y.
+//
+// Tests and benchmarks cross-validate the two.
+#ifndef CQCHASE_INFERENCE_IND_INFERENCE_H_
+#define CQCHASE_INFERENCE_IND_INFERENCE_H_
+
+#include "core/containment.h"
+#include "deps/dependency_set.h"
+
+namespace cqchase {
+
+struct IndInferenceLimits {
+  // Cap on BFS states (nodes are (relation, column-sequence) pairs).
+  size_t max_states = 1 << 20;
+};
+
+// Decides deps ⊨ ind by proof search. `deps` must contain only INDs
+// (kFailedPrecondition otherwise).
+Result<bool> IndImpliedAxiomatic(const DependencySet& deps,
+                                 const Catalog& catalog,
+                                 const InclusionDependency& ind,
+                                 const IndInferenceLimits& limits = {});
+
+// A derivation in the CFP proof system: starting from the target's
+// left-hand side, applying the listed given INDs (indices into deps.inds())
+// in order — each by projection-and-permutation followed by transitivity —
+// reaches the target's right-hand side. An empty chain is reflexivity.
+// This is the "short proof" the introduction of the paper promises an
+// NP/PSPACE membership result makes possible.
+struct IndDerivation {
+  std::vector<uint32_t> ind_chain;
+
+  // Renders the chain of intermediate INDs, e.g.
+  //   R[a] <= S[x]   via S-projection of IND #0
+  std::string ToString(const DependencySet& deps, const Catalog& catalog,
+                       const InclusionDependency& target) const;
+};
+
+// Like IndImpliedAxiomatic, but returns the (breadth-first shortest)
+// derivation when the implication holds, nullopt when it does not.
+Result<std::optional<IndDerivation>> DeriveInd(
+    const DependencySet& deps, const Catalog& catalog,
+    const InclusionDependency& ind, const IndInferenceLimits& limits = {});
+
+// Decides deps ⊨ ind by the Corollary 2.3 containment reduction. `deps` must
+// contain only INDs. Builds the two queries of the reduction internally.
+Result<bool> IndImpliedViaContainment(
+    const DependencySet& deps, const Catalog& catalog,
+    const InclusionDependency& ind,
+    const ContainmentOptions& options = {});
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_INFERENCE_IND_INFERENCE_H_

@@ -1,0 +1,134 @@
+#include "opt/cost.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_set>
+
+namespace cqchase {
+
+TableStats::TableStats(const Catalog* catalog) : catalog_(catalog) {
+  stats_.resize(catalog->num_relations());
+  for (RelationId r = 0; r < catalog->num_relations(); ++r) {
+    stats_[r].distinct.assign(catalog->arity(r), 0);
+  }
+}
+
+TableStats TableStats::FromInstance(const Instance& instance) {
+  TableStats stats(&instance.catalog());
+  const Catalog& catalog = instance.catalog();
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    const auto& tuples = instance.tuples(r);
+    RelationStats& rs = stats.stats_[r];
+    rs.cardinality = tuples.size();
+    for (uint32_t col = 0; col < catalog.arity(r); ++col) {
+      std::unordered_set<Term> values;
+      for (const std::vector<Term>& t : tuples) values.insert(t[col]);
+      rs.distinct[col] = values.size();
+    }
+  }
+  return stats;
+}
+
+TableStats TableStats::Uniform(const Catalog& catalog, uint64_t cardinality,
+                               uint64_t distinct) {
+  TableStats stats(&catalog);
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    stats.stats_[r].cardinality = cardinality;
+    stats.stats_[r].distinct.assign(catalog.arity(r), distinct);
+  }
+  return stats;
+}
+
+double EstimateConjunctCardinality(const TableStats& stats, const Fact& fact,
+                                   const std::vector<bool>& bound_positions) {
+  const RelationStats& rs = stats.relation(fact.relation);
+  if (rs.cardinality == 0) return 0.0;
+  double estimate = static_cast<double>(rs.cardinality);
+  // Repeated variables within one conjunct act as one selection per extra
+  // occurrence; track first occurrences.
+  std::set<Term> seen;
+  for (size_t i = 0; i < fact.terms.size(); ++i) {
+    Term t = fact.terms[i];
+    bool selective = false;
+    if (t.is_constant()) {
+      selective = true;
+    } else if (i < bound_positions.size() && bound_positions[i]) {
+      selective = true;
+    } else if (!seen.insert(t).second) {
+      selective = true;  // repeated variable: equality selection
+    }
+    if (selective) {
+      uint64_t d = rs.distinct[i] == 0 ? 1 : rs.distinct[i];
+      estimate /= static_cast<double>(d);
+    }
+  }
+  return std::max(estimate, 1.0);
+}
+
+namespace {
+
+// Positions of `fact` holding a variable already in `bound_vars`.
+std::vector<bool> BoundPositions(const Fact& fact,
+                                 const std::set<Term>& bound_vars) {
+  std::vector<bool> bound(fact.terms.size(), false);
+  for (size_t i = 0; i < fact.terms.size(); ++i) {
+    if (fact.terms[i].is_variable() && bound_vars.count(fact.terms[i]) > 0) {
+      bound[i] = true;
+    }
+  }
+  return bound;
+}
+
+}  // namespace
+
+double EstimatePlanCost(const TableStats& stats,
+                        const ConjunctiveQuery& query) {
+  if (query.is_empty_query()) return 0.0;
+  double cost = 0.0;
+  double intermediate = 1.0;
+  std::set<Term> bound_vars;
+  for (const Fact& fact : query.conjuncts()) {
+    double card =
+        EstimateConjunctCardinality(stats, fact, BoundPositions(fact, bound_vars));
+    intermediate *= card;
+    cost += intermediate;
+    if (cost > std::numeric_limits<double>::max() / 2) {
+      return std::numeric_limits<double>::max();
+    }
+    for (Term t : fact.terms) {
+      if (t.is_variable()) bound_vars.insert(t);
+    }
+  }
+  return cost;
+}
+
+std::vector<size_t> GreedyJoinOrder(const TableStats& stats,
+                                    const ConjunctiveQuery& query) {
+  const std::vector<Fact>& conjuncts = query.conjuncts();
+  std::vector<size_t> order;
+  order.reserve(conjuncts.size());
+  std::vector<bool> placed(conjuncts.size(), false);
+  std::set<Term> bound_vars;
+  for (size_t step = 0; step < conjuncts.size(); ++step) {
+    size_t best = conjuncts.size();
+    double best_card = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (placed[i]) continue;
+      double card = EstimateConjunctCardinality(
+          stats, conjuncts[i], BoundPositions(conjuncts[i], bound_vars));
+      if (card < best_card) {
+        best_card = card;
+        best = i;
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+    for (Term t : conjuncts[best].terms) {
+      if (t.is_variable()) bound_vars.insert(t);
+    }
+  }
+  return order;
+}
+
+}  // namespace cqchase

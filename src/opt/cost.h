@@ -1,0 +1,74 @@
+// A simple textbook cost model for conjunctive-query evaluation, used by the
+// optimizer (src/opt/optimizer.h) to order conjuncts and to quantify the
+// benefit of minimization — the paper's motivating application ("an
+// optimization algorithm ... may still pay for itself even if it yields only
+// a small improvement in the query").
+//
+// The model is deliberately classical: per-relation cardinalities and
+// per-column distinct counts, independence across predicates, and a
+// left-deep nested-loop join whose cost is the sum of intermediate result
+// sizes. Absolute numbers are not the point; the *ordering* of plans is.
+#ifndef CQCHASE_OPT_COST_H_
+#define CQCHASE_OPT_COST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cq/query.h"
+#include "data/instance.h"
+#include "schema/catalog.h"
+
+namespace cqchase {
+
+// Statistics for one relation: row count and per-column distinct-value
+// counts (the classic System-R V(R, A)).
+struct RelationStats {
+  uint64_t cardinality = 0;
+  std::vector<uint64_t> distinct;  // one entry per column
+};
+
+class TableStats {
+ public:
+  explicit TableStats(const Catalog* catalog);
+
+  // Collects exact statistics from a materialized instance.
+  static TableStats FromInstance(const Instance& instance);
+
+  // Uniform synthetic statistics: every relation has `cardinality` rows and
+  // `distinct` distinct values per column. Handy for tests and benches that
+  // have no materialized data.
+  static TableStats Uniform(const Catalog& catalog, uint64_t cardinality,
+                            uint64_t distinct);
+
+  const Catalog& catalog() const { return *catalog_; }
+  const RelationStats& relation(RelationId id) const { return stats_[id]; }
+  RelationStats& mutable_relation(RelationId id) { return stats_[id]; }
+
+ private:
+  const Catalog* catalog_;
+  std::vector<RelationStats> stats_;
+};
+
+// Estimated output cardinality of one conjunct given which of its variables
+// are already bound by earlier conjuncts in a left-deep plan: the relation's
+// cardinality divided by the distinct count of every bound-variable column
+// and every constant column (independence assumption), floored at 1 unless
+// the relation is empty.
+double EstimateConjunctCardinality(const TableStats& stats, const Fact& fact,
+                                   const std::vector<bool>& bound_positions);
+
+// Cost of evaluating `query`'s conjuncts in their current order as a
+// left-deep nested-loop join: the sum of estimated intermediate result
+// sizes. An empty-marked query costs 0.
+double EstimatePlanCost(const TableStats& stats, const ConjunctiveQuery& query);
+
+// Greedy plan ordering: repeatedly picks the unplaced conjunct with the
+// smallest estimated cardinality given the variables bound so far (ties by
+// conjunct order, so the result is deterministic). Returns the permutation
+// of conjunct indices; does not modify the query.
+std::vector<size_t> GreedyJoinOrder(const TableStats& stats,
+                                    const ConjunctiveQuery& query);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_OPT_COST_H_

@@ -1,0 +1,101 @@
+#include "opt/optimizer.h"
+
+#include <set>
+#include <utility>
+
+#include "base/string_util.h"
+#include "chase/chase.h"
+#include "core/minimize.h"
+
+namespace cqchase {
+
+namespace {
+
+size_t DistinctVariableCount(const ConjunctiveQuery& q) {
+  return q.Variables().size();
+}
+
+ConjunctiveQuery Reordered(const ConjunctiveQuery& q,
+                           const std::vector<size_t>& order) {
+  ConjunctiveQuery out(&q.catalog(), &q.symbols());
+  for (size_t i : order) out.AddConjunct(q.conjuncts()[i]);
+  out.SetSummary(q.summary());
+  return out;
+}
+
+}  // namespace
+
+Result<OptimizeReport> OptimizeQuery(const ConjunctiveQuery& q,
+                                     const DependencySet& deps,
+                                     SymbolTable& symbols,
+                                     const OptimizerOptions& options) {
+  OptimizeReport report(q);
+
+  // Pass 1: FD unification — replace Q by its finite FD-only chase.
+  if (options.fd_unification && !deps.fds().empty()) {
+    DependencySet fds = deps.FdsOnly();
+    Chase chase(&q.catalog(), &symbols, &fds, ChaseVariant::kRequired,
+                options.containment.limits);
+    Status init = chase.Init(report.query);
+    if (!init.ok()) return init;
+    Result<ChaseOutcome> outcome = chase.Run();
+    if (!outcome.ok()) return outcome.status();
+    if (*outcome == ChaseOutcome::kEmptyQuery) {
+      ConjunctiveQuery empty(&q.catalog(), &symbols);
+      empty.SetSummary(report.query.summary());
+      empty.MarkEmptyQuery();
+      report.proved_empty = true;
+      report.query = std::move(empty);
+      report.trace.push_back(
+          "fd-unification: constant clash; query is empty under the FDs");
+      return report;
+    }
+    size_t before = DistinctVariableCount(report.query);
+    report.query = chase.AsQuery();
+    size_t after = DistinctVariableCount(report.query);
+    report.variables_unified = before - after;
+    report.trace.push_back(StrCat("fd-unification: ", report.variables_unified,
+                                  " variable(s) merged, ", before, " -> ",
+                                  after));
+  }
+
+  // Pass 2: Σ-minimization via containment.
+  if (options.minimize && report.query.size() > 1) {
+    Result<MinimizeReport> min = MinimizeQuery(report.query, deps, symbols,
+                                               options.containment);
+    if (!min.ok()) return min.status();
+    report.conjuncts_removed = min->removed_conjuncts;
+    report.containment_checks = min->containment_checks;
+    size_t before = report.query.size();
+    report.query = std::move(min->query);
+    report.trace.push_back(StrCat("minimize: ", report.conjuncts_removed,
+                                  " conjunct(s) removed, ", before, " -> ",
+                                  report.query.size(), " (",
+                                  report.containment_checks,
+                                  " containment check(s))"));
+  }
+
+  // Pass 3: greedy join reordering (physical only).
+  if (options.reorder_joins && report.query.size() > 1) {
+    TableStats stats = options.stats.has_value()
+                           ? *options.stats
+                           : TableStats::Uniform(q.catalog(), 1000, 10);
+    report.cost_before_reorder = EstimatePlanCost(stats, report.query);
+    std::vector<size_t> order = GreedyJoinOrder(stats, report.query);
+    ConjunctiveQuery reordered = Reordered(report.query, order);
+    report.cost_after_reorder = EstimatePlanCost(stats, reordered);
+    // Keep the cheaper of the two (greedy is a heuristic; never regress).
+    if (report.cost_after_reorder <= report.cost_before_reorder) {
+      report.query = std::move(reordered);
+    } else {
+      report.cost_after_reorder = report.cost_before_reorder;
+    }
+    report.trace.push_back(StrCat("reorder: estimated cost ",
+                                  report.cost_before_reorder, " -> ",
+                                  report.cost_after_reorder));
+  }
+
+  return report;
+}
+
+}  // namespace cqchase

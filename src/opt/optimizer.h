@@ -1,0 +1,81 @@
+// Dependency-aware conjunctive-query optimizer — the application that
+// motivates the paper's containment machinery. Three rewrite passes, each
+// individually toggleable (the benches ablate them):
+//
+//  1. FD unification ("tableau simplification"): replace Q by its finite
+//     FD-only chase chase_Σ[F](Q). This merges variables the FDs force
+//     equal and can discover contradictions (empty query); the result is
+//     Σ-equivalent to Q.
+//  2. Σ-minimization: greedily drop conjuncts c with Σ ⊨ Q−c ⊆ Q
+//     (core/minimize.h). Under the intro's IND this removes the DEP join
+//     from Q1, turning it into Q2.
+//  3. Join reordering: permute conjuncts into the greedy minimum-estimated-
+//     cardinality order for a left-deep plan (opt/cost.h). Purely physical —
+//     the query is unchanged as a mapping.
+//
+// Passes 1 and 2 shrink the query (fewer joins); pass 3 shrinks intermediate
+// results. OptimizeReport records what each pass did, so callers can show
+// their work (see examples/emp_dep_optimizer.cc).
+#ifndef CQCHASE_OPT_OPTIMIZER_H_
+#define CQCHASE_OPT_OPTIMIZER_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/containment.h"
+#include "cq/query.h"
+#include "deps/dependency_set.h"
+#include "opt/cost.h"
+
+namespace cqchase {
+
+struct OptimizerOptions {
+  bool fd_unification = true;
+  bool minimize = true;
+  bool reorder_joins = true;
+  // Statistics for the reordering pass; when unset, uniform stats are used
+  // (every relation 1000 rows, 10 distinct values per column).
+  std::optional<TableStats> stats;
+  // Passed through to the containment checks of the minimization pass.
+  ContainmentOptions containment;
+};
+
+struct OptimizeReport {
+  explicit OptimizeReport(ConjunctiveQuery q) : query(std::move(q)) {}
+
+  ConjunctiveQuery query;  // the optimized query (Σ-equivalent to the input)
+
+  // Pass 1: how many distinct variables FD unification eliminated, and
+  // whether it proved the query empty.
+  size_t variables_unified = 0;
+  bool proved_empty = false;
+
+  // Pass 2: conjuncts dropped and containment checks spent.
+  size_t conjuncts_removed = 0;
+  size_t containment_checks = 0;
+
+  // Pass 3: estimated plan cost before/after reordering (same stats).
+  double cost_before_reorder = 0.0;
+  double cost_after_reorder = 0.0;
+
+  // Human-readable pass-by-pass trace.
+  std::vector<std::string> trace;
+};
+
+// Optimizes `q` under Σ. The result is infinitely equivalent to `q` on every
+// database satisfying `deps` (passes 1-2 are containment-certified; pass 3
+// is order-only). `symbols` is mutated by internal chases.
+//
+// Requires `deps` to be in one of the decidable classes of containment.h
+// (empty / FD-only / IND-only / key-based) unless
+// options.containment.allow_semidecision is set.
+Result<OptimizeReport> OptimizeQuery(const ConjunctiveQuery& q,
+                                     const DependencySet& deps,
+                                     SymbolTable& symbols,
+                                     const OptimizerOptions& options = {});
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_OPT_OPTIMIZER_H_

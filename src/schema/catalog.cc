@@ -1,0 +1,58 @@
+#include "schema/catalog.h"
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+RelationSchema::RelationSchema(std::string name,
+                               std::vector<std::string> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {
+  for (uint32_t i = 0; i < attributes_.size(); ++i) {
+    attribute_index_.emplace(attributes_[i], i);
+  }
+}
+
+std::optional<uint32_t> RelationSchema::AttributeIndex(
+    std::string_view attr) const {
+  auto it = attribute_index_.find(std::string(attr));
+  if (it == attribute_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<RelationId> Catalog::AddRelation(std::string name,
+                                        std::vector<std::string> attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument(
+        StrCat("relation '", name, "' must have at least one attribute"));
+  }
+  if (relation_index_.count(name) > 0) {
+    return Status::InvalidArgument(StrCat("duplicate relation '", name, "'"));
+  }
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    for (size_t j = i + 1; j < attributes.size(); ++j) {
+      if (attributes[i] == attributes[j]) {
+        return Status::InvalidArgument(StrCat("relation '", name,
+                                              "' has duplicate attribute '",
+                                              attributes[i], "'"));
+      }
+    }
+  }
+  RelationId id = static_cast<RelationId>(relations_.size());
+  relation_index_.emplace(name, id);
+  relations_.emplace_back(std::move(name), std::move(attributes));
+  return id;
+}
+
+std::optional<RelationId> Catalog::FindRelation(std::string_view name) const {
+  auto it = relation_index_.find(std::string(name));
+  if (it == relation_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Catalog::ToString() const {
+  return StrJoinMapped(relations_, "; ", [](const RelationSchema& r) {
+    return StrCat(r.name(), "(", StrJoin(r.attributes(), ", "), ")");
+  });
+}
+
+}  // namespace cqchase

@@ -1,0 +1,71 @@
+// Relation schemes and catalogs (Section 2 of the paper).
+//
+// A RelationSchema is an ordered sequence of named attributes; a Catalog is a
+// database scheme — the set of relation schemes a query's input scheme and a
+// database instance must conform to. Relations and attributes are addressed
+// by dense indices for speed; names are kept for parsing and printing.
+#ifndef CQCHASE_SCHEMA_CATALOG_H_
+#define CQCHASE_SCHEMA_CATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace cqchase {
+
+// Dense id of a relation within a Catalog.
+using RelationId = uint32_t;
+
+class RelationSchema {
+ public:
+  RelationSchema(std::string name, std::vector<std::string> attributes);
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attributes_.size(); }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  const std::string& attribute(size_t i) const { return attributes_[i]; }
+
+  // Index of the attribute with the given name, or nullopt.
+  std::optional<uint32_t> AttributeIndex(std::string_view attr) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+  std::unordered_map<std::string, uint32_t> attribute_index_;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Adds a relation scheme. Fails with kInvalidArgument on duplicate relation
+  // names, duplicate attribute names within one relation, or zero arity.
+  Result<RelationId> AddRelation(std::string name,
+                                 std::vector<std::string> attributes);
+
+  size_t num_relations() const { return relations_.size(); }
+  const RelationSchema& relation(RelationId id) const {
+    return relations_[id];
+  }
+
+  std::optional<RelationId> FindRelation(std::string_view name) const;
+
+  // Convenience: arity of relation `id`.
+  size_t arity(RelationId id) const { return relations_[id].arity(); }
+
+  // Renders the scheme, e.g. "EMP(emp, sal, dept); DEP(dept, loc)".
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::unordered_map<std::string, RelationId> relation_index_;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_SCHEMA_CATALOG_H_

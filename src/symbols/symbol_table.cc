@@ -1,0 +1,108 @@
+#include "symbols/symbol_table.h"
+
+#include <cassert>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+std::vector<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) {
+  switch (kind) {
+    case TermKind::kConstant:
+      return constants_;
+    case TermKind::kDistVar:
+      return dist_vars_;
+    case TermKind::kNondistVar:
+      return nondist_vars_;
+  }
+  assert(false);
+  return nondist_vars_;
+}
+
+const std::vector<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) const {
+  return const_cast<SymbolTable*>(this)->pool(kind);
+}
+
+Term SymbolTable::Intern(TermKind kind, std::string_view name) {
+  auto& index = kind == TermKind::kConstant  ? constant_index_
+                : kind == TermKind::kDistVar ? dist_var_index_
+                                             : nondist_var_index_;
+  auto it = index.find(std::string(name));
+  if (it != index.end()) return Term(kind, it->second);
+  auto& p = pool(kind);
+  uint32_t id = static_cast<uint32_t>(p.size());
+  p.push_back(Entry{std::string(name), std::nullopt});
+  index.emplace(std::string(name), id);
+  return Term(kind, id);
+}
+
+Term SymbolTable::InternConstant(std::string_view name) {
+  return Intern(TermKind::kConstant, name);
+}
+
+Term SymbolTable::InternDistVar(std::string_view name) {
+  return Intern(TermKind::kDistVar, name);
+}
+
+Term SymbolTable::InternNondistVar(std::string_view name) {
+  return Intern(TermKind::kNondistVar, name);
+}
+
+Term SymbolTable::MakeChaseNdv(const NdvProvenance& provenance) {
+  uint32_t id = static_cast<uint32_t>(nondist_vars_.size());
+  std::string name =
+      StrCat("n", id, "[A", provenance.attribute_index, ",c",
+             provenance.source_conjunct, ",i", provenance.ind_index, ",L",
+             provenance.level, "]");
+  nondist_vars_.push_back(Entry{std::move(name), provenance});
+  nondist_var_index_.emplace(nondist_vars_.back().name, id);
+  return Term(TermKind::kNondistVar, id);
+}
+
+Term SymbolTable::MakeFreshNondistVar(std::string_view name_hint) {
+  std::string name = StrCat(name_hint, "#", fresh_counter_++);
+  return Intern(TermKind::kNondistVar, name);
+}
+
+Term SymbolTable::MakeFreshConstant(std::string_view name_hint) {
+  std::string name = StrCat(name_hint, "#", fresh_counter_++);
+  return Intern(TermKind::kConstant, name);
+}
+
+std::optional<Term> SymbolTable::Find(TermKind kind,
+                                      std::string_view name) const {
+  const auto& index = kind == TermKind::kConstant  ? constant_index_
+                      : kind == TermKind::kDistVar ? dist_var_index_
+                                                   : nondist_var_index_;
+  auto it = index.find(std::string(name));
+  if (it == index.end()) return std::nullopt;
+  return Term(kind, it->second);
+}
+
+const std::string& SymbolTable::Name(Term t) const {
+  const auto& p = pool(t.kind());
+  assert(t.id() < p.size());
+  return p[t.id()].name;
+}
+
+std::string SymbolTable::DisplayName(Term t) const {
+  const std::string& name = Name(t);
+  if (!t.is_constant()) return name;
+  bool numeric = !name.empty();
+  for (char c : name) {
+    if (c < '0' || c > '9') {
+      numeric = false;
+      break;
+    }
+  }
+  if (numeric) return name;
+  return "'" + name + "'";
+}
+
+std::optional<NdvProvenance> SymbolTable::Provenance(Term t) const {
+  const auto& p = pool(t.kind());
+  assert(t.id() < p.size());
+  return p[t.id()].provenance;
+}
+
+}  // namespace cqchase

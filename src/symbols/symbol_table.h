@@ -1,0 +1,106 @@
+// SymbolTable: the shared universe of symbols (constants, DVs, NDVs) for one
+// containment problem. Queries, chases and database instances built against
+// the same table can be compared and mapped into each other directly — the
+// device Theorem 1 of the paper relies on ("view the chase as a database").
+//
+// The table also implements the paper's chase-NDV naming scheme: when the IND
+// chase rule introduces a fresh NDV, its identity encodes the attribute, the
+// source conjunct, the IND applied and the level of the created conjunct, and
+// its position in the lexicographic order follows every symbol created
+// earlier (guaranteed here because order == creation order within a kind).
+#ifndef CQCHASE_SYMBOLS_SYMBOL_TABLE_H_
+#define CQCHASE_SYMBOLS_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "symbols/term.h"
+
+namespace cqchase {
+
+// Provenance of an NDV created by the IND chase rule (see "IND CHASE RULE",
+// Section 3): which attribute column it fills, which conjunct and IND caused
+// its creation, and the level of the created conjunct.
+struct NdvProvenance {
+  uint32_t attribute_index = 0;  // column in the created conjunct
+  uint64_t source_conjunct = 0;  // id of the conjunct the IND was applied to
+  uint32_t ind_index = 0;        // index of the IND in the DependencySet
+  uint32_t level = 0;            // level of the created conjunct
+};
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // SymbolTables are identity objects shared by reference; copying one would
+  // silently fork the symbol universe.
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  // Interns a constant by name. Repeated calls with the same name return the
+  // same Term (constants compare equal iff their names are equal).
+  Term InternConstant(std::string_view name);
+
+  // Interns a distinguished / nondistinguished variable by name. Variables
+  // of different kinds live in separate namespaces.
+  Term InternDistVar(std::string_view name);
+  Term InternNondistVar(std::string_view name);
+
+  // Creates a fresh NDV for the IND chase rule. The generated name encodes
+  // the provenance, e.g. "n17[A2,c5,i1,L3]"; the creation index guarantees it
+  // lexicographically follows all earlier symbols.
+  Term MakeChaseNdv(const NdvProvenance& provenance);
+
+  // Creates a fresh anonymous NDV (used by generators and by the Theorem 3
+  // Q* construction's special z_A symbols).
+  Term MakeFreshNondistVar(std::string_view name_hint);
+
+  // Creates a fresh constant with a unique name derived from the hint.
+  Term MakeFreshConstant(std::string_view name_hint);
+
+  // Looks up an interned symbol by kind+name; nullopt if absent.
+  std::optional<Term> Find(TermKind kind, std::string_view name) const;
+
+  // Printable name of a term. Terms must belong to this table.
+  const std::string& Name(Term t) const;
+
+  // Rendering for query text that must re-parse: constants are quoted
+  // ('acme') unless purely numeric (42); variables render as their names.
+  std::string DisplayName(Term t) const;
+
+  // Provenance of a chase-created NDV; nullopt for other terms.
+  std::optional<NdvProvenance> Provenance(Term t) const;
+
+  size_t num_constants() const { return constants_.size(); }
+  size_t num_dist_vars() const { return dist_vars_.size(); }
+  size_t num_nondist_vars() const { return nondist_vars_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::optional<NdvProvenance> provenance;
+  };
+
+  std::vector<Entry>& pool(TermKind kind);
+  const std::vector<Entry>& pool(TermKind kind) const;
+
+  Term Intern(TermKind kind, std::string_view name);
+
+  std::vector<Entry> constants_;
+  std::vector<Entry> dist_vars_;
+  std::vector<Entry> nondist_vars_;
+  std::unordered_map<std::string, uint32_t> constant_index_;
+  std::unordered_map<std::string, uint32_t> dist_var_index_;
+  std::unordered_map<std::string, uint32_t> nondist_var_index_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_SYMBOLS_SYMBOL_TABLE_H_

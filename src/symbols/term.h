@@ -1,0 +1,80 @@
+// Term: a symbol occurring in a conjunctive query, a chase, or a database
+// instance. Following Johnson & Klug (Section 2), a term is a constant, a
+// distinguished variable (DV) or a nondistinguished variable (NDV).
+//
+// Terms are lightweight value types: a kind plus an index into a SymbolTable.
+// The total order on terms implements the paper's lexicographic convention:
+// constants come first (the FD chase rule always prefers a constant as merge
+// representative), then DVs, then NDVs ("DVs are assumed always to precede
+// NDVs"), and within one kind, creation order — which makes chase-created
+// NDVs "follow all previously introduced symbols", exactly as the paper's
+// NDV-naming scheme requires.
+#ifndef CQCHASE_SYMBOLS_TERM_H_
+#define CQCHASE_SYMBOLS_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+#include "base/hash.h"
+
+namespace cqchase {
+
+enum class TermKind : uint8_t {
+  kConstant = 0,
+  kDistVar = 1,     // distinguished variable
+  kNondistVar = 2,  // nondistinguished variable
+};
+
+class Term {
+ public:
+  // Default-constructed terms are an invalid sentinel; usable in containers.
+  Term() : kind_(TermKind::kNondistVar), id_(kInvalidId) {}
+  Term(TermKind kind, uint32_t id) : kind_(kind), id_(id) {}
+
+  static constexpr uint32_t kInvalidId = 0xffffffffu;
+  static Term Invalid() { return Term(); }
+
+  TermKind kind() const { return kind_; }
+  uint32_t id() const { return id_; }
+
+  bool is_valid() const { return id_ != kInvalidId; }
+  bool is_constant() const { return kind_ == TermKind::kConstant; }
+  bool is_variable() const { return kind_ != TermKind::kConstant; }
+  bool is_dist_var() const { return kind_ == TermKind::kDistVar; }
+  bool is_nondist_var() const { return kind_ == TermKind::kNondistVar; }
+
+  friend bool operator==(Term a, Term b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(Term a, Term b) { return !(a == b); }
+
+  // Lexicographic order used by the FD chase rule's tie-breaking: constants
+  // before DVs before NDVs; within a kind, earlier-created (smaller id)
+  // first.
+  friend bool operator<(Term a, Term b) {
+    return std::tuple(static_cast<int>(a.kind_), a.id_) <
+           std::tuple(static_cast<int>(b.kind_), b.id_);
+  }
+  friend bool operator<=(Term a, Term b) { return a < b || a == b; }
+  friend bool operator>(Term a, Term b) { return b < a; }
+  friend bool operator>=(Term a, Term b) { return b <= a; }
+
+  size_t hash() const {
+    return HashCombine(static_cast<size_t>(kind_) + 1,
+                       static_cast<size_t>(id_));
+  }
+
+ private:
+  TermKind kind_;
+  uint32_t id_;
+};
+
+}  // namespace cqchase
+
+template <>
+struct std::hash<cqchase::Term> {
+  size_t operator()(cqchase::Term t) const { return t.hash(); }
+};
+
+#endif  // CQCHASE_SYMBOLS_TERM_H_

@@ -1,0 +1,182 @@
+// Dependency-set analysis: IND-graph acyclicity (a chase-termination
+// guarantee the paper's Figure 1 example violates) and CFP derivations — the
+// "short proofs" an NP/PSPACE membership result promises.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "chase/chase.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+#include "inference/ind_inference.h"
+
+namespace cqchase {
+namespace {
+
+// --- IND-graph acyclicity ----------------------------------------------------
+
+TEST(IndGraphTest, AcyclicChainHasPathLength) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("A", {"x"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("B", {"x"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("C", {"x"}).ok());
+  DependencySet deps =
+      *ParseDependencies(catalog, "A[1] <= B[1]\nB[1] <= C[1]");
+  ASSERT_TRUE(deps.IndGraphAcyclic(catalog));
+  EXPECT_EQ(*deps.MaxIndPathLength(catalog), 2u);
+}
+
+TEST(IndGraphTest, SelfLoopIsCyclic) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  DependencySet deps = *ParseDependencies(catalog, "R[2] <= R[1]");
+  EXPECT_FALSE(deps.IndGraphAcyclic(catalog));
+  EXPECT_EQ(deps.MaxIndPathLength(catalog), std::nullopt);
+}
+
+TEST(IndGraphTest, Figure1SigmaIsCyclic) {
+  Scenario s = Fig1Scenario();  // R -> S -> R cycle
+  EXPECT_FALSE(s.deps.IndGraphAcyclic(*s.catalog));
+}
+
+TEST(IndGraphTest, EmptyAndFdOnlySetsAreAcyclic) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  DependencySet empty;
+  EXPECT_TRUE(empty.IndGraphAcyclic(catalog));
+  EXPECT_EQ(*empty.MaxIndPathLength(catalog), 0u);
+  DependencySet fd = *ParseDependencies(catalog, "R: 1 -> 2");
+  EXPECT_TRUE(fd.IndGraphAcyclic(catalog));
+}
+
+TEST(IndGraphTest, AcyclicSigmaGuaranteesChaseTermination) {
+  // Both chase disciplines saturate within MaxIndPathLength levels.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("A", {"x", "y"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("B", {"x", "y"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("C", {"x", "y"}).ok());
+  SymbolTable symbols;
+  DependencySet deps = *ParseDependencies(
+      catalog, "A[1] <= B[1]\nA[2] <= B[2]\nB[1] <= C[2]");
+  ASSERT_TRUE(deps.IndGraphAcyclic(catalog));
+  const uint32_t path = *deps.MaxIndPathLength(catalog);
+  ConjunctiveQuery q = *ParseQuery(catalog, symbols, "ans(u) :- A(u, v)");
+  for (ChaseVariant variant :
+       {ChaseVariant::kRequired, ChaseVariant::kOblivious}) {
+    Result<Chase> chase =
+        BuildChase(q, deps, symbols, variant, ChaseLimits{});
+    ASSERT_TRUE(chase.ok()) << chase.status();
+    EXPECT_EQ(chase->outcome(), ChaseOutcome::kSaturated);
+    EXPECT_LE(chase->MaxAliveLevel(), path);
+  }
+}
+
+class AcyclicProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AcyclicProperty, AcyclicRandomSigmaChasesSaturate) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 4;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = 3;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  if (!deps.IndGraphAcyclic(catalog)) GTEST_SKIP() << "cyclic draw";
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 3;
+  qp.name_prefix = StrCat("ac", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  Result<Chase> chase = BuildChase(q, deps, symbols,
+                                   ChaseVariant::kRequired, ChaseLimits{});
+  ASSERT_TRUE(chase.ok()) << chase.status();
+  EXPECT_EQ(chase->outcome(), ChaseOutcome::kSaturated);
+  EXPECT_LE(chase->MaxAliveLevel(), *deps.MaxIndPathLength(catalog));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcyclicProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- CFP derivations ---------------------------------------------------------
+
+class DerivationTest : public ::testing::Test {
+ protected:
+  DerivationTest() {
+    EXPECT_TRUE(catalog_.AddRelation("R", {"a", "b", "c"}).ok());
+    EXPECT_TRUE(catalog_.AddRelation("S", {"x", "y", "z"}).ok());
+    EXPECT_TRUE(catalog_.AddRelation("T", {"u", "v"}).ok());
+    deps_ = *ParseDependencies(catalog_,
+                               "R[a,b] <= S[x,y]\n"
+                               "S[x,y] <= R[b,c]\n"
+                               "S[x] <= T[u]");
+  }
+  Catalog catalog_;
+  DependencySet deps_;
+};
+
+TEST_F(DerivationTest, ReflexivityIsTheEmptyChain) {
+  InclusionDependency target = *ParseInd(catalog_, "R[a,b] <= R[a,b]");
+  Result<std::optional<IndDerivation>> d = DeriveInd(deps_, catalog_, target);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->has_value());
+  EXPECT_TRUE((*d)->ind_chain.empty());
+}
+
+TEST_F(DerivationTest, TransitivityChainIsRecovered) {
+  InclusionDependency target = *ParseInd(catalog_, "R[a,b] <= R[b,c]");
+  Result<std::optional<IndDerivation>> d = DeriveInd(deps_, catalog_, target);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->has_value());
+  EXPECT_EQ((*d)->ind_chain, (std::vector<uint32_t>{0, 1}));
+  std::string proof = (*d)->ToString(deps_, catalog_, target);
+  EXPECT_NE(proof.find("transitivity"), std::string::npos);
+  EXPECT_NE(proof.find("reflexivity"), std::string::npos);
+}
+
+TEST_F(DerivationTest, ProjectionAndPermutationAreOneStep) {
+  // R[b,a] <= S[y,x] is the first given IND with both sides permuted.
+  InclusionDependency target = *ParseInd(catalog_, "R[b,a] <= S[y,x]");
+  Result<std::optional<IndDerivation>> d = DeriveInd(deps_, catalog_, target);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(d->has_value());
+  EXPECT_EQ((*d)->ind_chain.size(), 1u);
+}
+
+TEST_F(DerivationTest, NonImpliedHasNoDerivation) {
+  InclusionDependency target = *ParseInd(catalog_, "T[u] <= R[a]");
+  Result<std::optional<IndDerivation>> d = DeriveInd(deps_, catalog_, target);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->has_value());
+}
+
+TEST_F(DerivationTest, DerivationsMatchTheBooleanDecider) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    RelationId r = static_cast<RelationId>(rng.Index(3));
+    RelationId t = static_cast<RelationId>(rng.Index(3));
+    size_t width = 1 + rng.Index(2);
+    if (catalog_.arity(r) < width || catalog_.arity(t) < width) continue;
+    InclusionDependency target;
+    target.lhs_relation = r;
+    target.rhs_relation = t;
+    for (size_t i = 0; i < width; ++i) {
+      target.lhs_columns.push_back(static_cast<uint32_t>(i));
+      target.rhs_columns.push_back(
+          static_cast<uint32_t>((i + rng.Index(2)) % catalog_.arity(t)));
+    }
+    if (!ValidateInd(target, catalog_).ok()) continue;
+    Result<bool> implied = IndImpliedAxiomatic(deps_, catalog_, target);
+    Result<std::optional<IndDerivation>> d =
+        DeriveInd(deps_, catalog_, target);
+    ASSERT_TRUE(implied.ok() && d.ok());
+    EXPECT_EQ(*implied, d->has_value());
+  }
+}
+
+}  // namespace
+}  // namespace cqchase

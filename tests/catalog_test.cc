@@ -1,0 +1,58 @@
+#include "schema/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace cqchase {
+namespace {
+
+TEST(CatalogTest, AddAndLookupRelations) {
+  Catalog c;
+  Result<RelationId> emp = c.AddRelation("EMP", {"eno", "sal", "dept"});
+  ASSERT_TRUE(emp.ok());
+  Result<RelationId> dep = c.AddRelation("DEP", {"dept", "loc"});
+  ASSERT_TRUE(dep.ok());
+  EXPECT_EQ(c.num_relations(), 2u);
+  EXPECT_EQ(c.FindRelation("EMP"), *emp);
+  EXPECT_EQ(c.FindRelation("DEP"), *dep);
+  EXPECT_EQ(c.FindRelation("NOPE"), std::nullopt);
+  EXPECT_EQ(c.arity(*emp), 3u);
+  EXPECT_EQ(c.relation(*dep).name(), "DEP");
+}
+
+TEST(CatalogTest, AttributeIndexLookup) {
+  Catalog c;
+  RelationId r = *c.AddRelation("R", {"a", "b", "c"});
+  EXPECT_EQ(c.relation(r).AttributeIndex("a"), 0u);
+  EXPECT_EQ(c.relation(r).AttributeIndex("c"), 2u);
+  EXPECT_EQ(c.relation(r).AttributeIndex("z"), std::nullopt);
+}
+
+TEST(CatalogTest, RejectsDuplicateRelation) {
+  Catalog c;
+  ASSERT_TRUE(c.AddRelation("R", {"a"}).ok());
+  Result<RelationId> dup = c.AddRelation("R", {"b"});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, RejectsDuplicateAttribute) {
+  Catalog c;
+  Result<RelationId> r = c.AddRelation("R", {"a", "a"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, RejectsZeroArity) {
+  Catalog c;
+  EXPECT_FALSE(c.AddRelation("R", {}).ok());
+}
+
+TEST(CatalogTest, ToStringRendersScheme) {
+  Catalog c;
+  ASSERT_TRUE(c.AddRelation("EMP", {"eno", "sal"}).ok());
+  ASSERT_TRUE(c.AddRelation("DEP", {"dept"}).ok());
+  EXPECT_EQ(c.ToString(), "EMP(eno, sal); DEP(dept)");
+}
+
+}  // namespace
+}  // namespace cqchase

@@ -1,0 +1,187 @@
+#include "core/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+// Builds and fully verifies a certificate, returning it for tamper tests.
+ContainmentCertificate BuildVerified(const ConjunctiveQuery& q,
+                                     const ConjunctiveQuery& q_prime,
+                                     const DependencySet& deps,
+                                     SymbolTable& symbols) {
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(q, q_prime, deps, symbols);
+  EXPECT_TRUE(cert.ok()) << cert.status();
+  EXPECT_TRUE(cert->has_value());
+  Status verified = VerifyCertificate(**cert, q, q_prime, deps, symbols);
+  EXPECT_TRUE(verified.ok()) << verified;
+  return **cert;
+}
+
+TEST(CertificateTest, IntroExampleProducesVerifiableCertificate) {
+  Scenario s = EmpDepScenario();
+  // Q2 ⊆ Q1 needs the IND: the certificate must contain one derivation step
+  // (the DEP conjunct the chase adds).
+  ContainmentCertificate cert =
+      BuildVerified(s.queries[1], s.queries[0], s.deps, *s.symbols);
+  EXPECT_EQ(cert.roots.size(), 1u);
+  EXPECT_EQ(cert.steps.size(), 1u);
+  EXPECT_FALSE(cert.q_is_empty);
+}
+
+TEST(CertificateTest, NoDependencyDirectionNeedsNoSteps) {
+  Scenario s = EmpDepScenario();
+  DependencySet empty;
+  // Q1 ⊆ Q2 holds without dependencies: certificate is pure homomorphism.
+  ContainmentCertificate cert =
+      BuildVerified(s.queries[0], s.queries[1], empty, *s.symbols);
+  EXPECT_TRUE(cert.steps.empty());
+}
+
+TEST(CertificateTest, NonContainmentYieldsNoCertificate) {
+  Scenario s = EmpDepScenario();
+  DependencySet empty;
+  // Q2 ⊆ Q1 fails without the IND.
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(s.queries[1], s.queries[0], empty, *s.symbols);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_FALSE(cert->has_value());
+}
+
+TEST(CertificateTest, KeyBasedScenarioCertifies) {
+  Scenario s = KeyBasedEmpDepScenario();
+  ContainmentCertificate cert =
+      BuildVerified(s.queries[1], s.queries[0], s.deps, *s.symbols);
+  EXPECT_GE(cert.steps.size(), 1u);
+}
+
+TEST(CertificateTest, EmptyQueryCertificate) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet fd = *ParseDependencies(catalog, "R: 1 -> 2");
+  ConjunctiveQuery clash =
+      *ParseQuery(catalog, symbols, "ans(x) :- R(x, '1'), R(x, '2')");
+  ConjunctiveQuery other = *ParseQuery(catalog, symbols, "ans(u) :- R(u, u)");
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(clash, other, fd, symbols);
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  ASSERT_TRUE(cert->has_value());
+  EXPECT_TRUE((*cert)->q_is_empty);
+  EXPECT_TRUE(VerifyCertificate(**cert, clash, other, fd, symbols).ok());
+}
+
+TEST(CertificateTest, GeneralMixedSetsAreRejected) {
+  Scenario s = Section4Scenario();  // FD + IND, not key-based
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(s.queries[0], s.queries[1], s.deps, *s.symbols);
+  ASSERT_FALSE(cert.ok());
+  EXPECT_EQ(cert.status().code(), StatusCode::kUnimplemented);
+}
+
+// --- Tamper tests: the verifier must reject every corruption. --------------
+
+class TamperTest : public ::testing::Test {
+ protected:
+  TamperTest() : scenario_(EmpDepScenario()) {
+    cert_ = BuildVerified(scenario_.queries[1], scenario_.queries[0],
+                          scenario_.deps, *scenario_.symbols);
+  }
+
+  Status Verify(const ContainmentCertificate& cert) {
+    return VerifyCertificate(cert, scenario_.queries[1], scenario_.queries[0],
+                             scenario_.deps, *scenario_.symbols);
+  }
+
+  Scenario scenario_;
+  ContainmentCertificate cert_;
+};
+
+TEST_F(TamperTest, RejectsForgedRoot) {
+  ContainmentCertificate bad = cert_;
+  // Claim an extra root the FD chase never produced.
+  bad.roots.push_back(bad.roots[0]);
+  bad.roots.back().terms[0] = bad.roots[0].terms[1];
+  EXPECT_FALSE(Verify(bad).ok());
+}
+
+TEST_F(TamperTest, RejectsWrongIndLabel) {
+  ASSERT_FALSE(cert_.steps.empty());
+  ContainmentCertificate bad = cert_;
+  bad.steps[0].ind_index = 999;
+  EXPECT_FALSE(Verify(bad).ok());
+}
+
+TEST_F(TamperTest, RejectsBrokenCopyColumns) {
+  ASSERT_FALSE(cert_.steps.empty());
+  ContainmentCertificate bad = cert_;
+  // DEP(dept, loc): column 0 is copied from EMP's dept; corrupt it.
+  bad.steps[0].fact.terms[0] = bad.steps[0].fact.terms[1];
+  EXPECT_FALSE(Verify(bad).ok());
+}
+
+TEST_F(TamperTest, RejectsStaleNdv) {
+  ASSERT_FALSE(cert_.steps.empty());
+  ContainmentCertificate bad = cert_;
+  // Replace the fresh NDV by a symbol that already occurs in the roots.
+  bad.steps[0].fact.terms[1] = bad.roots[0].terms[0];
+  EXPECT_FALSE(Verify(bad).ok());
+}
+
+TEST_F(TamperTest, RejectsBrokenHomomorphism) {
+  ContainmentCertificate bad = cert_;
+  for (auto& [from, to] : bad.mapping) {
+    to = bad.roots[0].terms[1];  // send everything to one symbol
+  }
+  EXPECT_FALSE(Verify(bad).ok());
+}
+
+TEST_F(TamperTest, RejectsOutOfRangeImage) {
+  ContainmentCertificate bad = cert_;
+  ASSERT_FALSE(bad.conjunct_images.empty());
+  bad.conjunct_images[0] = 12345;
+  EXPECT_FALSE(Verify(bad).ok());
+}
+
+TEST_F(TamperTest, RejectsParentCycle) {
+  ASSERT_FALSE(cert_.steps.empty());
+  ContainmentCertificate bad = cert_;
+  bad.steps[0].parent = bad.roots.size();  // step claims itself as parent
+  EXPECT_FALSE(Verify(bad).ok());
+}
+
+// --- Randomized round-trips -------------------------------------------------
+
+class CertificateProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CertificateProperty, PlantedContainmentsRoundTrip) {
+  Scenario s = Fig1Scenario();
+  Rng rng(GetParam());
+  Result<ConjunctiveQuery> q_prime =
+      PlantedSuperQuery(rng, s.queries[0], s.deps, *s.symbols,
+                        /*extra_conjuncts=*/2, /*chase_depth=*/3);
+  ASSERT_TRUE(q_prime.ok()) << q_prime.status();
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(s.queries[0], *q_prime, s.deps, *s.symbols);
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  ASSERT_TRUE(cert->has_value());
+  Status verified =
+      VerifyCertificate(**cert, s.queries[0], *q_prime, s.deps, *s.symbols);
+  EXPECT_TRUE(verified.ok()) << verified;
+  // Theorem 2's point: the certificate is small — polynomial in the input.
+  EXPECT_LE((*cert)->SizeInSymbols(),
+            1000 * (s.queries[0].size() + q_prime->size() + s.deps.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificateProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace cqchase

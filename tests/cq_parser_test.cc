@@ -1,0 +1,155 @@
+#include "cq/cq_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/query.h"
+
+namespace cqchase {
+namespace {
+
+Catalog EmpDepCatalog() {
+  Catalog c;
+  EXPECT_TRUE(c.AddRelation("EMP", {"eno", "sal", "dept"}).ok());
+  EXPECT_TRUE(c.AddRelation("DEP", {"dept", "loc"}).ok());
+  return c;
+}
+
+TEST(CqParserTest, ParsesIntroExampleQ1) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  Result<ConjunctiveQuery> q =
+      ParseQuery(c, symbols, "ans(e) :- EMP(e, s, d), DEP(d, l)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->conjuncts().size(), 2u);
+  EXPECT_EQ(q->summary().size(), 1u);
+  EXPECT_TRUE(q->summary()[0].is_dist_var());
+  // s, d, l are NDVs.
+  EXPECT_EQ(q->Variables().size(), 4u);
+  EXPECT_EQ(q->ToString(), "ans(e) :- EMP(e, s, d), DEP(d, l)");
+}
+
+TEST(CqParserTest, HeadVariablesAreDistinguishedEverywhere) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  ConjunctiveQuery q = *ParseQuery(c, symbols, "ans(d) :- DEP(d, l)");
+  EXPECT_TRUE(q.conjuncts()[0].terms[0].is_dist_var());
+  EXPECT_TRUE(q.conjuncts()[0].terms[1].is_nondist_var());
+}
+
+TEST(CqParserTest, ParsesConstants) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  ConjunctiveQuery q =
+      *ParseQuery(c, symbols, "ans(e) :- EMP(e, 42, 'toys'), DEP('toys', l)");
+  EXPECT_TRUE(q.conjuncts()[0].terms[1].is_constant());
+  EXPECT_TRUE(q.conjuncts()[0].terms[2].is_constant());
+  EXPECT_EQ(q.conjuncts()[0].terms[2], q.conjuncts()[1].terms[0]);
+  EXPECT_EQ(symbols.Name(q.conjuncts()[0].terms[1]), "42");
+  EXPECT_EQ(symbols.Name(q.conjuncts()[0].terms[2]), "toys");
+}
+
+TEST(CqParserTest, ConstantsAllowedInHead) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  Result<ConjunctiveQuery> q =
+      ParseQuery(c, symbols, "ans(e, 'hq') :- EMP(e, s, d)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->summary()[1].is_constant());
+}
+
+TEST(CqParserTest, BooleanQueryHasEmptySummary) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  Result<ConjunctiveQuery> q = ParseQuery(c, symbols, "ans() :- DEP(d, l)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->summary().empty());
+}
+
+TEST(CqParserTest, SharedSymbolTableUnifiesVariablesAcrossQueries) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  ConjunctiveQuery q1 = *ParseQuery(c, symbols, "ans(e) :- EMP(e, s, d)");
+  ConjunctiveQuery q2 =
+      *ParseQuery(c, symbols, "ans(e) :- EMP(e, s2, d2), DEP(d2, l)");
+  EXPECT_EQ(q1.summary()[0], q2.summary()[0]);
+}
+
+TEST(CqParserTest, RejectsUnknownRelation) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  EXPECT_FALSE(ParseQuery(c, symbols, "ans(x) :- NOPE(x)").ok());
+}
+
+TEST(CqParserTest, RejectsArityMismatch) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  Result<ConjunctiveQuery> q = ParseQuery(c, symbols, "ans(x) :- DEP(x)");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CqParserTest, RejectsUnsafeQuery) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  // Head variable x never occurs in the body.
+  EXPECT_FALSE(ParseQuery(c, symbols, "ans(x) :- DEP(d, l)").ok());
+}
+
+TEST(CqParserTest, RejectsSyntaxErrors) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  EXPECT_FALSE(ParseQuery(c, symbols, "ans(x :- DEP(x, l)").ok());
+  EXPECT_FALSE(ParseQuery(c, symbols, "ans(x) :- DEP(x, l) trailing").ok());
+  EXPECT_FALSE(ParseQuery(c, symbols, "ans(x) :- DEP(x, 'l").ok());
+  EXPECT_FALSE(ParseQuery(c, symbols, ":- DEP(x, l)").ok());
+}
+
+TEST(QueryTest, ValidateRejectsDuplicateConjuncts) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  ConjunctiveQuery q(&c, &symbols);
+  Term d = symbols.InternDistVar("d");
+  Term l = symbols.InternNondistVar("l");
+  q.AddConjunct(Fact{1, {d, l}});
+  q.AddConjunct(Fact{1, {d, l}});
+  q.SetSummary({d});
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryTest, ValidateRejectsNdvInSummary) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  ConjunctiveQuery q(&c, &symbols);
+  Term d = symbols.InternNondistVar("d");
+  Term l = symbols.InternNondistVar("l");
+  q.AddConjunct(Fact{1, {d, l}});
+  q.SetSummary({d});
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+TEST(QueryTest, EmptyQueryRendersFalse) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  ConjunctiveQuery q(&c, &symbols);
+  Term x = symbols.InternDistVar("x");
+  q.SetSummary({x});
+  q.MarkEmptyQuery();
+  EXPECT_TRUE(q.is_empty_query());
+  EXPECT_EQ(q.ToString(), "ans(x) :- false");
+}
+
+TEST(QueryTest, AllTermsFirstOccurrenceOrder) {
+  Catalog c = EmpDepCatalog();
+  SymbolTable symbols;
+  ConjunctiveQuery q =
+      *ParseQuery(c, symbols, "ans(e) :- EMP(e, s, d), DEP(d, l)");
+  std::vector<Term> terms = q.AllTerms();
+  ASSERT_EQ(terms.size(), 4u);
+  EXPECT_EQ(symbols.Name(terms[0]), "e");
+  EXPECT_EQ(symbols.Name(terms[1]), "s");
+  EXPECT_EQ(symbols.Name(terms[2]), "d");
+  EXPECT_EQ(symbols.Name(terms[3]), "l");
+}
+
+}  // namespace
+}  // namespace cqchase

@@ -1,0 +1,227 @@
+#include "deps/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "deps/dependency_set.h"
+#include "deps/deps_parser.h"
+
+namespace cqchase {
+namespace {
+
+Catalog EmpDepCatalog() {
+  Catalog c;
+  EXPECT_TRUE(c.AddRelation("EMP", {"eno", "sal", "dept"}).ok());
+  EXPECT_TRUE(c.AddRelation("DEP", {"dept", "loc"}).ok());
+  return c;
+}
+
+TEST(FdTest, NormalizeSortsAndDedupes) {
+  FunctionalDependency fd;
+  fd.relation = 0;
+  fd.lhs = {2, 0, 2};
+  fd.rhs = 1;
+  fd.Normalize();
+  EXPECT_EQ(fd.lhs, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(FdTest, ValidationCatchesOutOfRange) {
+  Catalog c = EmpDepCatalog();
+  FunctionalDependency fd;
+  fd.relation = 0;
+  fd.lhs = {0};
+  fd.rhs = 7;
+  EXPECT_EQ(ValidateFd(fd, c).code(), StatusCode::kInvalidArgument);
+  fd.rhs = 1;
+  EXPECT_TRUE(ValidateFd(fd, c).ok());
+  fd.lhs = {};
+  EXPECT_FALSE(ValidateFd(fd, c).ok());
+}
+
+TEST(IndTest, ValidationChecksWidthsAndDuplicates) {
+  Catalog c = EmpDepCatalog();
+  InclusionDependency ind;
+  ind.lhs_relation = 0;
+  ind.lhs_columns = {2};
+  ind.rhs_relation = 1;
+  ind.rhs_columns = {0};
+  EXPECT_TRUE(ValidateInd(ind, c).ok());
+  EXPECT_EQ(ind.width(), 1u);
+
+  ind.rhs_columns = {0, 1};
+  EXPECT_FALSE(ValidateInd(ind, c).ok());  // width mismatch
+  ind.lhs_columns = {2, 2};
+  ind.rhs_columns = {0, 1};
+  EXPECT_FALSE(ValidateInd(ind, c).ok());  // repeated column
+  ind.lhs_columns = {};
+  ind.rhs_columns = {};
+  EXPECT_FALSE(ValidateInd(ind, c).ok());  // empty side
+}
+
+TEST(DepsParserTest, ParsesFdByNameAndPosition) {
+  Catalog c = EmpDepCatalog();
+  Result<FunctionalDependency> byname = ParseFd(c, "EMP: eno -> sal");
+  ASSERT_TRUE(byname.ok());
+  EXPECT_EQ(byname->relation, 0u);
+  EXPECT_EQ(byname->lhs, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(byname->rhs, 1u);
+
+  Result<FunctionalDependency> bypos = ParseFd(c, "EMP: 1 -> 2");
+  ASSERT_TRUE(bypos.ok());
+  EXPECT_EQ(*byname, *bypos);
+
+  Result<FunctionalDependency> multi = ParseFd(c, "EMP: eno dept -> sal");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->lhs, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(DepsParserTest, ParsesIndBothNotations) {
+  Catalog c = EmpDepCatalog();
+  Result<InclusionDependency> byname = ParseInd(c, "EMP[dept] <= DEP[dept]");
+  ASSERT_TRUE(byname.ok());
+  EXPECT_EQ(byname->lhs_relation, 0u);
+  EXPECT_EQ(byname->lhs_columns, (std::vector<uint32_t>{2}));
+  EXPECT_EQ(byname->rhs_relation, 1u);
+  EXPECT_EQ(byname->rhs_columns, (std::vector<uint32_t>{0}));
+
+  Result<InclusionDependency> bypos = ParseInd(c, "EMP[3] <= DEP[1]");
+  ASSERT_TRUE(bypos.ok());
+  EXPECT_EQ(*byname, *bypos);
+
+  Result<InclusionDependency> subset = ParseInd(c, "EMP[dept] ⊆ DEP[dept]");
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(*byname, *subset);
+}
+
+TEST(DepsParserTest, ParserRejectsGarbage) {
+  Catalog c = EmpDepCatalog();
+  EXPECT_FALSE(ParseFd(c, "EMP eno -> sal").ok());
+  EXPECT_FALSE(ParseFd(c, "NOPE: eno -> sal").ok());
+  EXPECT_FALSE(ParseFd(c, "EMP: eno -> sal loc").ok());
+  EXPECT_FALSE(ParseInd(c, "EMP[dept] DEP[dept]").ok());
+  EXPECT_FALSE(ParseInd(c, "EMP[zz] <= DEP[dept]").ok());
+  EXPECT_FALSE(ParseInd(c, "EMP[9] <= DEP[1]").ok());
+}
+
+TEST(DepsParserTest, ParsesMixedListWithCommentsAndNewlines) {
+  Catalog c = EmpDepCatalog();
+  Result<DependencySet> deps = ParseDependencies(c,
+                                                 "# keys\n"
+                                                 "EMP: eno -> sal\n"
+                                                 "EMP: eno -> dept\n"
+                                                 "DEP: dept -> loc;\n"
+                                                 "EMP[dept] <= DEP[dept]\n");
+  ASSERT_TRUE(deps.ok()) << deps.status();
+  EXPECT_EQ(deps->fds().size(), 3u);
+  EXPECT_EQ(deps->inds().size(), 1u);
+}
+
+TEST(DependencySetTest, DeduplicatesOnAdd) {
+  Catalog c = EmpDepCatalog();
+  DependencySet deps;
+  FunctionalDependency fd = *ParseFd(c, "EMP: eno -> sal");
+  EXPECT_TRUE(deps.AddFd(c, fd).ok());
+  EXPECT_TRUE(deps.AddFd(c, fd).ok());
+  EXPECT_EQ(deps.fds().size(), 1u);
+}
+
+TEST(DependencySetTest, WidthAndShapeQueries) {
+  Catalog c = EmpDepCatalog();
+  DependencySet deps = *ParseDependencies(
+      c, "EMP[dept] <= DEP[dept]; EMP[sal,dept] <= DEP[loc,dept]");
+  EXPECT_TRUE(deps.ContainsOnlyInds());
+  EXPECT_EQ(deps.MaxIndWidth(), 2u);
+  EXPECT_FALSE(deps.AllIndsWidthOne());
+
+  DependencySet empty;
+  EXPECT_TRUE(empty.ContainsOnlyInds());
+  EXPECT_TRUE(empty.ContainsOnlyFds());
+  EXPECT_EQ(empty.MaxIndWidth(), 0u);
+  EXPECT_TRUE(empty.AllIndsWidthOne());
+}
+
+TEST(DependencySetTest, KeyBasedAcceptsPaperStyleSet) {
+  Catalog c = EmpDepCatalog();
+  DependencySet deps = *ParseDependencies(c,
+                                          "EMP: eno -> sal\n"
+                                          "EMP: eno -> dept\n"
+                                          "DEP: dept -> loc\n"
+                                          "EMP[dept] <= DEP[dept]");
+  std::string why;
+  EXPECT_TRUE(deps.IsKeyBased(c, &why)) << why;
+  EXPECT_EQ(deps.KeyOf(0), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(deps.KeyOf(1), (std::vector<uint32_t>{0}));
+}
+
+TEST(DependencySetTest, KeyBasedRejectsDifferentLhs) {
+  Catalog c = EmpDepCatalog();
+  // Two FDs on EMP with different left-hand sides violate condition (a).
+  DependencySet deps = *ParseDependencies(c,
+                                          "EMP: eno -> sal\n"
+                                          "EMP: dept -> sal\n"
+                                          "EMP: eno -> dept");
+  std::string why;
+  EXPECT_FALSE(deps.IsKeyBased(c, &why));
+  EXPECT_NE(why.find("different left-hand sides"), std::string::npos);
+}
+
+TEST(DependencySetTest, KeyBasedRequiresCoverage) {
+  Catalog c = EmpDepCatalog();
+  // 'dept' of EMP is neither key nor FD rhs: condition (a) fails.
+  DependencySet deps = *ParseDependencies(c, "EMP: eno -> sal");
+  std::string why;
+  EXPECT_FALSE(deps.IsKeyBased(c, &why));
+}
+
+TEST(DependencySetTest, KeyBasedRejectsIndIntoNonKey) {
+  Catalog c = EmpDepCatalog();
+  // IND rhs 'loc' is not in DEP's key {dept}: condition (b) fails.
+  DependencySet deps = *ParseDependencies(c,
+                                          "EMP: eno -> sal\n"
+                                          "EMP: eno -> dept\n"
+                                          "DEP: dept -> loc\n"
+                                          "EMP[sal] <= DEP[loc]");
+  std::string why;
+  EXPECT_FALSE(deps.IsKeyBased(c, &why));
+}
+
+TEST(DependencySetTest, KeyBasedRejectsIndFromKey) {
+  Catalog c = EmpDepCatalog();
+  // IND lhs 'eno' intersects EMP's key: condition (b) fails.
+  DependencySet deps = *ParseDependencies(c,
+                                          "EMP: eno -> sal\n"
+                                          "EMP: eno -> dept\n"
+                                          "DEP: dept -> loc\n"
+                                          "EMP[eno] <= DEP[dept]");
+  std::string why;
+  EXPECT_FALSE(deps.IsKeyBased(c, &why));
+}
+
+TEST(DependencySetTest, IndOnlySetIsNotKeyBasedWithoutRhsKeys) {
+  Catalog c = EmpDepCatalog();
+  DependencySet deps = *ParseDependencies(c, "EMP[dept] <= DEP[dept]");
+  std::string why;
+  EXPECT_FALSE(deps.IsKeyBased(c, &why));
+  EXPECT_NE(why.find("no FDs"), std::string::npos);
+}
+
+TEST(DependencySetTest, FdsOnlyIndsOnlySplit) {
+  Catalog c = EmpDepCatalog();
+  DependencySet deps = *ParseDependencies(c,
+                                          "EMP: eno -> sal\n"
+                                          "EMP[dept] <= DEP[dept]");
+  EXPECT_EQ(deps.FdsOnly().size(), 1u);
+  EXPECT_TRUE(deps.FdsOnly().ContainsOnlyFds());
+  EXPECT_EQ(deps.IndsOnly().size(), 1u);
+  EXPECT_TRUE(deps.IndsOnly().ContainsOnlyInds());
+}
+
+TEST(DependencyToStringTest, RendersReadably) {
+  Catalog c = EmpDepCatalog();
+  FunctionalDependency fd = *ParseFd(c, "EMP: eno -> sal");
+  EXPECT_EQ(fd.ToString(c), "EMP: eno -> sal");
+  InclusionDependency ind = *ParseInd(c, "EMP[dept] <= DEP[dept]");
+  EXPECT_EQ(ind.ToString(c), "EMP[dept] <= DEP[dept]");
+}
+
+}  // namespace
+}  // namespace cqchase

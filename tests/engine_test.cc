@@ -1,0 +1,225 @@
+// Chase-engine internals: the index structures (pending-step set, witness
+// index) must stay consistent with the paper's selection discipline across
+// FD/IND interleavings, merges, dedupes and resource limits.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "chase/chase.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+// A general (non-key-based) Σ where an IND-created conjunct triggers an FD:
+// R(a,b): b is copied into S's key column, S: 1 -> 2 then merges the fresh
+// NDV with an existing constant.
+TEST(EngineInterleavingTest, FdFiresOnIndCreatedConjunct) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"x", "y"}).ok());
+  SymbolTable symbols;
+  DependencySet deps =
+      *ParseDependencies(catalog, "R[2] <= S[1]\nS: 1 -> 2");
+  ConjunctiveQuery q = *ParseQuery(
+      catalog, symbols, "ans(v) :- R(u, v), S(v, '9')");
+  Chase chase(&catalog, &symbols, &deps, ChaseVariant::kRequired, {});
+  ASSERT_TRUE(chase.Init(q).ok());
+  Result<ChaseOutcome> outcome = chase.Run();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // The R-chase finds S(v, '9') as a witness for R[2] <= S[1]: nothing new
+  // is required and the chase saturates with the original two conjuncts.
+  EXPECT_EQ(*outcome, ChaseOutcome::kSaturated);
+  EXPECT_EQ(chase.AliveFacts().size(), 2u);
+}
+
+TEST(EngineInterleavingTest, ObliviousVariantMergesDuplicateViaFd) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"x", "y"}).ok());
+  SymbolTable symbols;
+  DependencySet deps =
+      *ParseDependencies(catalog, "R[2] <= S[1]\nS: 1 -> 2");
+  ConjunctiveQuery q = *ParseQuery(
+      catalog, symbols, "ans(v) :- R(u, v), S(v, '9')");
+  // The O-chase applies the IND anyway, creating S(v, n) with a fresh n;
+  // the FD S:1->2 must then merge n with the constant '9' and the dedupe
+  // must collapse the copy — ending at the same two facts.
+  Chase chase(&catalog, &symbols, &deps, ChaseVariant::kOblivious, {});
+  ASSERT_TRUE(chase.Init(q).ok());
+  Result<ChaseOutcome> outcome = chase.Run();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(*outcome, ChaseOutcome::kSaturated);
+  EXPECT_EQ(chase.AliveFacts().size(), 2u);
+  // The merged symbol resolves to the constant.
+  Term nine = symbols.InternConstant("9");
+  for (const Fact& f : chase.AliveFacts()) {
+    if (f.relation == 1) {
+      EXPECT_EQ(f.terms[1], nine);
+    }
+  }
+}
+
+TEST(EngineInterleavingTest, ConstantClashDuringIndPhaseEmptiesQuery) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"x", "y"}).ok());
+  SymbolTable symbols;
+  // Chasing R(u,'1') adds S('1', n); S('1','2') and S('1','3') both present
+  // clash under S: 1 -> 2 already at init.
+  DependencySet deps =
+      *ParseDependencies(catalog, "R[1] <= S[1]\nS: 1 -> 2");
+  ConjunctiveQuery q = *ParseQuery(
+      catalog, symbols, "ans(u) :- R(u, w), S('5', '2'), S('5', '3')");
+  Chase chase(&catalog, &symbols, &deps, ChaseVariant::kRequired, {});
+  ASSERT_TRUE(chase.Init(q).ok());
+  EXPECT_TRUE(chase.is_empty_query());
+  EXPECT_TRUE(chase.AliveFacts().empty());
+}
+
+// --- Resource-limit injection ----------------------------------------------
+
+TEST(EngineLimitsTest, MaxConjunctsSurfacesAsResourceExhausted) {
+  Scenario s = Fig1Scenario();  // infinite chase
+  ChaseLimits limits;
+  limits.max_level = 1000;
+  limits.max_conjuncts = 10;
+  Chase chase(s.catalog.get(), s.symbols.get(), &s.deps,
+              ChaseVariant::kRequired, limits);
+  ASSERT_TRUE(chase.Init(s.queries[0]).ok());
+  Result<ChaseOutcome> outcome = chase.ExpandToLevel(1000);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineLimitsTest, MaxStepsSurfacesAsResourceExhausted) {
+  Scenario s = Fig1Scenario();
+  ChaseLimits limits;
+  limits.max_level = 1000;
+  limits.max_steps = 5;
+  Chase chase(s.catalog.get(), s.symbols.get(), &s.deps,
+              ChaseVariant::kRequired, limits);
+  ASSERT_TRUE(chase.Init(s.queries[0]).ok());
+  Result<ChaseOutcome> outcome = chase.ExpandToLevel(1000);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineLimitsTest, MaxLevelTruncatesWithoutError) {
+  Scenario s = Fig1Scenario();
+  ChaseLimits limits;
+  limits.max_level = 2;
+  Chase chase(s.catalog.get(), s.symbols.get(), &s.deps,
+              ChaseVariant::kRequired, limits);
+  ASSERT_TRUE(chase.Init(s.queries[0]).ok());
+  Result<ChaseOutcome> outcome = chase.Run();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(*outcome, ChaseOutcome::kTruncated);
+  EXPECT_LE(chase.MaxAliveLevel(), 3u);  // level-2 conjuncts spawn level 3
+}
+
+// --- Determinism across runs and disciplines --------------------------------
+
+class EngineDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineDeterminism, IdenticalRunsRenderIdentically) {
+  auto run_once = [&]() -> std::string {
+    Rng rng(GetParam());
+    RandomCatalogParams cp;
+    cp.num_relations = 3;
+    cp.min_arity = 2;
+    cp.max_arity = 3;
+    Catalog catalog = RandomCatalog(rng, cp);
+    RandomIndParams ip;
+    ip.count = 3;
+    ip.width = 1;
+    DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+    SymbolTable symbols;
+    RandomQueryParams qp;
+    qp.num_conjuncts = 3;
+    qp.name_prefix = StrCat("d", GetParam());
+    ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+    ChaseLimits limits;
+    limits.max_level = 4;
+    limits.max_conjuncts = 20000;
+    Result<Chase> chase =
+        BuildChase(q, deps, symbols, ChaseVariant::kRequired, limits);
+    if (!chase.ok()) return chase.status().ToString();
+    return chase->ToString();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(EngineDeterminism, StrideDoesNotChangeTheChasePrefix) {
+  // Expanding to level 4 in one call or in four single-level calls must
+  // yield the same prefix (ExpandToLevel is monotone and resumable).
+  Rng rng(GetParam() + 77);
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = 2;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  SymbolTable symbols_a;
+  SymbolTable symbols_b;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 2;
+  qp.name_prefix = StrCat("s", GetParam());
+  // Build the same query against two separate symbol tables by re-seeding.
+  Rng rng_a(GetParam() + 1), rng_b(GetParam() + 1);
+  ConjunctiveQuery qa = RandomQuery(rng_a, catalog, symbols_a, qp);
+  ConjunctiveQuery qb = RandomQuery(rng_b, catalog, symbols_b, qp);
+
+  ChaseLimits limits;
+  limits.max_level = 4;
+  Chase one_shot(&catalog, &symbols_a, &deps, ChaseVariant::kRequired,
+                 limits);
+  ASSERT_TRUE(one_shot.Init(qa).ok());
+  ASSERT_TRUE(one_shot.ExpandToLevel(4).ok());
+
+  Chase stepped(&catalog, &symbols_b, &deps, ChaseVariant::kRequired, limits);
+  ASSERT_TRUE(stepped.Init(qb).ok());
+  for (uint32_t level = 1; level <= 4; ++level) {
+    ASSERT_TRUE(stepped.ExpandToLevel(level).ok());
+  }
+  EXPECT_EQ(one_shot.ToString(), stepped.ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDeterminism,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// --- Witness-index correctness ----------------------------------------------
+
+TEST(WitnessIndexTest, RChaseReusesMergedWitnesses) {
+  // After an FD merge makes an existing conjunct match a pending IND
+  // application, the R-chase must record a cross arc instead of creating a
+  // fresh conjunct (the witness index must see post-merge facts).
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"x"}).ok());
+  SymbolTable symbols;
+  DependencySet deps =
+      *ParseDependencies(catalog, "R: 1 -> 2\nR[2] <= S[1]");
+  // The FD merges y and z first; then R[2] <= S[1] needs S(y) only once.
+  ConjunctiveQuery q = *ParseQuery(
+      catalog, symbols, "ans(x) :- R(x, y), R(x, z), S(y)");
+  Chase chase(&catalog, &symbols, &deps, ChaseVariant::kRequired, {});
+  ASSERT_TRUE(chase.Init(q).ok());
+  Result<ChaseOutcome> outcome = chase.Run();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(*outcome, ChaseOutcome::kSaturated);
+  // R(x,y) [merged], S(y): nothing new created.
+  EXPECT_EQ(chase.AliveFacts().size(), 2u);
+  size_t cross = 0;
+  for (const ChaseArc& a : chase.arcs()) cross += a.cross ? 1 : 0;
+  EXPECT_EQ(cross, 1u);
+}
+
+}  // namespace
+}  // namespace cqchase

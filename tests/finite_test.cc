@@ -1,0 +1,239 @@
+#include "finite/finite_containment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+// --- The Section 4 example -------------------------------------------------
+
+TEST(Section4Test, InfiniteContainmentFailsForwardHoldsBackward) {
+  Scenario s = Section4Scenario();
+  // Q1 ⊆∞ Q2 FAILS (the chase of Q1 is an infinite backward chain that
+  // never closes a cycle). Decide via semi-decision is impossible; instead
+  // verify via Theorem 1 on a prefix: no homomorphism exists at any level we
+  // explore AND the chase never saturates. The library's CheckContainment
+  // rejects this Σ shape as Unimplemented (general FD+IND); assert that.
+  Result<ContainmentReport> r =
+      CheckContainment(s.queries[0], s.queries[1], s.deps, *s.symbols);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+  // Q2 ⊆∞ Q1 holds trivially (drop a conjunct) — visible even to the
+  // semi-decision.
+  ContainmentOptions semi;
+  semi.allow_semidecision = true;
+  Result<ContainmentReport> back = CheckContainment(
+      s.queries[1], s.queries[0], s.deps, *s.symbols, semi);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->contained);
+}
+
+TEST(Section4Test, NoHomomorphismIntoDeepChasePrefix) {
+  // The substance of "Q1 ⊄∞ Q2": chase_Σ(Q1) is R(x,y), R(y,n1), R(n1,n2),
+  // ... — a backward-infinite chain with no R(?, x) fact, so Q2 never maps.
+  Scenario s = Section4Scenario();
+  ChaseLimits limits;
+  limits.max_level = 20;
+  Chase chase(s.catalog.get(), s.symbols.get(), &s.deps,
+              ChaseVariant::kRequired, limits);
+  ASSERT_TRUE(chase.Init(s.queries[0]).ok());
+  Result<ChaseOutcome> outcome = chase.ExpandToLevel(20);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, ChaseOutcome::kTruncated);  // infinite
+  std::vector<Fact> facts = chase.AliveFacts();
+  std::optional<Homomorphism> hom =
+      FindHomomorphism(s.queries[1], facts, chase.summary());
+  EXPECT_FALSE(hom.has_value());
+}
+
+TEST(Section4Test, FinitelyEquivalentByExhaustiveSearch) {
+  // On every finite Σ-database with up to 2 constants (all 2^4 R-subsets),
+  // Q1(D) == Q2(D): the FD+IND force every finite chain to close a cycle.
+  Scenario s = Section4Scenario();
+  ExhaustiveSearchParams params;
+  params.domain_size = 2;
+  params.max_candidate_tuples = 16;
+  Result<std::optional<Instance>> cex = ExhaustiveFiniteCounterexample(
+      s.queries[0], s.queries[1], s.deps, *s.symbols, params);
+  ASSERT_TRUE(cex.ok()) << cex.status();
+  EXPECT_FALSE(cex->has_value())
+      << "counterexample:\n" << (*cex)->ToString(*s.symbols);
+}
+
+TEST(Section4Test, ExhaustiveSearchThreeConstants) {
+  // Domain size 3: 2^9 = 512 candidate databases. Still no counterexample.
+  Scenario s = Section4Scenario();
+  ExhaustiveSearchParams params;
+  params.domain_size = 3;
+  params.max_candidate_tuples = 16;
+  // 3^2 = 9 tuples < 16: fits.
+  Result<std::optional<Instance>> cex = ExhaustiveFiniteCounterexample(
+      s.queries[0], s.queries[1], s.deps, *s.symbols, params);
+  ASSERT_TRUE(cex.ok()) << cex.status();
+  EXPECT_FALSE(cex->has_value());
+}
+
+TEST(Section4Test, WithoutFdFiniteCounterexampleExists) {
+  // Dropping the FD breaks the finite equivalence: a finite chain that obeys
+  // only R[2] ⊆ R[1] can avoid R(?, x). E.g. {(a,b),(b,b)}: Q1 ∋ a but Q2
+  // requires some R(?, a).
+  Scenario s = Section4Scenario();
+  DependencySet ind_only = s.deps.IndsOnly();
+  ExhaustiveSearchParams params;
+  params.domain_size = 2;
+  params.max_candidate_tuples = 16;
+  Result<std::optional<Instance>> cex = ExhaustiveFiniteCounterexample(
+      s.queries[0], s.queries[1], ind_only, *s.symbols, params);
+  ASSERT_TRUE(cex.ok()) << cex.status();
+  EXPECT_TRUE(cex->has_value());
+  EXPECT_TRUE((*cex)->Satisfies(ind_only));
+  EXPECT_FALSE((*cex)->EvalContained(s.queries[0], s.queries[1]));
+}
+
+TEST(Section4Test, RandomSamplingAgreesWithExhaustive) {
+  Scenario s = Section4Scenario();
+  RandomSearchParams params;
+  params.samples = 100;
+  params.domain_size = 4;
+  params.tuples_per_relation = 4;
+  Result<std::optional<Instance>> cex = RandomFiniteCounterexample(
+      s.queries[0], s.queries[1], s.deps, *s.symbols, params);
+  ASSERT_TRUE(cex.ok()) << cex.status();
+  EXPECT_FALSE(cex->has_value());
+}
+
+// --- k_Σ, diameters, cutoffs ----------------------------------------------
+
+TEST(KSigmaTest, KeyBasedIsOne) {
+  Scenario s = KeyBasedEmpDepScenario();
+  EXPECT_EQ(KSigma(s.deps, *s.catalog), 1u);
+}
+
+TEST(KSigmaTest, WidthOneIndsSumRhsArities) {
+  Scenario s = EmpDepScenario();  // EMP[dept] ⊆ DEP[dept], DEP arity 2
+  EXPECT_EQ(KSigma(s.deps, *s.catalog), 2u);
+}
+
+TEST(KSigmaTest, UndefinedOtherwise) {
+  Scenario s = Fig1Scenario();  // width-2 INDs, no FDs
+  EXPECT_EQ(KSigma(s.deps, *s.catalog), std::nullopt);
+  Scenario sec4 = Section4Scenario();  // FD+IND, not key-based
+  EXPECT_EQ(KSigma(sec4.deps, *sec4.catalog), std::nullopt);
+}
+
+TEST(DiameterTest, SharedSymbolGraph) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("E", {"s", "d"}).ok());
+  SymbolTable symbols;
+  ConjunctiveQuery path = *ParseQuery(
+      catalog, symbols, "ans(x) :- E(x, y), E(y, z), E(z, w)");
+  // Vertices: 3 conjuncts + summary. Summary shares x with conjunct 0.
+  // Distances: summary—c0—c1—c2 → diameter 3.
+  EXPECT_EQ(QueryGraphDiameter(path), 3u);
+  // Every conjunct of a star shares the hub symbol, so the shared-symbol
+  // graph is complete: diameter 1.
+  ConjunctiveQuery star =
+      *ParseQuery(catalog, symbols, "ans(h) :- E(h, a), E(h, b), E(h, cc)");
+  EXPECT_EQ(QueryGraphDiameter(star), 1u);
+  // Two hops: summary {x} - E(x,y) - E(y,z).
+  ConjunctiveQuery two_hops =
+      *ParseQuery(catalog, symbols, "ans(x) :- E(x, y), E(y, z)");
+  EXPECT_EQ(QueryGraphDiameter(two_hops), 2u);
+}
+
+TEST(DiameterTest, SuggestCutoffCombinesDiameterAndKSigma) {
+  Scenario s = EmpDepScenario();
+  // Q1: conjuncts EMP, DEP + summary; diameter 2 (DEP—EMP—summary). k=2.
+  EXPECT_EQ(SuggestCutoff(s.queries[0], s.deps), (2u + 1u) * 2u);
+}
+
+// --- Theorem 3: the Q* witness ---------------------------------------------
+
+TEST(FiniteWitnessTest, WitnessIsFiniteAndSatisfiesSigma) {
+  Scenario s = EmpDepScenario();
+  FiniteWitnessParams params;
+  params.cutoff_level = 4;
+  Result<FiniteWitness> w =
+      BuildFiniteWitness(s.queries[1], s.deps, *s.symbols, params);
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_GT(w->instance.TotalTuples(), 0u);
+  EXPECT_TRUE(w->instance.Satisfies(s.deps));
+}
+
+TEST(FiniteWitnessTest, ClosesOffInfiniteWidthOneChase) {
+  // Width-1 infinite chase: R[2] ⊆ R[1] alone. The witness must terminate
+  // by recycling the special symbols and satisfy the IND.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet deps = *ParseDependencies(catalog, "R[2] <= R[1]");
+  ConjunctiveQuery q = *ParseQuery(catalog, symbols, "ans(x) :- R(x, y)");
+  FiniteWitnessParams params;
+  params.cutoff_level = 3;
+  Result<FiniteWitness> w = BuildFiniteWitness(q, deps, symbols, params);
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_TRUE(w->instance.Satisfies(deps));
+  // The plain chase is infinite, the witness is small.
+  EXPECT_LT(w->instance.TotalTuples(), 20u);
+}
+
+TEST(FiniteWitnessTest, KeyBasedWitness) {
+  Scenario s = KeyBasedEmpDepScenario();
+  Result<FiniteWitness> w =
+      BuildFiniteWitness(s.queries[1], s.deps, *s.symbols,
+                         FiniteWitnessParams{});
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_TRUE(w->instance.Satisfies(s.deps));
+}
+
+TEST(FiniteWitnessTest, RejectsUncoveredShapes) {
+  Scenario s = Section4Scenario();  // FD+IND, not key-based
+  Result<FiniteWitness> w = BuildFiniteWitness(
+      s.queries[0], s.deps, *s.symbols, FiniteWitnessParams{});
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FiniteWitnessTest, WitnessSeparatesNonContainedQueries) {
+  // Width-1 Σ where ⊆∞ fails: the Q* witness is a *finite* counterexample,
+  // which is exactly the content of Theorem 3.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet deps = *ParseDependencies(catalog, "R[2] <= R[1]");
+  ConjunctiveQuery q1 = *ParseQuery(catalog, symbols, "ans(x) :- R(x, y)");
+  ConjunctiveQuery q2 =
+      *ParseQuery(catalog, symbols, "ans(x) :- R(x, y), R(yp, x)");
+  // Not contained for all databases:
+  Result<ContainmentReport> inf = CheckContainment(q1, q2, deps, symbols);
+  ASSERT_TRUE(inf.ok()) << inf.status();
+  EXPECT_FALSE(inf->contained);
+  // Theorem 3 (width-1): therefore not finitely contained either — and the
+  // witness exhibits it.
+  FiniteWitnessParams params;
+  params.cutoff_level = *SuggestCutoff(q2, deps);
+  Result<std::optional<Instance>> cex =
+      FiniteCounterexampleFromWitness(q1, q2, deps, symbols, params);
+  ASSERT_TRUE(cex.ok()) << cex.status();
+  ASSERT_TRUE(cex->has_value());
+  EXPECT_TRUE((*cex)->Satisfies(deps));
+  EXPECT_FALSE((*cex)->EvalContained(q1, q2));
+}
+
+TEST(FiniteWitnessTest, WitnessDoesNotSeparateContainedQueries) {
+  Scenario s = EmpDepScenario();
+  FiniteWitnessParams params;
+  params.cutoff_level = *SuggestCutoff(s.queries[0], s.deps);
+  Result<std::optional<Instance>> cex = FiniteCounterexampleFromWitness(
+      s.queries[1], s.queries[0], s.deps, *s.symbols, params);
+  ASSERT_TRUE(cex.ok()) << cex.status();
+  EXPECT_FALSE(cex->has_value());
+}
+
+}  // namespace
+}  // namespace cqchase

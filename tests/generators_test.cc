@@ -1,0 +1,151 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "base/string_util.h"
+#include "core/homomorphism.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+TEST(ScenarioTest, EmpDepMatchesPaperIntro) {
+  Scenario s = EmpDepScenario();
+  EXPECT_EQ(s.catalog->num_relations(), 2u);
+  EXPECT_TRUE(s.deps.ContainsOnlyInds());
+  EXPECT_EQ(s.deps.MaxIndWidth(), 1u);
+  ASSERT_EQ(s.queries.size(), 2u);
+  EXPECT_EQ(s.queries[0].conjuncts().size(), 2u);
+  EXPECT_EQ(s.queries[1].conjuncts().size(), 1u);
+  EXPECT_TRUE(s.queries[0].Validate().ok());
+  EXPECT_TRUE(s.queries[1].Validate().ok());
+}
+
+TEST(ScenarioTest, Fig1MatchesPaperFigure) {
+  Scenario s = Fig1Scenario();
+  EXPECT_EQ(s.catalog->num_relations(), 3u);
+  EXPECT_EQ(s.deps.inds().size(), 3u);
+  EXPECT_EQ(s.deps.MaxIndWidth(), 2u);
+  EXPECT_EQ(s.queries[0].ToString(), "ans(c) :- R(a, b, c)");
+}
+
+TEST(ScenarioTest, Section4MatchesPaperExample) {
+  Scenario s = Section4Scenario();
+  EXPECT_EQ(s.deps.fds().size(), 1u);
+  EXPECT_EQ(s.deps.inds().size(), 1u);
+  EXPECT_FALSE(s.deps.IsKeyBased(*s.catalog));
+  EXPECT_EQ(s.queries[0].ToString(), "ans(x) :- R(x, y)");
+  EXPECT_EQ(s.queries[1].ToString(), "ans(x) :- R(x, y), R(yp, x)");
+}
+
+TEST(ScenarioTest, KeyBasedVariantIsKeyBased) {
+  Scenario s = KeyBasedEmpDepScenario();
+  std::string why;
+  EXPECT_TRUE(s.deps.IsKeyBased(*s.catalog, &why)) << why;
+}
+
+TEST(RandomCatalogTest, RespectsParams) {
+  Rng rng(1);
+  RandomCatalogParams params;
+  params.num_relations = 5;
+  params.min_arity = 2;
+  params.max_arity = 3;
+  Catalog c = RandomCatalog(rng, params);
+  EXPECT_EQ(c.num_relations(), 5u);
+  for (RelationId r = 0; r < c.num_relations(); ++r) {
+    EXPECT_GE(c.arity(r), 2u);
+    EXPECT_LE(c.arity(r), 3u);
+  }
+}
+
+TEST(RandomQueryTest, GeneratedQueriesAreValid) {
+  Rng rng(2);
+  Catalog c = RandomCatalog(rng);
+  SymbolTable symbols;
+  for (int i = 0; i < 20; ++i) {
+    RandomQueryParams params;
+    params.num_conjuncts = 1 + i % 5;
+    params.num_dist_vars = 1 + i % 2;
+    params.constant_prob = (i % 4) * 0.1;
+    params.name_prefix = StrCat("g", i);
+    ConjunctiveQuery q = RandomQuery(rng, c, symbols, params);
+    EXPECT_TRUE(q.Validate().ok()) << q.ToString();
+    EXPECT_EQ(q.conjuncts().size(), params.num_conjuncts);
+    EXPECT_EQ(q.summary().size(), params.num_dist_vars);
+  }
+}
+
+TEST(RandomQueryTest, DeterministicForFixedSeed) {
+  Catalog c;
+  {
+    Rng rng(3);
+    c = RandomCatalog(rng);
+  }
+  SymbolTable sym1, sym2;
+  Rng rng1(17), rng2(17);
+  ConjunctiveQuery q1 = RandomQuery(rng1, c, sym1, {});
+  ConjunctiveQuery q2 = RandomQuery(rng2, c, sym2, {});
+  EXPECT_EQ(q1.ToString(), q2.ToString());
+}
+
+TEST(RandomIndDepsTest, WidthAndCountRespected) {
+  Rng rng(4);
+  Catalog c = RandomCatalog(rng);
+  RandomIndParams params;
+  params.count = 5;
+  params.width = 2;
+  DependencySet deps = RandomIndOnlyDeps(rng, c, params);
+  EXPECT_TRUE(deps.ContainsOnlyInds());
+  EXPECT_LE(deps.inds().size(), 5u);
+  EXPECT_GE(deps.inds().size(), 1u);
+  for (const InclusionDependency& ind : deps.inds()) {
+    EXPECT_EQ(ind.width(), 2u);
+  }
+}
+
+TEST(RandomKeyBasedDepsTest, ProducesKeyBasedSets) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    RandomCatalogParams cp;
+    cp.num_relations = 4;
+    cp.min_arity = 2;
+    cp.max_arity = 4;
+    Catalog c = RandomCatalog(rng, cp);
+    RandomKeyBasedParams params;
+    params.key_size = 1;
+    params.num_inds = 4;
+    DependencySet deps = RandomKeyBasedDeps(rng, c, params);
+    std::string why;
+    EXPECT_TRUE(deps.IsKeyBased(c, &why))
+        << why << "\n" << deps.ToString(c);
+  }
+}
+
+TEST(RandomInstanceTest, SizeAndArity) {
+  Rng rng(5);
+  Catalog c = RandomCatalog(rng);
+  SymbolTable symbols;
+  RandomInstanceParams params;
+  params.tuples_per_relation = 7;
+  Instance db = RandomInstance(rng, c, symbols, params);
+  for (RelationId r = 0; r < c.num_relations(); ++r) {
+    EXPECT_LE(db.tuples(r).size(), 7u);  // duplicates collapse
+    EXPECT_GE(db.tuples(r).size(), 1u);
+  }
+}
+
+TEST(PlantedSuperQueryTest, PlantedPairsAreContainedByConstruction) {
+  Rng rng(6);
+  Scenario s = EmpDepScenario();
+  Result<ConjunctiveQuery> q_prime =
+      PlantedSuperQuery(rng, s.queries[0], s.deps, *s.symbols,
+                        /*extra_conjuncts=*/3, /*chase_depth=*/2);
+  ASSERT_TRUE(q_prime.ok()) << q_prime.status();
+  EXPECT_TRUE(q_prime->Validate().ok());
+  // The planted renaming is itself a homomorphism into the chase; verify
+  // through the public containment API in integration_test. Here: shape.
+  EXPECT_GE(q_prime->conjuncts().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cqchase

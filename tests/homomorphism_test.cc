@@ -1,0 +1,143 @@
+#include "core/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/cq_parser.h"
+
+namespace cqchase {
+namespace {
+
+class HomomorphismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddRelation("E", {"src", "dst"}).ok());
+  }
+
+  ConjunctiveQuery Q(std::string_view text) {
+    Result<ConjunctiveQuery> q = ParseQuery(catalog_, symbols_, text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return std::move(q).value();
+  }
+
+  Catalog catalog_;
+  SymbolTable symbols_;
+};
+
+TEST_F(HomomorphismTest, IdentityAlwaysExists) {
+  ConjunctiveQuery q = Q("ans(x) :- E(x, y), E(y, z)");
+  EXPECT_TRUE(FindQueryHomomorphism(q, q).has_value());
+}
+
+TEST_F(HomomorphismTest, PathMapsIntoTriangleClassic) {
+  // Chandra–Merlin folklore: a path of any length maps into a cycle; the
+  // Boolean 2-path maps into the triangle.
+  ConjunctiveQuery path = Q("ans() :- E(x, y), E(y, z)");
+  ConjunctiveQuery triangle = Q("ans() :- E(a, b), E(b, cc), E(cc, a)");
+  EXPECT_TRUE(FindQueryHomomorphism(path, triangle).has_value());
+  // But a triangle does not map into a 2-path.
+  EXPECT_FALSE(FindQueryHomomorphism(triangle, path).has_value());
+}
+
+TEST_F(HomomorphismTest, SummaryRowPinsDistinguishedVariables) {
+  ConjunctiveQuery source = Q("ans(x) :- E(x, y)");
+  // Target whose summary row is a *different* variable than its edge start.
+  ConjunctiveQuery target = Q("ans(u) :- E(u, v), E(w, u)");
+  std::optional<Homomorphism> h = FindQueryHomomorphism(source, target);
+  ASSERT_TRUE(h.has_value());
+  // x must map to u (the target summary), never to w.
+  Term x = *symbols_.Find(TermKind::kDistVar, "x");
+  Term u = *symbols_.Find(TermKind::kDistVar, "u");
+  EXPECT_EQ(h->Apply(x), u);
+}
+
+TEST_F(HomomorphismTest, ConstantsMustMatchThemselves) {
+  ConjunctiveQuery with_const = Q("ans() :- E(x, '7')");
+  ConjunctiveQuery other_const = Q("ans() :- E(a, '8')");
+  ConjunctiveQuery same_const = Q("ans() :- E(a, '7'), E(a, '8')");
+  EXPECT_FALSE(FindQueryHomomorphism(with_const, other_const).has_value());
+  EXPECT_TRUE(FindQueryHomomorphism(with_const, same_const).has_value());
+}
+
+TEST_F(HomomorphismTest, RepeatedVariablesConstrainImages) {
+  ConjunctiveQuery self_loop = Q("ans() :- E(x, x)");
+  ConjunctiveQuery plain_edge = Q("ans() :- E(a, b)");
+  ConjunctiveQuery with_loop = Q("ans() :- E(a, b), E(b, b)");
+  EXPECT_FALSE(FindQueryHomomorphism(self_loop, plain_edge).has_value());
+  EXPECT_TRUE(FindQueryHomomorphism(self_loop, with_loop).has_value());
+}
+
+TEST_F(HomomorphismTest, SummaryConstantMismatchFails) {
+  ConjunctiveQuery src = Q("ans('1') :- E(x, y)");
+  ConjunctiveQuery dst = Q("ans('2') :- E(a, b)");
+  EXPECT_FALSE(FindQueryHomomorphism(src, dst).has_value());
+}
+
+TEST_F(HomomorphismTest, ArityMismatchedSummariesFail) {
+  ConjunctiveQuery src = Q("ans(x) :- E(x, y)");
+  ConjunctiveQuery dst = Q("ans() :- E(a, b)");
+  EXPECT_FALSE(FindQueryHomomorphism(src, dst).has_value());
+}
+
+TEST_F(HomomorphismTest, ConjunctImagesAreRecorded) {
+  ConjunctiveQuery src = Q("ans() :- E(x, y)");
+  ConjunctiveQuery dst = Q("ans() :- E(a, b), E(b, cc)");
+  std::optional<Homomorphism> h = FindQueryHomomorphism(src, dst);
+  ASSERT_TRUE(h.has_value());
+  ASSERT_EQ(h->conjunct_images.size(), 1u);
+  EXPECT_LT(h->conjunct_images[0], 2u);
+}
+
+TEST_F(HomomorphismTest, EmptyQuerySourceHasNoHomomorphism) {
+  ConjunctiveQuery src = Q("ans(x) :- E(x, y)");
+  src.MarkEmptyQuery();
+  ConjunctiveQuery dst = Q("ans(a) :- E(a, b)");
+  EXPECT_FALSE(FindQueryHomomorphism(src, dst).has_value());
+}
+
+TEST_F(HomomorphismTest, InjectiveModeRejectsCollapse) {
+  // The 2-path maps onto a single edge only by collapsing y; injectively it
+  // cannot.
+  ConjunctiveQuery path2 = Q("ans() :- E(x, y), E(y, z)");
+  ConjunctiveQuery loop = Q("ans() :- E(a, a)");
+  EXPECT_TRUE(FindQueryHomomorphism(path2, loop).has_value());
+  HomomorphismOptions inj;
+  inj.injective = true;
+  EXPECT_FALSE(FindQueryHomomorphism(path2, loop, inj).has_value());
+}
+
+TEST_F(HomomorphismTest, IsomorphismIsRenamingOnly) {
+  ConjunctiveQuery a = Q("ans(x) :- E(x, y), E(y, x)");
+  ConjunctiveQuery b = Q("ans(u) :- E(u, v), E(v, u)");
+  ConjunctiveQuery c = Q("ans(u) :- E(u, u)");
+  EXPECT_TRUE(QueriesIsomorphic(a, b));
+  EXPECT_FALSE(QueriesIsomorphic(a, c));  // different conjunct counts
+  // Same size but different shape.
+  ConjunctiveQuery d = Q("ans(u) :- E(u, v), E(u, w)");
+  EXPECT_FALSE(QueriesIsomorphic(a, d));
+}
+
+TEST_F(HomomorphismTest, InjectiveModeRespectsSourceConstants) {
+  // A variable must not map onto a constant the source also uses.
+  ConjunctiveQuery src = Q("ans() :- E(x, '7'), E('7', y)");
+  ConjunctiveQuery dst = Q("ans() :- E('7', '7')");
+  EXPECT_TRUE(FindQueryHomomorphism(src, dst).has_value());
+  HomomorphismOptions inj;
+  inj.injective = true;
+  EXPECT_FALSE(FindQueryHomomorphism(src, dst, inj).has_value());
+}
+
+TEST_F(HomomorphismTest, LargerTargetSearch) {
+  // A 3-path into a 6-cycle exists; a 3-cycle into a 6-cycle does not
+  // (no odd cycle maps into an even cycle).
+  ConjunctiveQuery path = Q("ans() :- E(p1, p2), E(p2, p3), E(p3, p4)");
+  ConjunctiveQuery c6 = Q(
+      "ans() :- E(c1, c2), E(c2, c3), E(c3, c4), E(c4, c5), E(c5, c6), "
+      "E(c6, c1)");
+  ConjunctiveQuery c3 = Q("ans() :- E(t1, t2), E(t2, t3), E(t3, t1)");
+  EXPECT_TRUE(FindQueryHomomorphism(path, c6).has_value());
+  EXPECT_FALSE(FindQueryHomomorphism(c3, c6).has_value());
+  EXPECT_TRUE(FindQueryHomomorphism(c6, c3).has_value());
+}
+
+}  // namespace
+}  // namespace cqchase

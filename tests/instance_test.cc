@@ -1,0 +1,167 @@
+#include "data/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+
+namespace cqchase {
+namespace {
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddRelation("EMP", {"eno", "sal", "dept"}).ok());
+    ASSERT_TRUE(catalog_.AddRelation("DEP", {"dept", "loc"}).ok());
+  }
+
+  Term C(std::string_view name) { return symbols_.InternConstant(name); }
+
+  Catalog catalog_;
+  SymbolTable symbols_;
+};
+
+TEST_F(InstanceTest, AddRemoveContains) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("10"), C("toys")}).ok());
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("10"), C("toys")}).ok());  // dup
+  EXPECT_EQ(db.TotalTuples(), 1u);
+  EXPECT_TRUE(db.Contains(0, {C("e1"), C("10"), C("toys")}));
+  EXPECT_TRUE(db.RemoveTuple(0, {C("e1"), C("10"), C("toys")}));
+  EXPECT_FALSE(db.RemoveTuple(0, {C("e1"), C("10"), C("toys")}));
+  EXPECT_TRUE(db.empty());
+}
+
+TEST_F(InstanceTest, ArityMismatchRejected) {
+  Instance db(&catalog_);
+  EXPECT_EQ(db.AddTuple(0, {C("e1")}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InstanceTest, FdSatisfaction) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("10"), C("toys")}).ok());
+  ASSERT_TRUE(db.AddTuple(0, {C("e2"), C("20"), C("toys")}).ok());
+  FunctionalDependency fd = *ParseFd(catalog_, "EMP: eno -> sal");
+  EXPECT_TRUE(db.Satisfies(fd));
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("30"), C("toys")}).ok());
+  EXPECT_FALSE(db.Satisfies(fd));
+}
+
+TEST_F(InstanceTest, IndSatisfaction) {
+  Instance db(&catalog_);
+  InclusionDependency ind = *ParseInd(catalog_, "EMP[dept] <= DEP[dept]");
+  EXPECT_TRUE(db.Satisfies(ind));  // vacuous
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("10"), C("toys")}).ok());
+  EXPECT_FALSE(db.Satisfies(ind));
+  ASSERT_TRUE(db.AddTuple(1, {C("toys"), C("nyc")}).ok());
+  EXPECT_TRUE(db.Satisfies(ind));
+}
+
+TEST_F(InstanceTest, ViolationsListsOffenders) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("10"), C("toys")}).ok());
+  DependencySet deps = *ParseDependencies(
+      catalog_, "EMP: eno -> sal; EMP[dept] <= DEP[dept]");
+  std::vector<std::string> v = db.Violations(deps, symbols_);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "EMP[dept] <= DEP[dept]");
+}
+
+TEST_F(InstanceTest, EvalIntroExample) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("10"), C("toys")}).ok());
+  ASSERT_TRUE(db.AddTuple(0, {C("e2"), C("20"), C("food")}).ok());
+  ASSERT_TRUE(db.AddTuple(1, {C("toys"), C("nyc")}).ok());
+
+  ConjunctiveQuery q1 =
+      *ParseQuery(catalog_, symbols_, "ans(e) :- EMP(e, s, d), DEP(d, l)");
+  ConjunctiveQuery q2 =
+      *ParseQuery(catalog_, symbols_, "ans(e) :- EMP(e, s, d)");
+
+  // food has no DEP row: Q1 returns only e1; Q2 returns both.
+  EXPECT_EQ(db.Eval(q1), (std::vector<std::vector<Term>>{{C("e1")}}));
+  EXPECT_EQ(db.Eval(q2),
+            (std::vector<std::vector<Term>>{{C("e1")}, {C("e2")}}));
+  EXPECT_TRUE(db.EvalContained(q1, q2));
+  EXPECT_FALSE(db.EvalContained(q2, q1));
+}
+
+TEST_F(InstanceTest, EvalRespectsConstantsAndRepeatedVars) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(1, {C("toys"), C("toys")}).ok());
+  ASSERT_TRUE(db.AddTuple(1, {C("toys"), C("nyc")}).ok());
+
+  ConjunctiveQuery with_const =
+      *ParseQuery(catalog_, symbols_, "ans(d) :- DEP(d, 'nyc')");
+  EXPECT_EQ(db.Eval(with_const),
+            (std::vector<std::vector<Term>>{{C("toys")}}));
+
+  ConjunctiveQuery repeated =
+      *ParseQuery(catalog_, symbols_, "ans(d) :- DEP(d, d)");
+  EXPECT_EQ(db.Eval(repeated),
+            (std::vector<std::vector<Term>>{{C("toys")}}));
+}
+
+TEST_F(InstanceTest, EvalBooleanQuery) {
+  Instance db(&catalog_);
+  ConjunctiveQuery boolean =
+      *ParseQuery(catalog_, symbols_, "ans() :- DEP(d, l)");
+  EXPECT_TRUE(db.Eval(boolean).empty());
+  ASSERT_TRUE(db.AddTuple(1, {C("toys"), C("nyc")}).ok());
+  // Non-empty result is the single empty tuple.
+  EXPECT_EQ(db.Eval(boolean).size(), 1u);
+}
+
+TEST_F(InstanceTest, EvalEmptyQueryIsEmpty) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(1, {C("toys"), C("nyc")}).ok());
+  ConjunctiveQuery q(&catalog_, &symbols_);
+  q.SetSummary({symbols_.InternDistVar("x")});
+  q.MarkEmptyQuery();
+  EXPECT_TRUE(db.Eval(q).empty());
+}
+
+TEST_F(InstanceTest, RepairAddsIndWitnesses) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("10"), C("toys")}).ok());
+  DependencySet deps =
+      *ParseDependencies(catalog_, "EMP[dept] <= DEP[dept]");
+  ASSERT_TRUE(RepairToSatisfy(deps, symbols_, 10, db).ok());
+  EXPECT_TRUE(db.Satisfies(deps));
+  EXPECT_EQ(db.tuples(1).size(), 1u);
+  EXPECT_EQ(db.tuples(1)[0][0], C("toys"));
+}
+
+TEST_F(InstanceTest, RepairDeletesFdViolations) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("10"), C("toys")}).ok());
+  ASSERT_TRUE(db.AddTuple(0, {C("e1"), C("20"), C("toys")}).ok());
+  DependencySet deps = *ParseDependencies(catalog_, "EMP: eno -> sal");
+  ASSERT_TRUE(RepairToSatisfy(deps, symbols_, 10, db).ok());
+  EXPECT_TRUE(db.Satisfies(deps));
+  EXPECT_EQ(db.tuples(0).size(), 1u);
+}
+
+TEST_F(InstanceTest, RepairDivergenceIsReported) {
+  // R: 2 -> 1 with R[2] ⊆ R[1] diverges on a seed tuple when every repair
+  // introduces a fresh first-column value (Section 4's engine of infinity).
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  Instance db(&catalog);
+  ASSERT_TRUE(db.AddTuple(0, {C("c1"), C("c2")}).ok());
+  DependencySet deps = *ParseDependencies(catalog, "R[2] <= R[1]");
+  Status s = RepairToSatisfy(deps, symbols_, 5, db);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(InstanceTest, ToStringIsSortedAndStable) {
+  Instance db(&catalog_);
+  ASSERT_TRUE(db.AddTuple(1, {C("b"), C("x")}).ok());
+  ASSERT_TRUE(db.AddTuple(1, {C("a"), C("y")}).ok());
+  std::string text = db.ToString(symbols_);
+  EXPECT_NE(text.find("DEP"), std::string::npos);
+  EXPECT_LT(text.find("(a, y)"), text.find("(b, x)"));
+}
+
+}  // namespace
+}  // namespace cqchase

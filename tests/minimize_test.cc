@@ -1,0 +1,120 @@
+#include "core/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+TEST(MinimizeTest, IntroExampleDropsDepConjunctUnderInd) {
+  Scenario s = EmpDepScenario();
+  // Q1 = EMP ∧ DEP is non-minimal under the IND: DEP is redundant.
+  Result<bool> nm = IsNonMinimal(s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(nm.ok()) << nm.status();
+  EXPECT_TRUE(*nm);
+  Result<MinimizeReport> m = MinimizeQuery(s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->removed_conjuncts, 1u);
+  EXPECT_EQ(m->query.conjuncts().size(), 1u);
+  EXPECT_EQ(m->query.conjuncts()[0].relation, 0u);  // the EMP conjunct
+}
+
+TEST(MinimizeTest, IntroExampleMinimalWithoutInd) {
+  Scenario s = EmpDepScenario();
+  DependencySet none;
+  Result<bool> nm = IsNonMinimal(s.queries[0], none, *s.symbols);
+  ASSERT_TRUE(nm.ok());
+  EXPECT_FALSE(*nm);
+  Result<MinimizeReport> m = MinimizeQuery(s.queries[0], none, *s.symbols);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->removed_conjuncts, 0u);
+  EXPECT_EQ(m->query.conjuncts().size(), 2u);
+}
+
+TEST(MinimizeTest, ClassicalRedundancyWithoutDependencies) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("E", {"s", "d"}).ok());
+  SymbolTable symbols;
+  DependencySet none;
+  // E(x,y) ∧ E(x,y2): the second conjunct folds onto the first.
+  ConjunctiveQuery q =
+      *ParseQuery(catalog, symbols, "ans(x) :- E(x, y), E(x, y2)");
+  Result<MinimizeReport> m = MinimizeQuery(q, none, symbols);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->removed_conjuncts, 1u);
+  EXPECT_EQ(m->query.conjuncts().size(), 1u);
+}
+
+TEST(MinimizeTest, CoreOfFoldablePath) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("E", {"s", "d"}).ok());
+  SymbolTable symbols;
+  DependencySet none;
+  // Boolean query: 3-path folds onto a single edge? No — but a path with a
+  // doubling fold does: E(x,y), E(x,y'), E(y',z) folds to E(x,y), E(y,z)?
+  // Use the classical example: E(a,b), E(c,b), E(c,d) has core of size...
+  // all three are needed (zigzag); contrast with a foldable triangle copy.
+  ConjunctiveQuery zigzag = *ParseQuery(
+      catalog, symbols, "ans() :- E(a, b), E(cc, b), E(cc, d)");
+  Result<MinimizeReport> m1 = MinimizeQuery(zigzag, none, symbols);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->removed_conjuncts, 2u)
+      << "Boolean zigzag folds onto a single edge (b<-c->d collapses)";
+  // With distinguished endpoints the zigzag is rigid.
+  ConjunctiveQuery rigid = *ParseQuery(
+      catalog, symbols, "ans(a, d) :- E(a, b), E(cc, b), E(cc, d)");
+  Result<MinimizeReport> m2 = MinimizeQuery(rigid, none, symbols);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m2->removed_conjuncts, 0u);
+}
+
+TEST(MinimizeTest, FdEnablesRemoval) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet fd = *ParseDependencies(catalog, "R: 1 -> 2");
+  // R(x,u), R(x,v) force u=v under the FD, so chasing Q−R(v,u) produces the
+  // loop R(u,u) that both R(u,v) and R(v,u) fold onto — but without the FD
+  // the 2-cycle through u,v is rigid and nothing can be removed. (A plain
+  // "shadow conjunct" like R(x,y),R(x,z) would fold via y→z even without
+  // the FD, which is why this test needs the cycle.)
+  ConjunctiveQuery q = *ParseQuery(
+      catalog, symbols, "ans(x) :- R(x, u), R(x, v), R(u, v), R(v, u)");
+  Result<MinimizeReport> with_fd = MinimizeQuery(q, fd, symbols);
+  ASSERT_TRUE(with_fd.ok());
+  EXPECT_EQ(with_fd->removed_conjuncts, 1u);
+  DependencySet none;
+  Result<MinimizeReport> without = MinimizeQuery(q, none, symbols);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->removed_conjuncts, 0u);
+}
+
+TEST(MinimizeTest, SafetyPreventsRemovingLastBinding) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("E", {"s", "d"}).ok());
+  SymbolTable symbols;
+  DependencySet none;
+  ConjunctiveQuery q = *ParseQuery(catalog, symbols, "ans(x) :- E(x, y)");
+  Result<MinimizeReport> m = MinimizeQuery(q, none, symbols);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->query.conjuncts().size(), 1u);
+  Result<bool> nm = IsNonMinimal(q, none, symbols);
+  ASSERT_TRUE(nm.ok());
+  EXPECT_FALSE(*nm);
+}
+
+TEST(MinimizeTest, MinimizedQueryIsEquivalentToOriginal) {
+  Scenario s = EmpDepScenario();
+  Result<MinimizeReport> m = MinimizeQuery(s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(m.ok());
+  Result<bool> eq =
+      CheckEquivalence(m->query, s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+}  // namespace
+}  // namespace cqchase

@@ -1,0 +1,208 @@
+#include "opt/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+#include "opt/cost.h"
+
+namespace cqchase {
+namespace {
+
+// --- Cost model --------------------------------------------------------------
+
+TEST(CostModelTest, UniformStatsAndConstantSelectivity) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  TableStats stats = TableStats::Uniform(catalog, 1000, 10);
+  SymbolTable symbols;
+  ConjunctiveQuery scan = *ParseQuery(catalog, symbols, "ans(x) :- R(x, y)");
+  ConjunctiveQuery pinned =
+      *ParseQuery(catalog, symbols, "ans(x) :- R(x, '7')");
+  // A constant divides the estimate by the distinct count.
+  EXPECT_GT(EstimatePlanCost(stats, scan), EstimatePlanCost(stats, pinned));
+}
+
+TEST(CostModelTest, FromInstanceCountsDistinctValues) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  Instance db(&catalog);
+  ASSERT_TRUE(db.AddTuple(0, {symbols.InternConstant("u"),
+                              symbols.InternConstant("v")}).ok());
+  ASSERT_TRUE(db.AddTuple(0, {symbols.InternConstant("u"),
+                              symbols.InternConstant("w")}).ok());
+  TableStats stats = TableStats::FromInstance(db);
+  EXPECT_EQ(stats.relation(0).cardinality, 2u);
+  EXPECT_EQ(stats.relation(0).distinct[0], 1u);
+  EXPECT_EQ(stats.relation(0).distinct[1], 2u);
+}
+
+TEST(CostModelTest, BoundVariablesReduceCardinality) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  TableStats stats = TableStats::Uniform(catalog, 100, 10);
+  SymbolTable symbols;
+  Fact f;
+  f.relation = 0;
+  f.terms = {symbols.InternNondistVar("x"), symbols.InternNondistVar("y")};
+  EXPECT_DOUBLE_EQ(
+      EstimateConjunctCardinality(stats, f, {false, false}), 100.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateConjunctCardinality(stats, f, {true, false}), 10.0);
+  EXPECT_DOUBLE_EQ(EstimateConjunctCardinality(stats, f, {true, true}), 1.0);
+}
+
+TEST(CostModelTest, RepeatedVariableActsAsSelection) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  TableStats stats = TableStats::Uniform(catalog, 100, 10);
+  SymbolTable symbols;
+  Fact loop;
+  loop.relation = 0;
+  Term x = symbols.InternNondistVar("x");
+  loop.terms = {x, x};
+  EXPECT_DOUBLE_EQ(
+      EstimateConjunctCardinality(stats, loop, {false, false}), 10.0);
+}
+
+TEST(CostModelTest, GreedyOrderStartsWithMostSelective) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("BIG", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("TINY", {"a"}).ok());
+  TableStats stats(&catalog);
+  stats.mutable_relation(0) = {10000, {100, 100}};
+  stats.mutable_relation(1) = {5, {5}};
+  SymbolTable symbols;
+  ConjunctiveQuery q =
+      *ParseQuery(catalog, symbols, "ans(x) :- BIG(x, y), TINY(x)");
+  std::vector<size_t> order = GreedyJoinOrder(stats, q);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);  // TINY first
+  EXPECT_EQ(order[1], 0u);
+}
+
+// --- Optimizer passes --------------------------------------------------------
+
+TEST(OptimizerTest, IntroExampleDropsTheDepJoin) {
+  Scenario s = EmpDepScenario();
+  Result<OptimizeReport> r = OptimizeQuery(s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->conjuncts_removed, 1u);
+  EXPECT_EQ(r->query.size(), 1u);
+  // The result must still be Σ-equivalent to the input.
+  Result<bool> eq =
+      CheckEquivalence(s.queries[0], r->query, s.deps, *s.symbols);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(OptimizerTest, FdUnificationMergesVariables) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet fd = *ParseDependencies(catalog, "R: 1 -> 2");
+  ConjunctiveQuery q =
+      *ParseQuery(catalog, symbols, "ans(x) :- R(x, y), R(x, z)");
+  Result<OptimizeReport> r = OptimizeQuery(q, fd, symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->variables_unified, 1u);  // z merged into y
+  EXPECT_EQ(r->query.size(), 1u);       // duplicate conjunct collapsed
+}
+
+TEST(OptimizerTest, DetectsEmptyQueryViaConstantClash) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet fd = *ParseDependencies(catalog, "R: 1 -> 2");
+  ConjunctiveQuery q =
+      *ParseQuery(catalog, symbols, "ans(x) :- R(x, '1'), R(x, '2')");
+  Result<OptimizeReport> r = OptimizeQuery(q, fd, symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->proved_empty);
+  EXPECT_TRUE(r->query.is_empty_query());
+}
+
+TEST(OptimizerTest, ReorderingNeverChangesAnswers) {
+  Rng rng(11);
+  Scenario s = EmpDepScenario();
+  // A database satisfying the IND.
+  Instance db(s.catalog.get());
+  auto c = [&](const char* n) { return s.symbols->InternConstant(n); };
+  ASSERT_TRUE(db.AddTuple(0, {c("e1"), c("50"), c("d1")}).ok());
+  ASSERT_TRUE(db.AddTuple(0, {c("e2"), c("60"), c("d2")}).ok());
+  ASSERT_TRUE(db.AddTuple(1, {c("d1"), c("l1")}).ok());
+  ASSERT_TRUE(db.AddTuple(1, {c("d2"), c("l2")}).ok());
+  ASSERT_TRUE(db.Satisfies(s.deps));
+
+  ConjunctiveQuery q = *ParseQuery(
+      *s.catalog, *s.symbols, "ans(e, l) :- EMP(e, sal, d), DEP(d, l)");
+  OptimizerOptions options;
+  options.stats = TableStats::FromInstance(db);
+  Result<OptimizeReport> r = OptimizeQuery(q, s.deps, *s.symbols, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(db.Eval(q), db.Eval(r->query));
+  EXPECT_LE(r->cost_after_reorder, r->cost_before_reorder);
+}
+
+TEST(OptimizerTest, PassesCanBeDisabled) {
+  Scenario s = EmpDepScenario();
+  OptimizerOptions options;
+  options.minimize = false;
+  options.fd_unification = false;
+  options.reorder_joins = false;
+  Result<OptimizeReport> r =
+      OptimizeQuery(s.queries[0], s.deps, *s.symbols, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->query.size(), s.queries[0].size());
+  EXPECT_TRUE(r->trace.empty());
+}
+
+TEST(OptimizerTest, GeneralMixedSigmaRequiresSemidecisionOptIn) {
+  Scenario s = Section4Scenario();  // FD+IND, not key-based
+  ConjunctiveQuery q = s.queries[1];
+  Result<OptimizeReport> strict = OptimizeQuery(q, s.deps, *s.symbols);
+  ASSERT_FALSE(strict.ok());
+  OptimizerOptions options;
+  options.containment.allow_semidecision = true;
+  options.containment.limits.max_level = 10;
+  Result<OptimizeReport> relaxed =
+      OptimizeQuery(q, s.deps, *s.symbols, options);
+  EXPECT_TRUE(relaxed.ok()) << relaxed.status();
+}
+
+class OptimizerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerProperty, OutputIsAlwaysSigmaEquivalent) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 2;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = 2;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 3;
+  qp.name_prefix = StrCat("op", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  Result<OptimizeReport> r = OptimizeQuery(q, deps, symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  Result<bool> eq = CheckEquivalence(q, r->query, deps, symbols);
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq) << "input:  " << q.ToString()
+                   << "\noutput: " << r->query.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace cqchase

@@ -1,0 +1,273 @@
+// Parameterized property tests: invariants of the chase and the containment
+// decision swept over seeds, chase variants and dependency shapes.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "chase/chase.h"
+#include "chase/chase_graph.h"
+#include "core/containment.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "finite/finite_containment.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+// --- Chase invariants over random key-based scenarios ----------------------
+
+class KeyBasedChaseProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KeyBasedChaseProperty, SaturatedOrTruncatedChaseSatisfiesSigma) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 4;
+  Catalog catalog = RandomCatalog(rng, cp);
+  DependencySet deps = RandomKeyBasedDeps(rng, catalog, {});
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 3;
+  qp.name_prefix = StrCat("p", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+
+  // Bounded: key-based R-chases can be infinite with exponential level
+  // growth; the properties under test are prefix properties.
+  ChaseLimits limits;
+  limits.max_level = 6;
+  limits.max_conjuncts = 20000;
+  Result<Chase> chase =
+      BuildChase(q, deps, symbols, ChaseVariant::kRequired, limits);
+  ASSERT_TRUE(chase.ok()) << chase.status();
+  if (chase->outcome() == ChaseOutcome::kSaturated) {
+    // A completed chase, read as a database, satisfies Σ — the property
+    // Theorem 1 rests on.
+    EXPECT_TRUE(chase->AsInstance().Satisfies(deps))
+        << chase->ToString() << deps.ToString(catalog);
+  }
+  // Key-based R-chases: Lemma 6's symbol-span bound holds regardless of
+  // saturation.
+  EXPECT_LE(MaxSymbolLevelSpan(*chase), 1u);
+}
+
+TEST_P(KeyBasedChaseProperty, Lemma2FactorizationHolds) {
+  Rng rng(GetParam() + 1000);
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  DependencySet deps = RandomKeyBasedDeps(rng, catalog, {});
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 3;
+  qp.name_prefix = StrCat("f", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+
+  ChaseLimits limits;
+  limits.max_level = 4;
+  limits.max_conjuncts = 20000;
+  Result<Chase> direct =
+      BuildChase(q, deps, symbols, ChaseVariant::kRequired, limits);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  Result<Chase> factored = FactorizedRChase(q, deps, symbols, limits);
+  ASSERT_TRUE(factored.ok()) << factored.status();
+  EXPECT_TRUE(QueriesIsomorphic(direct->AsQuery(), factored->AsQuery()))
+      << "direct:\n" << direct->ToString()
+      << "factored:\n" << factored->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyBasedChaseProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// --- Chase determinism and stability over IND-only sets --------------------
+
+class IndChaseProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndChaseProperty, VariantsDecideContainmentIdentically) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 2;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = 3;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 2;
+  qp.name_prefix = StrCat("va", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  qp.name_prefix = StrCat("vb", GetParam());
+  qp.num_conjuncts = 2;
+  ConjunctiveQuery q_prime = RandomQuery(rng, catalog, symbols, qp);
+
+  ContainmentOptions with_r;
+  with_r.variant = ChaseVariant::kRequired;
+  ContainmentOptions with_o;
+  with_o.variant = ChaseVariant::kOblivious;
+  with_o.limits.max_conjuncts = 500000;
+  Result<ContainmentReport> r =
+      CheckContainment(q, q_prime, deps, symbols, with_r);
+  Result<ContainmentReport> o =
+      CheckContainment(q, q_prime, deps, symbols, with_o);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(o.ok()) << o.status();
+  EXPECT_EQ(r->contained, o->contained)
+      << q.ToString() << "  vs  " << q_prime.ToString() << "\nunder "
+      << deps.ToString(catalog);
+}
+
+TEST_P(IndChaseProperty, ContainmentIsReflexiveAndMonotone) {
+  Rng rng(GetParam() + 500);
+  RandomCatalogParams cp;
+  cp.num_relations = 2;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = 2;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 3;
+  qp.name_prefix = StrCat("m", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+
+  // Q ⊆ Q.
+  Result<ContainmentReport> self = CheckContainment(q, q, deps, symbols);
+  ASSERT_TRUE(self.ok()) << self.status();
+  EXPECT_TRUE(self->contained);
+
+  // Dropping a conjunct of Q weakens it: Q ⊆ Q-minus-one.
+  if (q.conjuncts().size() > 1) {
+    ConjunctiveQuery weaker(&catalog, &symbols);
+    bool safe = true;
+    for (size_t i = 1; i < q.conjuncts().size(); ++i) {
+      weaker.AddConjunct(q.conjuncts()[i]);
+    }
+    weaker.SetSummary(q.summary());
+    safe = weaker.Validate().ok();
+    if (safe) {
+      Result<ContainmentReport> mono =
+          CheckContainment(q, weaker, deps, symbols);
+      ASSERT_TRUE(mono.ok()) << mono.status();
+      EXPECT_TRUE(mono->contained);
+    }
+  }
+}
+
+TEST_P(IndChaseProperty, MoreDependenciesNeverBreakContainment) {
+  // Monotonicity in Σ: if Q ⊆ Q' under Σ' ⊆ Σ, then also under Σ.
+  Rng rng(GetParam() + 900);
+  RandomCatalogParams cp;
+  cp.num_relations = 2;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = 3;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 2;
+  qp.name_prefix = StrCat("w", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  qp.name_prefix = StrCat("w2_", GetParam());
+  ConjunctiveQuery q_prime = RandomQuery(rng, catalog, symbols, qp);
+
+  DependencySet empty;
+  Result<ContainmentReport> without =
+      CheckContainment(q, q_prime, empty, symbols);
+  ASSERT_TRUE(without.ok());
+  if (without->contained) {
+    Result<ContainmentReport> with_deps =
+        CheckContainment(q, q_prime, deps, symbols);
+    ASSERT_TRUE(with_deps.ok()) << with_deps.status();
+    EXPECT_TRUE(with_deps->contained);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndChaseProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// --- Theorem 2 bound sweep --------------------------------------------------
+
+struct BoundCase {
+  size_t q_prime_size;
+  size_t sigma_size;
+  size_t width;
+};
+
+class BoundProperty : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(BoundProperty, BoundIsMonotoneInEachParameter) {
+  const BoundCase& c = GetParam();
+  uint64_t base = Theorem2LevelBound(c.q_prime_size, c.sigma_size, c.width);
+  EXPECT_GE(Theorem2LevelBound(c.q_prime_size + 1, c.sigma_size, c.width),
+            base);
+  EXPECT_GE(Theorem2LevelBound(c.q_prime_size, c.sigma_size + 1, c.width),
+            base);
+  EXPECT_GE(Theorem2LevelBound(c.q_prime_size, c.sigma_size, c.width + 1),
+            base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundProperty,
+    ::testing::Values(BoundCase{1, 1, 0}, BoundCase{2, 3, 1},
+                      BoundCase{3, 3, 2}, BoundCase{4, 2, 3},
+                      BoundCase{8, 8, 4}, BoundCase{16, 1, 5}));
+
+// --- Exhaustive finite-vs-infinite agreement on tiny width-1 systems -------
+
+class FiniteAgreementProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FiniteAgreementProperty, InfiniteContainmentImpliesFiniteOnSamples) {
+  Rng rng(GetParam() * 31);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"a", "b"}).ok());
+  RandomIndParams ip;
+  ip.count = 2;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 2;
+  qp.name_prefix = StrCat("fa", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  qp.name_prefix = StrCat("fb", GetParam());
+  ConjunctiveQuery q_prime = RandomQuery(rng, catalog, symbols, qp);
+
+  Result<ContainmentReport> verdict =
+      CheckContainment(q, q_prime, deps, symbols);
+  ASSERT_TRUE(verdict.ok()) << verdict.status();
+  if (verdict->contained) {
+    // ⊆∞ implies ⊆f: no sampled finite Σ-database may separate them.
+    RandomSearchParams sp;
+    sp.samples = 40;
+    sp.domain_size = 4;
+    sp.tuples_per_relation = 3;
+    sp.seed = GetParam();
+    Result<std::optional<Instance>> cex =
+        RandomFiniteCounterexample(q, q_prime, deps, symbols, sp);
+    ASSERT_TRUE(cex.ok()) << cex.status();
+    EXPECT_FALSE(cex->has_value())
+        << (*cex)->ToString(symbols) << "\n"
+        << q.ToString() << " vs " << q_prime.ToString() << " under "
+        << deps.ToString(catalog);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FiniteAgreementProperty,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace cqchase

@@ -1,0 +1,200 @@
+#include "core/pspace.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "core/containment.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+// --- StreamingVerifyCertificate --------------------------------------------
+
+TEST(StreamingVerifyTest, AcceptsKeyBasedCertificate) {
+  Scenario s = KeyBasedEmpDepScenario();
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(s.queries[1], s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(cert.ok() && cert->has_value());
+  Result<StreamingVerifyReport> report = StreamingVerifyCertificate(
+      **cert, s.queries[1], s.queries[0], s.deps, *s.symbols, /*window=*/2);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->valid) << report->rejection;
+}
+
+TEST(StreamingVerifyTest, RejectsTamperedStep) {
+  Scenario s = KeyBasedEmpDepScenario();
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(s.queries[1], s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(cert.ok() && cert->has_value());
+  ContainmentCertificate bad = **cert;
+  ASSERT_FALSE(bad.steps.empty());
+  bad.steps[0].fact.terms[0] = bad.roots[0].terms[0];
+  Result<StreamingVerifyReport> report = StreamingVerifyCertificate(
+      bad, s.queries[1], s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->valid);
+  EXPECT_FALSE(report->rejection.empty());
+}
+
+TEST(StreamingVerifyTest, WindowOfOneIsRejected) {
+  Scenario s = KeyBasedEmpDepScenario();
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(s.queries[1], s.queries[0], s.deps, *s.symbols);
+  ASSERT_TRUE(cert.ok() && cert->has_value());
+  Result<StreamingVerifyReport> report = StreamingVerifyCertificate(
+      **cert, s.queries[1], s.queries[0], s.deps, *s.symbols, /*window=*/1);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(StreamingVerifyTest, AgreesWithFullVerifierOnPlantedCases) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Scenario s = Fig1Scenario();
+    Rng rng(seed);
+    Result<ConjunctiveQuery> q_prime =
+        PlantedSuperQuery(rng, s.queries[0], s.deps, *s.symbols, 1, 2);
+    ASSERT_TRUE(q_prime.ok());
+    Result<std::optional<ContainmentCertificate>> cert =
+        BuildCertificate(s.queries[0], *q_prime, s.deps, *s.symbols);
+    ASSERT_TRUE(cert.ok() && cert->has_value());
+    Status full =
+        VerifyCertificate(**cert, s.queries[0], *q_prime, s.deps, *s.symbols);
+    // Width-2 INDs here: symbols can propagate along chains, so give the
+    // stream a window generous enough for this Σ.
+    Result<StreamingVerifyReport> stream = StreamingVerifyCertificate(
+        **cert, s.queries[0], *q_prime, s.deps, *s.symbols, /*window=*/8);
+    ASSERT_TRUE(stream.ok()) << stream.status();
+    EXPECT_EQ(full.ok(), stream->valid) << stream->rejection;
+  }
+}
+
+TEST(StreamingVerifyTest, PeakWindowIsSmallerThanTotalOnDeepChains) {
+  // Σ = {R[2] ⊆ R[1]} chases a single R-conjunct into a long chain; a
+  // planted Q' deep in the chain forces a long derivation whose windowed
+  // verification should retain far fewer symbols than the whole thing.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet deps = *ParseDependencies(catalog, "R[2] <= R[1]");
+  ConjunctiveQuery q = *ParseQuery(catalog, symbols, "ans(x) :- R(x, y)");
+  // Q' is an 8-hop chain hanging off the summary DV: every homomorphism
+  // into the chase must walk 8 levels deep, so the certificate carries a
+  // long derivation.
+  ConjunctiveQuery q_prime = *ParseQuery(
+      catalog, symbols,
+      "ans(x) :- R(x, a1), R(a1, a2), R(a2, a3), R(a3, a4), R(a4, a5), "
+      "R(a5, a6), R(a6, a7), R(a7, a8)");
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(q, q_prime, deps, symbols);
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  ASSERT_TRUE(cert->has_value());
+  ASSERT_GE((*cert)->steps.size(), 6u);
+  const ContainmentCertificate& chosen = **cert;
+  Result<StreamingVerifyReport> report = StreamingVerifyCertificate(
+      chosen, q, q_prime, deps, symbols, /*window=*/3);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->valid) << report->rejection;
+  EXPECT_LT(report->peak_window_symbols, report->total_symbols);
+}
+
+// --- StreamingSingleConjunctContainment -------------------------------------
+
+TEST(StreamingContainmentTest, IntroExampleSingleConjunctDirections) {
+  Scenario s = EmpDepScenario();
+  // Q1 ⊆ Q2 (drop DEP): Q2 has one conjunct — streamable.
+  Result<StreamingContainmentReport> r = StreamingSingleConjunctContainment(
+      s.queries[0], s.queries[1], s.deps, *s.symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->contained);
+  EXPECT_EQ(r->decided_at_level, 0u);
+}
+
+TEST(StreamingContainmentTest, RequiresSingleConjunctAndIndOnly) {
+  Scenario s = EmpDepScenario();
+  // Q2 ⊆ Q1: Q1 has two conjuncts — rejected.
+  Result<StreamingContainmentReport> r = StreamingSingleConjunctContainment(
+      s.queries[1], s.queries[0], s.deps, *s.symbols);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+
+  Scenario sec4 = Section4Scenario();  // has an FD
+  Result<StreamingContainmentReport> r2 = StreamingSingleConjunctContainment(
+      sec4.queries[0], sec4.queries[0], sec4.deps, *sec4.symbols);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingContainmentTest, FindsDeepWitnessAcrossRelations) {
+  // R[1] ⊆ S[1]: any R row implies an S row with the same first column.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet deps = *ParseDependencies(catalog, "R[1] <= S[1]");
+  ConjunctiveQuery q = *ParseQuery(catalog, symbols, "ans(x) :- R(x, y)");
+  ConjunctiveQuery q_prime =
+      *ParseQuery(catalog, symbols, "ans(x) :- S(x, z)");
+  Result<StreamingContainmentReport> r =
+      StreamingSingleConjunctContainment(q, q_prime, deps, symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->contained);
+  EXPECT_EQ(r->decided_at_level, 1u);
+}
+
+TEST(StreamingContainmentTest, NegativeIsCertifiedByTheLevelBound) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"a", "b"}).ok());
+  SymbolTable symbols;
+  // The IND copies column 1, but Q' wants x in S's *second* column.
+  DependencySet deps = *ParseDependencies(catalog, "R[1] <= S[1]");
+  ConjunctiveQuery q = *ParseQuery(catalog, symbols, "ans(x) :- R(x, y)");
+  ConjunctiveQuery q_prime =
+      *ParseQuery(catalog, symbols, "ans(x) :- S(z, x)");
+  Result<StreamingContainmentReport> r =
+      StreamingSingleConjunctContainment(q, q_prime, deps, symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->contained);
+}
+
+class StreamingAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingAgreement, MatchesGeneralCheckerOnRandomSingleConjunctCases) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = 2;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 2;
+  qp.name_prefix = StrCat("sa", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  qp.num_conjuncts = 1;
+  qp.name_prefix = StrCat("sb", GetParam());
+  ConjunctiveQuery q_prime = RandomQuery(rng, catalog, symbols, qp);
+  if (q_prime.size() != 1) GTEST_SKIP() << "safety patching grew Q'";
+
+  Result<StreamingContainmentReport> stream =
+      StreamingSingleConjunctContainment(q, q_prime, deps, symbols);
+  Result<ContainmentReport> general =
+      CheckContainment(q, q_prime, deps, symbols);
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  ASSERT_TRUE(general.ok()) << general.status();
+  EXPECT_EQ(stream->contained, general->contained);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingAgreement,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace cqchase

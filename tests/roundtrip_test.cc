@@ -1,0 +1,105 @@
+// Round-trip properties: rendered queries and dependencies re-parse to equal
+// objects, and rendering is deterministic. These pin down the text formats
+// the examples and the chase explorer rely on.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+class QueryRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryRoundTrip, ToStringReparsesToIsomorphicQuery) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 1;
+  cp.max_arity = 4;
+  Catalog catalog = RandomCatalog(rng, cp);
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 1 + GetParam() % 5;
+  qp.num_dist_vars = 1 + GetParam() % 3;
+  qp.constant_prob = (GetParam() % 2) ? 0.3 : 0.0;
+  qp.name_prefix = StrCat("rt", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  ASSERT_TRUE(q.Validate().ok());
+
+  std::string text = q.ToString();
+  Result<ConjunctiveQuery> reparsed = ParseQuery(catalog, symbols, text);
+  ASSERT_TRUE(reparsed.ok()) << text << "\n" << reparsed.status();
+  // Variables re-parse to the same interned Terms, so the round trip is
+  // exact equality, not just isomorphism.
+  EXPECT_EQ(q, *reparsed) << text;
+  // Rendering is stable.
+  EXPECT_EQ(text, reparsed->ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryRoundTrip,
+                         ::testing::Range<uint64_t>(1, 26));
+
+class DepsRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DepsRoundTrip, RenderedDependenciesReparse) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 4;
+  Catalog catalog = RandomCatalog(rng, cp);
+  DependencySet deps = (GetParam() % 2 == 0)
+                           ? RandomKeyBasedDeps(rng, catalog, {})
+                           : RandomIndOnlyDeps(rng, catalog, {});
+  if (deps.empty()) GTEST_SKIP() << "empty random Sigma";
+  std::string text = deps.ToString(catalog);
+  Result<DependencySet> reparsed = ParseDependencies(catalog, text);
+  ASSERT_TRUE(reparsed.ok()) << text << "\n" << reparsed.status();
+  EXPECT_EQ(deps.fds(), reparsed->fds()) << text;
+  EXPECT_EQ(deps.inds(), reparsed->inds()) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DepsRoundTrip,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(RoundTripEdgeCases, ScenarioQueriesReparse) {
+  Scenario scenarios[] = {EmpDepScenario(), Fig1Scenario(),
+                          Section4Scenario(), KeyBasedEmpDepScenario()};
+  for (Scenario& s : scenarios) {
+    for (const ConjunctiveQuery& q : s.queries) {
+      Result<ConjunctiveQuery> reparsed =
+          ParseQuery(*s.catalog, *s.symbols, q.ToString());
+      ASSERT_TRUE(reparsed.ok()) << q.ToString();
+      EXPECT_EQ(q, *reparsed);
+    }
+    Result<DependencySet> redeps =
+        ParseDependencies(*s.catalog, s.deps.ToString(*s.catalog));
+    ASSERT_TRUE(redeps.ok()) << s.deps.ToString(*s.catalog);
+    EXPECT_EQ(s.deps.fds(), redeps->fds());
+    EXPECT_EQ(s.deps.inds(), redeps->inds());
+  }
+}
+
+TEST(RoundTripEdgeCases, ConstantsAndBooleanHeads) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  for (const char* text :
+       {"ans() :- R(x, y)", "ans(x) :- R(x, '7')",
+        "ans(x, 'acme') :- R(x, y)", "ans(x) :- R(x, x)"}) {
+    Result<ConjunctiveQuery> q = ParseQuery(catalog, symbols, text);
+    ASSERT_TRUE(q.ok()) << text;
+    Result<ConjunctiveQuery> round =
+        ParseQuery(catalog, symbols, q->ToString());
+    ASSERT_TRUE(round.ok()) << q->ToString();
+    EXPECT_EQ(*q, *round) << text;
+  }
+}
+
+}  // namespace
+}  // namespace cqchase

@@ -1,0 +1,49 @@
+#include "base/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cqchase {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("level ", 3, "/", 10), "level 3/10");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(1.5), "1.5");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  std::vector<std::string> v{"a", "b", "c"};
+  EXPECT_EQ(StrJoin(v, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2}, "-"), "1-2");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, "-"), "");
+}
+
+TEST(StrJoinTest, MappedJoin) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(StrJoinMapped(v, "+", [](int x) { return x * x; }), "1+4+9");
+}
+
+TEST(StrSplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a;b;;c", ';'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ';'), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ';'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("z"), "z");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("chase", "ch"));
+  EXPECT_FALSE(StartsWith("chase", "hase"));
+  EXPECT_TRUE(EndsWith("chase", "se"));
+  EXPECT_FALSE(EndsWith("chase", "cha"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace cqchase

@@ -1,0 +1,168 @@
+// Cross-module property sweeps tying the extensions back to the core
+// invariants: saturated chases satisfy their dependencies, certificates
+// round-trip on every decidable class, and containment is reflexive no
+// matter what Σ is in force.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "core/certificate.h"
+#include "core/containment.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "emvd/emvd_chase.h"
+#include "gen/generators.h"
+
+namespace cqchase {
+namespace {
+
+// --- EMVD chases -------------------------------------------------------------
+
+class EmvdSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EmvdSweep, SaturatedFullMvdChaseSatisfiesItsEmvd) {
+  Rng rng(GetParam());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b", "c"}).ok());
+  SymbolTable symbols;
+  std::vector<EmbeddedMvd> emvds = {*ParseEmvd(catalog, "R: a ->> b | c")};
+  DependencySet no_fds;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 2 + GetParam() % 3;
+  qp.num_vars = 3 + GetParam() % 3;
+  qp.name_prefix = StrCat("es", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  ChaseLimits limits;
+  limits.max_conjuncts = 5000;
+  EmvdChase chase(&catalog, &symbols, &no_fds, &emvds, limits);
+  ASSERT_TRUE(chase.Init(q).ok());
+  Result<ChaseOutcome> outcome = chase.Run();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(*outcome, ChaseOutcome::kSaturated)
+      << "single full MVDs always saturate";
+  EXPECT_TRUE(SatisfiesEmvd(chase.AsInstance(), emvds[0]))
+      << chase.ToString();
+}
+
+TEST_P(EmvdSweep, EmvdContainmentIsReflexive) {
+  Rng rng(GetParam() + 500);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b", "c"}).ok());
+  SymbolTable symbols;
+  std::vector<EmbeddedMvd> emvds = {*ParseEmvd(catalog, "R: a ->> b | c")};
+  DependencySet no_fds;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 2;
+  qp.name_prefix = StrCat("er", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  Result<ContainmentReport> r =
+      CheckContainmentEmvd(q, q, no_fds, emvds, symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->contained);
+  EXPECT_EQ(r->witness_max_level, 0u) << "identity needs no chase";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmvdSweep, ::testing::Range<uint64_t>(1, 13));
+
+// --- Certificates across decidable classes -----------------------------------
+
+class CertificateSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CertificateSweep, KeyBasedPlantedCasesRoundTrip) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  auto catalog = RandomCatalog(rng, cp);
+  RandomKeyBasedParams kp;
+  kp.num_inds = 2;
+  DependencySet deps = RandomKeyBasedDeps(rng, catalog, kp);
+  if (!deps.IsKeyBased(catalog) || deps.inds().empty()) {
+    GTEST_SKIP() << "degenerate draw";
+  }
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 2;
+  qp.name_prefix = StrCat("ck", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  Result<ConjunctiveQuery> q_prime =
+      PlantedSuperQuery(rng, q, deps, symbols, /*extra_conjuncts=*/1,
+                        /*chase_depth=*/2);
+  ASSERT_TRUE(q_prime.ok()) << q_prime.status();
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(q, *q_prime, deps, symbols);
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  ASSERT_TRUE(cert->has_value()) << "planted containment must certify";
+  Status verified =
+      VerifyCertificate(**cert, q, *q_prime, deps, symbols);
+  EXPECT_TRUE(verified.ok()) << verified;
+}
+
+TEST_P(CertificateSweep, FdOnlyPlantedCasesRoundTrip) {
+  Rng rng(GetParam() + 900);
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  DependencySet fds = *ParseDependencies(catalog, "R: 1 -> 2");
+  RandomQueryParams qp;
+  qp.num_conjuncts = 3;
+  qp.num_vars = 3;
+  qp.name_prefix = StrCat("cf", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  Result<ConjunctiveQuery> q_prime =
+      PlantedSuperQuery(rng, q, fds, symbols, 1, 0);
+  ASSERT_TRUE(q_prime.ok());
+  Result<std::optional<ContainmentCertificate>> cert =
+      BuildCertificate(q, *q_prime, fds, symbols);
+  ASSERT_TRUE(cert.ok()) << cert.status();
+  ASSERT_TRUE(cert->has_value());
+  EXPECT_TRUE((*cert)->steps.empty()) << "FD-only certificates need no INDs";
+  EXPECT_TRUE(VerifyCertificate(**cert, q, *q_prime, fds, symbols).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertificateSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// --- Containment reflexivity under every Σ shape -----------------------------
+
+class ReflexivitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReflexivitySweep, QAlwaysContainsItself) {
+  Rng rng(GetParam());
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  auto catalog = RandomCatalog(rng, cp);
+  DependencySet deps;
+  switch (GetParam() % 3) {
+    case 0:
+      break;  // empty Σ
+    case 1: {
+      RandomIndParams ip;
+      ip.count = 2;
+      ip.width = 1;
+      deps = RandomIndOnlyDeps(rng, catalog, ip);
+      break;
+    }
+    default:
+      deps = RandomKeyBasedDeps(rng, catalog, {});
+      if (!deps.IsKeyBased(catalog)) GTEST_SKIP() << "degenerate draw";
+      break;
+  }
+  SymbolTable symbols;
+  RandomQueryParams qp;
+  qp.num_conjuncts = 3;
+  qp.name_prefix = StrCat("rf", GetParam());
+  ConjunctiveQuery q = RandomQuery(rng, catalog, symbols, qp);
+  Result<ContainmentReport> r = CheckContainment(q, q, deps, symbols);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->contained);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReflexivitySweep,
+                         ::testing::Range<uint64_t>(1, 19));
+
+}  // namespace
+}  // namespace cqchase

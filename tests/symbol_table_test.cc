@@ -1,0 +1,116 @@
+#include "symbols/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+#include "symbols/term.h"
+
+namespace cqchase {
+namespace {
+
+TEST(TermTest, KindsAndPredicates) {
+  Term c(TermKind::kConstant, 0);
+  Term x(TermKind::kDistVar, 0);
+  Term y(TermKind::kNondistVar, 0);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_variable());
+  EXPECT_TRUE(x.is_dist_var());
+  EXPECT_TRUE(x.is_variable());
+  EXPECT_TRUE(y.is_nondist_var());
+  EXPECT_FALSE(Term::Invalid().is_valid());
+}
+
+TEST(TermTest, LexicographicOrderConstantsDvsNdvs) {
+  // The FD chase rule's representative choice relies on this order:
+  // constants first, then DVs, then NDVs; earlier-created first within kind.
+  Term c0(TermKind::kConstant, 0), c1(TermKind::kConstant, 1);
+  Term x0(TermKind::kDistVar, 0), x9(TermKind::kDistVar, 9);
+  Term n0(TermKind::kNondistVar, 0);
+  EXPECT_LT(c0, c1);
+  EXPECT_LT(c1, x0);
+  EXPECT_LT(x0, x9);
+  EXPECT_LT(x9, n0);
+  EXPECT_EQ(std::min(n0, c0), c0);
+}
+
+TEST(TermTest, EqualityAndHash) {
+  Term a(TermKind::kDistVar, 3);
+  Term b(TermKind::kDistVar, 3);
+  Term c(TermKind::kNondistVar, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<Term>{}(a), std::hash<Term>{}(b));
+}
+
+TEST(SymbolTableTest, InterningIsIdempotent) {
+  SymbolTable t;
+  Term a = t.InternConstant("acme");
+  Term b = t.InternConstant("acme");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.Name(a), "acme");
+  EXPECT_EQ(t.num_constants(), 1u);
+}
+
+TEST(SymbolTableTest, KindsHaveSeparateNamespaces) {
+  SymbolTable t;
+  Term c = t.InternConstant("x");
+  Term d = t.InternDistVar("x");
+  Term n = t.InternNondistVar("x");
+  EXPECT_NE(c, d);
+  EXPECT_NE(d, n);
+  EXPECT_EQ(t.Name(c), "x");
+  EXPECT_EQ(t.Name(d), "x");
+  EXPECT_EQ(t.Name(n), "x");
+}
+
+TEST(SymbolTableTest, FindLocatesInternedSymbols) {
+  SymbolTable t;
+  Term v = t.InternDistVar("e");
+  EXPECT_EQ(t.Find(TermKind::kDistVar, "e"), v);
+  EXPECT_EQ(t.Find(TermKind::kConstant, "e"), std::nullopt);
+  EXPECT_EQ(t.Find(TermKind::kDistVar, "zz"), std::nullopt);
+}
+
+TEST(SymbolTableTest, ChaseNdvCarriesProvenance) {
+  SymbolTable t;
+  NdvProvenance p{/*attribute_index=*/2, /*source_conjunct=*/5,
+                  /*ind_index=*/1, /*level=*/3};
+  Term n = t.MakeChaseNdv(p);
+  ASSERT_TRUE(t.Provenance(n).has_value());
+  EXPECT_EQ(t.Provenance(n)->attribute_index, 2u);
+  EXPECT_EQ(t.Provenance(n)->source_conjunct, 5u);
+  EXPECT_EQ(t.Provenance(n)->ind_index, 1u);
+  EXPECT_EQ(t.Provenance(n)->level, 3u);
+  // Name encodes the provenance per the paper's naming scheme.
+  EXPECT_NE(t.Name(n).find("A2"), std::string::npos);
+  EXPECT_NE(t.Name(n).find("L3"), std::string::npos);
+}
+
+TEST(SymbolTableTest, ChaseNdvsFollowAllEarlierSymbols) {
+  // "this name will lexicographically follow all earlier-generated names"
+  SymbolTable t;
+  Term early = t.InternNondistVar("s");
+  Term n1 = t.MakeChaseNdv(NdvProvenance{});
+  Term n2 = t.MakeChaseNdv(NdvProvenance{});
+  EXPECT_LT(early, n1);
+  EXPECT_LT(n1, n2);
+}
+
+TEST(SymbolTableTest, FreshSymbolsAreDistinct) {
+  SymbolTable t;
+  Term a = t.MakeFreshNondistVar("y");
+  Term b = t.MakeFreshNondistVar("y");
+  EXPECT_NE(a, b);
+  Term c = t.MakeFreshConstant("null");
+  Term d = t.MakeFreshConstant("null");
+  EXPECT_NE(c, d);
+  EXPECT_TRUE(c.is_constant());
+}
+
+TEST(SymbolTableTest, ProvenanceAbsentForPlainSymbols) {
+  SymbolTable t;
+  EXPECT_FALSE(t.Provenance(t.InternConstant("k")).has_value());
+  EXPECT_FALSE(t.Provenance(t.InternDistVar("x")).has_value());
+}
+
+}  // namespace
+}  // namespace cqchase
