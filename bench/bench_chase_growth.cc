@@ -87,6 +87,7 @@ void RunRandom(uint64_t seed, size_t num_inds, size_t width, uint32_t levels) {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   using namespace cqchase;
   bench::PrintHeader(
       "E6 / chase growth: conjuncts per level, O-chase vs R-chase",
@@ -96,5 +97,6 @@ int main() {
   RunRandom(7, 3, 1, 6);
   RunRandom(11, 4, 2, 6);
   RunRandom(13, 5, 2, 5);
+  cqchase::bench::PrintJsonRecord("chase_growth", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -133,6 +133,7 @@ void LosslessJoin() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E15 / Section 5 extension: chases with embedded MVDs",
       "full MVDs close finitely into cross products; embedded MVDs "
@@ -141,5 +142,6 @@ int main() {
   cqchase::FullMvdClosure();
   cqchase::EmbeddedGrowth();
   cqchase::LosslessJoin();
+  cqchase::bench::PrintJsonRecord("emvd_chase", bench_total_timer.ElapsedMs());
   return 0;
 }

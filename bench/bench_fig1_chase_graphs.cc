@@ -46,6 +46,7 @@ void RunVariant(ChaseVariant variant, const char* name, uint32_t levels) {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   using namespace cqchase;
   bench::PrintHeader(
       "E1 / Figure 1: R-chase and O-chase graphs",
@@ -54,5 +55,6 @@ int main() {
       "them at every level");
   RunVariant(ChaseVariant::kRequired, "R-chase", 5);
   RunVariant(ChaseVariant::kOblivious, "O-chase", 5);
+  cqchase::bench::PrintJsonRecord("fig1_chase_graphs", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -96,10 +96,12 @@ void Run() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E9 / Section 4: finite containment differs from infinite containment",
       "Q1 <=f Q2 holds (no finite Sigma-database separates them) while "
       "Q1 <=inf Q2 fails (the chase of Q1 is an infinite counterexample)");
   cqchase::Run();
+  cqchase::bench::PrintJsonRecord("finite_vs_infinite", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -95,6 +95,7 @@ void RunWidth(size_t width) {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E8 / Corollary 2.3: IND inference, axiomatic vs containment reduction",
       "the two independent deciders agree everywhere; both are polynomial "
@@ -102,5 +103,6 @@ int main() {
   std::printf("%6s %8s %9s %12s %14s %14s %14s\n", "W", "cases", "implied",
               "agreements", "disagreements", "axiomatic ms", "reduction ms");
   for (size_t w : {1, 2, 3}) cqchase::RunWidth(w);
+  cqchase::bench::PrintJsonRecord("ind_inference", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -82,10 +82,12 @@ void Run() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E7 / introduction example: EMP/DEP equivalence under an IND",
       "Q1 and Q2 are equivalent iff the IND EMP[dept] <= DEP[dept] holds; "
       "the optimizer uses this to drop the DEP join from Q1");
   cqchase::Run();
+  cqchase::bench::PrintJsonRecord("intro_example", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -104,10 +104,12 @@ void Run() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E5 / Lemma 2: R-chase factorization for key-based dependencies",
       "R-chase_Sigma(Q) equals R-chase_INDs(chase_FDs(Q)) up to variable "
       "renaming, level by level");
   cqchase::Run();
+  cqchase::bench::PrintJsonRecord("lemma2_factorization", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -56,11 +56,13 @@ void Run() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E4 / Lemma 5: measured witness level vs theoretical bound",
       "a witness homomorphism always exists within level "
       "|Q'|*|Sigma|*(W+1)^W; in practice the deepest needed level is far "
       "below the bound (ratio << 1) and tracks the planted depth");
   cqchase::Run();
+  cqchase::bench::PrintJsonRecord("lemma5_levels", bench_total_timer.ElapsedMs());
   return 0;
 }

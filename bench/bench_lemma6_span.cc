@@ -127,11 +127,13 @@ void Run() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E11 / Lemma 6: symbol level-span in key-based R-chases",
       "no symbol of a key-based R-chase spans more than one level "
       "(span <= 1, zero violations); width-1 IND chases obey the k_Sigma "
       "propagation bound instead");
   cqchase::Run();
+  cqchase::bench::PrintJsonRecord("lemma6_span", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -90,11 +90,13 @@ void Run() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E12 / minimization: removing redundant conjuncts under Sigma",
       "minimization reduces planted-redundant queries back to their core; "
       "under the intro IND the DEP join is removed as well; cost grows with "
       "the number of containment checks (NP oracle calls)");
   cqchase::Run();
+  cqchase::bench::PrintJsonRecord("minimization", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -104,6 +104,7 @@ void FrontierSeries() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E14 / Corollary 2.3: level-by-level checking in bounded space",
       "windowed verification retains a constant-size window while the "
@@ -111,5 +112,6 @@ int main() {
       "the general checker everywhere");
   cqchase::WindowSeries();
   cqchase::FrontierSeries();
+  cqchase::bench::PrintJsonRecord("pspace_streaming", bench_total_timer.ElapsedMs());
   return 0;
 }

@@ -91,10 +91,12 @@ void Run() {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E2 / Theorem 1: chase-based containment vs independent oracles",
       "containment holds iff a homomorphism into the chase exists; a "
       "'contained' verdict can never be refuted by any finite Σ-database");
   cqchase::Run();
+  cqchase::bench::PrintJsonRecord("thm1_validation", bench_total_timer.ElapsedMs());
   return 0;
 }

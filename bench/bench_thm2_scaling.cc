@@ -83,11 +83,13 @@ void RunWidth(size_t width) {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E3 / Theorem 2, Corollary 2.1: containment cost vs |Q| at fixed W",
       "for each fixed IND width W the test is polynomial in query and "
       "dependency size; the Lemma 5 bound (and worst-case work) grows as "
       "(W+1)^W between tables");
   for (size_t w : {1, 2, 3}) cqchase::RunWidth(w);
+  cqchase::bench::PrintJsonRecord("thm2_scaling", bench_total_timer.ElapsedMs());
   return 0;
 }

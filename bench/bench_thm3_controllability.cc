@@ -122,6 +122,7 @@ void RunClass(const char* label, bool key_based) {
 }  // namespace cqchase
 
 int main() {
+  cqchase::bench::WallTimer bench_total_timer;
   cqchase::bench::PrintHeader(
       "E10 / Theorem 3: finite controllability for width-1 INDs and "
       "key-based Sigma",
@@ -133,5 +134,6 @@ int main() {
               "contradictions");
   cqchase::RunClass("width-1 INDs", /*key_based=*/false);
   cqchase::RunClass("key-based", /*key_based=*/true);
+  cqchase::bench::PrintJsonRecord("thm3_controllability", bench_total_timer.ElapsedMs());
   return 0;
 }

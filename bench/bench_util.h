@@ -6,8 +6,11 @@
 #define CQCHASE_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cqchase::bench {
 
@@ -28,6 +31,32 @@ inline void PrintHeader(const std::string& experiment,
                         const std::string& claim) {
   std::printf("=== %s ===\n", experiment.c_str());
   std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+// One-line machine-readable record, emitted by every bench so the perf
+// trajectory can be scraped (`grep '^{"bench"'` over the run log). Integral
+// counters print exactly (no %g exponent rounding, which would hide small
+// regressions in large counts); fractional ones keep 6 significant digits.
+//
+//   {"bench":"engine_cache","wall_ms":12.345,"counters":{"hits":100}}
+inline void PrintJsonRecord(
+    const std::string& name, double wall_ms,
+    const std::vector<std::pair<std::string, double>>& counters = {}) {
+  std::printf("{\"bench\":\"%s\",\"wall_ms\":%.3f", name.c_str(), wall_ms);
+  if (!counters.empty()) {
+    std::printf(",\"counters\":{");
+    for (size_t i = 0; i < counters.size(); ++i) {
+      std::printf("%s\"%s\":", i == 0 ? "" : ",", counters[i].first.c_str());
+      const double v = counters[i].second;
+      if (std::nearbyint(v) == v && std::fabs(v) < 9.0e15) {
+        std::printf("%lld", static_cast<long long>(v));
+      } else {
+        std::printf("%.6g", v);
+      }
+    }
+    std::printf("}");
+  }
+  std::printf("}\n");
 }
 
 }  // namespace cqchase::bench

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Canonical CI entry point: the tier-1 verify (configure + build + ctest)
+# plus one smoke bench. bench_engine_cache exits non-zero if the engine's
+# cached and uncached verdicts diverge or the >= 2x cache speedup target is
+# missed, so the perf claim is enforced, not just printed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+./build/bench_engine_cache

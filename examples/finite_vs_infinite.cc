@@ -8,8 +8,7 @@
 #include <cstdio>
 
 #include "chase/chase.h"
-#include "core/containment.h"
-#include "finite/finite_containment.h"
+#include "engine/engine.h"
 #include "gen/scenarios.h"
 
 using namespace cqchase;
@@ -39,14 +38,16 @@ int main() {
         "chase ever creates one, so Q2 does not map into chase(Q1):\n\n");
   }
 
-  ContainmentOptions options;
-  options.allow_semidecision = true;  // Sigma mixes an FD with an IND
-  options.limits.max_level = 40;
-  options.limits.max_conjuncts = 100000;
-  Result<ContainmentReport> fwd = CheckContainment(
-      s.queries[0], s.queries[1], s.deps, *s.symbols, options);
+  EngineConfig config;
+  config.containment.allow_semidecision = true;  // Sigma mixes an FD, an IND
+  config.containment.limits.max_level = 40;
+  config.containment.limits.max_conjuncts = 100000;
+  ContainmentEngine engine(s.catalog.get(), s.symbols.get(), config);
+  Result<EngineVerdict> fwd =
+      engine.Check(s.queries[0], s.queries[1], s.deps);
   if (fwd.ok()) {
-    std::printf("Sigma |= Q1 <=inf Q2 ?  %s\n", fwd->contained ? "yes" : "no");
+    std::printf("Sigma |= Q1 <=inf Q2 ?  %s\n",
+                fwd->report.contained ? "yes" : "no");
   } else {
     std::printf("Sigma |= Q1 <=inf Q2 ?  no witness within 40 chase levels "
                 "(Section 4 proves none exists)\n");
@@ -59,8 +60,8 @@ int main() {
     ExhaustiveSearchParams params;
     params.domain_size = domain;
     params.max_candidate_tuples = 16;
-    Result<std::optional<Instance>> cex = ExhaustiveFiniteCounterexample(
-        s.queries[0], s.queries[1], s.deps, *s.symbols, params);
+    Result<std::optional<Instance>> cex = engine.ExhaustiveCounterexample(
+        s.queries[0], s.queries[1], s.deps, params);
     if (!cex.ok()) {
       std::printf("  domain %zu: %s\n", domain,
                   cex.status().ToString().c_str());

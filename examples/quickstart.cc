@@ -1,5 +1,6 @@
 // Quickstart: declare a schema, parse dependencies and queries from text,
-// test containment and equivalence under Σ, and inspect the chase.
+// test containment and equivalence under Σ through the ContainmentEngine,
+// and inspect the chase.
 //
 //   $ ./build/examples/quickstart
 //
@@ -9,9 +10,9 @@
 #include <cstdio>
 
 #include "chase/chase.h"
-#include "core/containment.h"
 #include "cq/cq_parser.h"
 #include "deps/deps_parser.h"
+#include "engine/engine.h"
 #include "schema/catalog.h"
 #include "symbols/symbol_table.h"
 
@@ -51,27 +52,38 @@ int main() {
   std::printf("Q1: %s\nQ2: %s\nSigma: %s\n\n", q1->ToString().c_str(),
               q2->ToString().c_str(), deps->ToString(catalog).c_str());
 
-  // 4. Containment both ways, with and without Σ.
+  // 4. The engine: one object answers every containment question, choosing
+  //    a strategy per the Σ classification and memoizing verdicts.
+  ContainmentEngine engine(&catalog, &symbols);
+
+  // Containment both ways, with and without Σ.
   DependencySet empty;
   for (auto [name, from, to] :
        {std::tuple{"Q1 <= Q2", &*q1, &*q2}, std::tuple{"Q2 <= Q1", &*q2, &*q1}}) {
-    Result<ContainmentReport> with_sigma =
-        CheckContainment(*from, *to, *deps, symbols);
-    Result<ContainmentReport> without =
-        CheckContainment(*from, *to, empty, symbols);
+    Result<EngineVerdict> with_sigma = engine.Check(*from, *to, *deps);
+    Result<EngineVerdict> without = engine.Check(*from, *to, empty);
     if (!with_sigma.ok() || !without.ok()) {
       std::printf("containment error\n");
       return 1;
     }
-    std::printf("%s:  under Sigma: %-3s   without: %-3s\n", name,
-                with_sigma->contained ? "yes" : "no",
-                without->contained ? "yes" : "no");
+    std::printf("%s:  under Sigma: %-3s (%s)   without: %-3s (%s)\n", name,
+                with_sigma->report.contained ? "yes" : "no",
+                std::string(ToString(with_sigma->strategy)).c_str(),
+                without->report.contained ? "yes" : "no",
+                std::string(ToString(without->strategy)).c_str());
   }
 
   // 5. Equivalence under Σ (Q1 ≡ Q2 — the paper's optimization opportunity).
-  Result<bool> equiv = CheckEquivalence(*q1, *q2, *deps, symbols);
+  //    The forward direction was just checked, so the engine's verdict cache
+  //    answers it without re-chasing.
+  Result<bool> equiv = engine.CheckEquivalence(*q1, *q2, *deps);
   std::printf("\nQ1 == Q2 under Sigma: %s\n",
               equiv.ok() && *equiv ? "yes" : "no");
+  EngineStats stats = engine.stats();
+  std::printf("engine: %llu checks, %llu cache hits, %llu chases built\n",
+              static_cast<unsigned long long>(stats.checks),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.chases_built));
 
   // 6. Look at the chase that proves it: chasing Q2 with the IND adds the
   //    DEP conjunct Q1 needs, so Q1 maps into chase(Q2).

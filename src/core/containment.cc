@@ -1,9 +1,9 @@
 #include "core/containment.h"
 
-#include <algorithm>
 #include <limits>
+#include <utility>
 
-#include "base/string_util.h"
+#include "engine/engine.h"
 
 namespace cqchase {
 
@@ -24,118 +24,30 @@ uint64_t Theorem2LevelBound(size_t q_prime_size, size_t sigma_size,
   return out * pow;
 }
 
-namespace {
-
-// Shapes of Σ the decision procedure is complete for.
-enum class SigmaShape { kEmpty, kFdsOnly, kIndsOnly, kKeyBased, kGeneral };
-
-SigmaShape ClassifySigma(const DependencySet& deps, const Catalog& catalog) {
-  if (deps.empty()) return SigmaShape::kEmpty;
-  if (deps.ContainsOnlyFds()) return SigmaShape::kFdsOnly;
-  if (deps.ContainsOnlyInds()) return SigmaShape::kIndsOnly;
-  if (deps.IsKeyBased(catalog)) return SigmaShape::kKeyBased;
-  return SigmaShape::kGeneral;
-}
-
-// Levels of the chase facts actually used by a homomorphism's image.
-uint32_t WitnessMaxLevel(const Homomorphism& hom,
-                         const std::vector<const ChaseConjunct*>& alive) {
-  uint32_t max_level = 0;
-  for (size_t fi : hom.conjunct_images) {
-    if (fi < alive.size()) max_level = std::max(max_level, alive[fi]->level);
-  }
-  return max_level;
-}
-
-}  // namespace
+// The decision procedure itself lives in engine/engine.cc
+// (ContainmentEngine::DecideByChase and friends); these free functions are
+// the stateless compatibility surface. They run a throwaway engine with
+// caching off and streaming routing off, which reproduces the historical
+// behavior — including the witness homomorphism in the report — with one
+// deliberate improvement: a run whose chase budget trips mid-expansion now
+// searches the partial prefix for a witness before erroring, so some calls
+// that used to return kResourceExhausted return a sound contained=true
+// instead. Callers that issue many related checks should hold a
+// ContainmentEngine instead and let its memoization work.
 
 Result<ContainmentReport> CheckContainment(const ConjunctiveQuery& q,
                                            const ConjunctiveQuery& q_prime,
                                            const DependencySet& deps,
                                            SymbolTable& symbols,
                                            const ContainmentOptions& options) {
-  CQCHASE_RETURN_IF_ERROR(q.Validate());
-  CQCHASE_RETURN_IF_ERROR(q_prime.Validate());
-  if (q.summary().size() != q_prime.summary().size()) {
-    return Status::InvalidArgument(
-        "queries must have the same output arity for containment");
-  }
-
-  ContainmentReport report;
-  report.level_bound = Theorem2LevelBound(q_prime.conjuncts().size(),
-                                          deps.size(), deps.MaxIndWidth());
-
-  // Q' contradictory: Q ⊆ Q' iff Q is also empty on all Σ-databases, i.e.
-  // iff chasing Q yields the empty query. Q contradictory: trivially
-  // contained. Both fall out of the main loop below except the Q'-empty
-  // case, which we special-case (no homomorphism into anything exists from
-  // an empty-marked query's conjuncts; containment semantics differ).
-  const SigmaShape shape = ClassifySigma(deps, q.catalog());
-  if (shape == SigmaShape::kGeneral && !options.allow_semidecision) {
-    return Status::Unimplemented(
-        "containment for general FD+IND sets is open (paper Section 5); set "
-        "options.allow_semidecision for a sound semi-decision");
-  }
-
-  Chase chase(&q.catalog(), &symbols, &deps, options.variant, options.limits);
-  CQCHASE_RETURN_IF_ERROR(chase.Init(q));
-
-  // The decision level cap: Lemma 5's bound for the complete cases, the
-  // configured limit otherwise.
-  const uint64_t bound = report.level_bound;
-  const bool bound_is_complete =
-      shape != SigmaShape::kGeneral;  // Lemma 5 applies
-
-  uint32_t level = 0;
-  while (true) {
-    CQCHASE_ASSIGN_OR_RETURN(ChaseOutcome outcome,
-                             chase.ExpandToLevel(level));
-    report.chase_outcome = outcome;
-    report.chase_conjuncts = chase.AliveConjuncts().size();
-    report.chase_levels = chase.MaxAliveLevel();
-
-    if (outcome == ChaseOutcome::kEmptyQuery) {
-      // Q is unsatisfiable under Σ: Q(D) = ∅ for every Σ-database, so Q is
-      // contained in any Q' of matching arity.
-      report.contained = true;
-      return report;
-    }
-
-    if (!q_prime.is_empty_query()) {
-      std::vector<const ChaseConjunct*> alive = chase.AliveConjuncts();
-      std::vector<Fact> facts;
-      facts.reserve(alive.size());
-      for (const ChaseConjunct* c : alive) facts.push_back(c->fact);
-      std::optional<Homomorphism> hom =
-          FindHomomorphism(q_prime, facts, chase.summary());
-      if (hom.has_value()) {
-        report.contained = true;
-        report.witness_max_level = WitnessMaxLevel(*hom, alive);
-        report.witness = std::move(hom);
-        return report;
-      }
-    }
-
-    if (outcome == ChaseOutcome::kSaturated) {
-      report.contained = false;
-      return report;
-    }
-    if (bound_is_complete && level >= bound) {
-      // Lemma 5: any homomorphism could have been remapped into the prefix
-      // of level <= bound; none exists there, so none exists at all.
-      report.contained = false;
-      return report;
-    }
-    if (level >= options.limits.max_level) {
-      return Status::ResourceExhausted(StrCat(
-          "containment undecided at chase level ", level, " (bound ",
-          bound, ", max_level ", options.limits.max_level, ")"));
-    }
-    uint32_t next = level + options.level_stride;
-    level = std::min<uint64_t>(
-        std::min<uint64_t>(next, options.limits.max_level),
-        bound_is_complete ? std::max<uint64_t>(bound, 1) : next);
-  }
+  EngineConfig config;
+  config.containment = options;
+  config.enable_cache = false;
+  config.route_streaming_single_conjunct = false;
+  ContainmentEngine engine(&q.catalog(), &symbols, config);
+  CQCHASE_ASSIGN_OR_RETURN(EngineVerdict verdict,
+                           engine.Check(q, q_prime, deps));
+  return std::move(verdict.report);
 }
 
 Result<bool> CheckEquivalence(const ConjunctiveQuery& q,

@@ -1,37 +1,22 @@
 #include "core/minimize.h"
 
+#include "engine/engine.h"
+
 namespace cqchase {
+
+// Both entry points delegate to ContainmentEngine::Minimize/IsNonMinimal,
+// which issue the per-conjunct containment checks through the engine's
+// memoization layer — when the greedy loop produces isomorphic candidates
+// (symmetric queries, or IsNonMinimal followed by MinimizeQuery), the
+// verdict cache answers without re-chasing. The chased side changes on
+// every probe, so the chase-prefix cache does not apply here.
 
 namespace {
 
-// Q with conjunct `skip` removed.
-ConjunctiveQuery WithoutConjunct(const ConjunctiveQuery& q, size_t skip) {
-  ConjunctiveQuery out(&q.catalog(), &q.symbols());
-  for (size_t i = 0; i < q.conjuncts().size(); ++i) {
-    if (i != skip) out.AddConjunct(q.conjuncts()[i]);
-  }
-  out.SetSummary(q.summary());
-  return out;
-}
-
-// A summary DV must keep occurring in the body; removing the only conjunct
-// containing it would make the query unsafe.
-bool RemovalKeepsSafety(const ConjunctiveQuery& q, size_t skip) {
-  for (Term t : q.summary()) {
-    if (!t.is_dist_var()) continue;
-    bool still_occurs = false;
-    for (size_t i = 0; i < q.conjuncts().size() && !still_occurs; ++i) {
-      if (i == skip) continue;
-      for (Term u : q.conjuncts()[i].terms) {
-        if (u == t) {
-          still_occurs = true;
-          break;
-        }
-      }
-    }
-    if (!still_occurs) return false;
-  }
-  return true;
+EngineConfig MakeConfig(const ContainmentOptions& options) {
+  EngineConfig config;
+  config.containment = options;
+  return config;
 }
 
 }  // namespace
@@ -39,42 +24,16 @@ bool RemovalKeepsSafety(const ConjunctiveQuery& q, size_t skip) {
 Result<bool> IsNonMinimal(const ConjunctiveQuery& q, const DependencySet& deps,
                           SymbolTable& symbols,
                           const ContainmentOptions& options) {
-  if (q.is_empty_query() || q.conjuncts().empty()) return false;
-  for (size_t i = 0; i < q.conjuncts().size(); ++i) {
-    if (!RemovalKeepsSafety(q, i)) continue;
-    ConjunctiveQuery candidate = WithoutConjunct(q, i);
-    CQCHASE_ASSIGN_OR_RETURN(
-        ContainmentReport r,
-        CheckContainment(candidate, q, deps, symbols, options));
-    if (r.contained) return true;
-  }
-  return false;
+  ContainmentEngine engine(&q.catalog(), &symbols, MakeConfig(options));
+  return engine.IsNonMinimal(q, deps);
 }
 
 Result<MinimizeReport> MinimizeQuery(const ConjunctiveQuery& q,
                                      const DependencySet& deps,
                                      SymbolTable& symbols,
                                      const ContainmentOptions& options) {
-  MinimizeReport report{q, 0, 0};
-  bool changed = true;
-  while (changed && !report.query.conjuncts().empty()) {
-    changed = false;
-    for (size_t i = 0; i < report.query.conjuncts().size(); ++i) {
-      if (!RemovalKeepsSafety(report.query, i)) continue;
-      ConjunctiveQuery candidate = WithoutConjunct(report.query, i);
-      ++report.containment_checks;
-      CQCHASE_ASSIGN_OR_RETURN(
-          ContainmentReport r,
-          CheckContainment(candidate, report.query, deps, symbols, options));
-      if (r.contained) {
-        report.query = std::move(candidate);
-        ++report.removed_conjuncts;
-        changed = true;
-        break;
-      }
-    }
-  }
-  return report;
+  ContainmentEngine engine(&q.catalog(), &symbols, MakeConfig(options));
+  return engine.Minimize(q, deps);
 }
 
 }  // namespace cqchase

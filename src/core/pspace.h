@@ -29,6 +29,7 @@
 
 #include <cstdint>
 
+#include "chase/chase.h"
 #include "core/certificate.h"
 #include "cq/query.h"
 #include "deps/dependency_set.h"
@@ -58,8 +59,11 @@ Result<StreamingVerifyReport> StreamingVerifyCertificate(
     SymbolTable& symbols, uint32_t window = 2);
 
 struct StreamingContainmentOptions {
-  uint32_t max_level = 64;
-  size_t max_frontier = 100000;  // conjuncts retained at once
+  // Defaults follow the library-wide chase budget (chase/chase.h): same
+  // level cap, and the frontier (conjuncts retained at once) capped at half
+  // the whole-chase conjunct budget.
+  uint32_t max_level = ChaseLimits{}.max_level;
+  size_t max_frontier = ChaseLimits{}.max_conjuncts / 2;
 };
 
 struct StreamingContainmentReport {

@@ -1,0 +1,613 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "base/string_util.h"
+#include "core/homomorphism.h"
+#include "core/pspace.h"
+
+namespace cqchase {
+
+namespace {
+
+// Levels of the chase facts actually used by a homomorphism's image.
+uint32_t WitnessMaxLevel(const Homomorphism& hom,
+                         const std::vector<const ChaseConjunct*>& alive) {
+  uint32_t max_level = 0;
+  for (size_t fi : hom.conjunct_images) {
+    if (fi < alive.size()) max_level = std::max(max_level, alive[fi]->level);
+  }
+  return max_level;
+}
+
+// Exact (term-identity) key of a query, for the chase-prefix cache: a chase
+// holds the query's actual terms, so only a byte-identical re-ask may resume
+// it. Contrast CanonicalQueryKey, which is renaming-invariant.
+std::string ExactQueryKey(const ConjunctiveQuery& q) {
+  std::string out = q.is_empty_query() ? "E(" : "(";
+  auto append_term = [&out](Term t) {
+    switch (t.kind()) {
+      case TermKind::kConstant: out += 'c'; break;
+      case TermKind::kDistVar: out += 'd'; break;
+      case TermKind::kNondistVar: out += 'n'; break;
+    }
+    out += StrCat(t.id(), ",");
+  };
+  for (Term t : q.summary()) append_term(t);
+  out += ")";
+  for (const Fact& f : q.conjuncts()) {
+    out += StrCat("R", f.relation, "(");
+    for (Term t : f.terms) append_term(t);
+    out += ")";
+  }
+  return out;
+}
+
+// Q with conjunct `skip` removed.
+ConjunctiveQuery WithoutConjunct(const ConjunctiveQuery& q, size_t skip) {
+  ConjunctiveQuery out(&q.catalog(), &q.symbols());
+  for (size_t i = 0; i < q.conjuncts().size(); ++i) {
+    if (i != skip) out.AddConjunct(q.conjuncts()[i]);
+  }
+  out.SetSummary(q.summary());
+  return out;
+}
+
+// A summary DV must keep occurring in the body; removing the only conjunct
+// containing it would make the query unsafe.
+bool RemovalKeepsSafety(const ConjunctiveQuery& q, size_t skip) {
+  for (Term t : q.summary()) {
+    if (!t.is_dist_var()) continue;
+    bool still_occurs = false;
+    for (size_t i = 0; i < q.conjuncts().size() && !still_occurs; ++i) {
+      if (i == skip) continue;
+      for (Term u : q.conjuncts()[i].terms) {
+        if (u == t) {
+          still_occurs = true;
+          break;
+        }
+      }
+    }
+    if (!still_occurs) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ContainmentEngine::ContainmentEngine(const Catalog* catalog,
+                                     SymbolTable* symbols, EngineConfig config)
+    : catalog_(catalog), symbols_(symbols), config_(std::move(config)) {}
+
+SigmaAnalysis ContainmentEngine::Analyze(const DependencySet& deps) {
+  // Stateless engines (the compatibility wrappers) skip the keyed cache:
+  // the classification predicates are cheaper than building the key.
+  if (!config_.enable_cache) return AnalyzeSigma(deps, *catalog_);
+  const std::string key = CanonicalSigmaKey(deps);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sigma_cache_.find(key);
+    if (it != sigma_cache_.end()) return it->second;
+  }
+  SigmaAnalysis analysis = AnalyzeSigma(deps, *catalog_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sigma_cache_.emplace(key, analysis);
+  if (inserted) {
+    sigma_fifo_.push_back(key);
+    while (sigma_fifo_.size() > config_.verdict_cache_capacity) {
+      sigma_cache_.erase(sigma_fifo_.front());
+      sigma_fifo_.pop_front();
+    }
+  }
+  return analysis;
+}
+
+std::optional<DecisionStrategy> ContainmentEngine::RouteOf(
+    const ConjunctiveQuery& q_prime, const DependencySet& deps) {
+  return ChooseStrategy(Analyze(deps), q_prime,
+                        config_.containment.allow_semidecision,
+                        config_.route_streaming_single_conjunct);
+}
+
+Result<EngineVerdict> ContainmentEngine::Check(const ConjunctiveQuery& q,
+                                               const ConjunctiveQuery& q_prime,
+                                               const DependencySet& deps) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.checks;
+  }
+  return CheckImpl(q, q_prime, deps);
+}
+
+Result<EngineVerdict> ContainmentEngine::CheckImpl(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps) {
+  CQCHASE_RETURN_IF_ERROR(q.Validate());
+  CQCHASE_RETURN_IF_ERROR(q_prime.Validate());
+  if (q.summary().size() != q_prime.summary().size()) {
+    return Status::InvalidArgument(
+        "queries must have the same output arity for containment");
+  }
+  // A query from a foreign SymbolTable cannot be chased into this engine's
+  // arena: fresh NDVs would reuse term ids the query already assigns to its
+  // own variables, silently corrupting the decision. (The legacy free
+  // functions always construct the engine on the caller's table, so only a
+  // direct contract violation reaches this.)
+  if (&q.symbols() != symbols_ || &q_prime.symbols() != symbols_) {
+    return Status::InvalidArgument(
+        "queries must be built against the engine's symbol table");
+  }
+
+  // Queries built against a foreign catalog would alias relation ids in the
+  // cache keys; serve them uncached — and classify Σ against *their*
+  // catalog, whose relation ids the dependencies refer to.
+  const bool foreign_catalog = &q.catalog() != catalog_;
+  const SigmaAnalysis analysis =
+      foreign_catalog ? AnalyzeSigma(deps, q.catalog()) : Analyze(deps);
+  const bool cacheable = config_.enable_cache && !foreign_catalog &&
+                         &q_prime.catalog() == catalog_;
+  if (!cacheable) return DecideUncached(q, q_prime, deps, analysis);
+
+  const std::string key =
+      CanonicalTaskKey(q, q_prime, deps, config_.containment.variant);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = verdict_cache_.find(key);
+    if (it != verdict_cache_.end()) {
+      ++stats_.cache_hits;
+      EngineVerdict verdict;
+      verdict.report = it->second.report;
+      verdict.sigma_class = it->second.sigma_class;
+      verdict.strategy = it->second.strategy;
+      verdict.cache_hit = true;
+      return verdict;
+    }
+    ++stats_.cache_misses;
+  }
+
+  CQCHASE_ASSIGN_OR_RETURN(EngineVerdict verdict,
+                           DecideUncached(q, q_prime, deps, analysis));
+
+  CachedVerdict cached;
+  cached.report = verdict.report;
+  // The witness homomorphism references this computation's chase facts and
+  // the asker's terms; for a future (possibly merely isomorphic) asker it
+  // would be meaningless, so only the verdict and its statistics are kept.
+  cached.report.witness.reset();
+  cached.sigma_class = verdict.sigma_class;
+  cached.strategy = verdict.strategy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = verdict_cache_.emplace(key, std::move(cached));
+    if (inserted) {
+      verdict_fifo_.push_back(key);
+      while (verdict_fifo_.size() > config_.verdict_cache_capacity) {
+        verdict_cache_.erase(verdict_fifo_.front());
+        verdict_fifo_.pop_front();
+      }
+    }
+  }
+  return verdict;
+}
+
+Result<EngineVerdict> ContainmentEngine::DecideUncached(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, const SigmaAnalysis& analysis) {
+  std::optional<DecisionStrategy> strategy =
+      ChooseStrategy(analysis, q_prime, config_.containment.allow_semidecision,
+                     config_.route_streaming_single_conjunct);
+  if (!strategy.has_value()) {
+    return Status::Unimplemented(
+        "containment for general FD+IND sets is open (paper Section 5); set "
+        "options.allow_semidecision for a sound semi-decision");
+  }
+  // The streaming frontier never rewrites Q's conjuncts, so an empty-marked
+  // Q (contained in everything) must take the chase route, whose loop
+  // handles kEmptyQuery.
+  if (*strategy == DecisionStrategy::kStreamingFrontier && q.is_empty_query()) {
+    strategy = DecisionStrategy::kIterativeDeepening;
+  }
+
+  EngineVerdict verdict;
+  verdict.sigma_class = analysis.sigma_class;
+  verdict.strategy = *strategy;
+
+  switch (*strategy) {
+    case DecisionStrategy::kHomomorphism: {
+      if (q.is_empty_query()) {
+        // Empty Q is contained in any Q' of matching arity; run the shared
+        // loop, whose empty-query arm reports it.
+        CQCHASE_ASSIGN_OR_RETURN(verdict.report,
+                                 DecideByChase(q, q_prime, deps, analysis));
+        break;
+      }
+      ContainmentReport report;
+      report.chase_conjuncts = q.conjuncts().size();
+      report.chase_levels = 0;
+      report.chase_outcome = ChaseOutcome::kSaturated;
+      if (!q_prime.is_empty_query()) {
+        std::optional<Homomorphism> hom =
+            FindHomomorphism(q_prime, q.conjuncts(), q.summary());
+        if (hom.has_value()) {
+          report.contained = true;
+          report.witness = std::move(hom);
+        }
+      }
+      verdict.report = std::move(report);
+      break;
+    }
+    case DecisionStrategy::kStreamingFrontier: {
+      StreamingContainmentOptions sopt;
+      sopt.max_level = config_.containment.limits.max_level;
+      // Deliberately wider than StreamingContainmentOptions' default
+      // (max_conjuncts / 2): a direct pspace.h caller has no recourse when
+      // the frontier blows, but the engine falls back to the deduplicating
+      // chase below, so it can afford to let streaming use the full budget.
+      sopt.max_frontier = config_.containment.limits.max_conjuncts;
+      Result<StreamingContainmentReport> streamed =
+          StreamingSingleConjunctContainment(q, q_prime, deps, *symbols_,
+                                             sopt);
+      if (!streamed.ok()) {
+        if (streamed.status().code() != StatusCode::kResourceExhausted) {
+          return streamed.status();
+        }
+        // The O-chase frontier grows without dedup and can exhaust its
+        // budget on dense cyclic Σ that the deduplicating R-chase decides
+        // easily — fall back rather than surface an avoidable error.
+        verdict.strategy = DecisionStrategy::kIterativeDeepening;
+        CQCHASE_ASSIGN_OR_RETURN(verdict.report,
+                                 DecideByChase(q, q_prime, deps, analysis));
+        break;
+      }
+      const StreamingContainmentReport& sr = *streamed;
+      ContainmentReport report;
+      report.contained = sr.contained;
+      report.level_bound = Theorem2LevelBound(q_prime.conjuncts().size(),
+                                              deps.size(),
+                                              deps.MaxIndWidth());
+      report.chase_conjuncts = sr.conjuncts_streamed;
+      report.chase_levels = sr.decided_at_level;
+      report.chase_outcome = ChaseOutcome::kTruncated;
+      verdict.report = std::move(report);
+      break;
+    }
+    case DecisionStrategy::kFdChase:
+    case DecisionStrategy::kIterativeDeepening:
+    case DecisionStrategy::kSemiDecision: {
+      CQCHASE_ASSIGN_OR_RETURN(verdict.report,
+                               DecideByChase(q, q_prime, deps, analysis));
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.by_strategy[static_cast<size_t>(verdict.strategy)];
+  }
+  return verdict;
+}
+
+Result<ContainmentReport> ContainmentEngine::DecideByChase(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, const SigmaAnalysis& analysis) {
+  const ContainmentOptions& options = config_.containment;
+
+  std::string chase_key;
+  std::optional<ChaseEntry> entry;
+  std::optional<Chase> local_chase;
+  Chase* chase_ptr = nullptr;
+  // Symbol-table identity is enforced at the Check entry point; only
+  // catalog identity still needs checking for the exact-key cache.
+  const bool cacheable = config_.enable_cache && &q.catalog() == catalog_;
+  if (cacheable) {
+    chase_key = StrCat("V", static_cast<int>(options.variant), "|",
+                       CanonicalSigmaKey(deps), "|", ExactQueryKey(q));
+    entry = AcquireChase(chase_key);
+  }
+  uint32_t start_level = 0;
+  if (entry.has_value()) {
+    chase_ptr = entry->chase.get();
+    // Resume where the cached prefix already is: the first homomorphism
+    // search sees the whole prefix anyway, so the per-level searches below
+    // this depth would be identical repeats.
+    start_level =
+        std::min(entry->chase->MaxAliveLevel(), options.limits.max_level);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.chase_prefix_reuses;
+  } else if (cacheable) {
+    // The entry owns a stable copy of Σ so the cached Chase's internal
+    // pointer outlives the caller's DependencySet.
+    ChaseEntry fresh;
+    fresh.deps = std::make_unique<DependencySet>(deps);
+    fresh.chase = std::make_unique<Chase>(&q.catalog(), symbols_,
+                                          fresh.deps.get(), options.variant,
+                                          options.limits);
+    Status init = fresh.chase->Init(q);
+    if (!init.ok()) return init;
+    entry = std::move(fresh);
+    chase_ptr = entry->chase.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.chases_built;
+  } else {
+    // Uncached: the chase lives and dies in this call, directly on the
+    // caller's Σ — no copies, matching the pre-engine cost profile.
+    local_chase.emplace(&q.catalog(), symbols_, &deps, options.variant,
+                        options.limits);
+    Status init = local_chase->Init(q);
+    if (!init.ok()) return init;
+    chase_ptr = &*local_chase;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.chases_built;
+  }
+
+  Chase& chase = *chase_ptr;
+  // The Theorem 1/2 decision loop (moved here from core/containment.cc):
+  // expand the chase prefix level by level, searching for a homomorphism
+  // after each expansion, stopping at a witness, saturation, the Lemma 5
+  // bound, or a resource limit. A cache-resumed chase may already be deeper
+  // than `level`; ExpandToLevel is then a no-op and the loop simply finds
+  // the answer in the wider prefix (the verdict is unaffected — a witness
+  // into a deeper prefix is still a witness, and the negative cases require
+  // the same saturation/bound evidence).
+  Result<ContainmentReport> result = [&]() -> Result<ContainmentReport> {
+    ContainmentReport report;
+    report.level_bound = Theorem2LevelBound(q_prime.conjuncts().size(),
+                                            deps.size(), deps.MaxIndWidth());
+    const uint64_t bound = report.level_bound;
+    const bool bound_is_complete = analysis.decidable;  // Lemma 5 applies
+
+    // Searches the current alive prefix for a witness; on success fills the
+    // report's witness fields and returns true. Shared by the per-level
+    // searches and the budget-exhaustion last chance below.
+    auto search_witness = [&]() {
+      if (q_prime.is_empty_query()) return false;
+      std::vector<const ChaseConjunct*> alive = chase.AliveConjuncts();
+      std::vector<Fact> facts;
+      facts.reserve(alive.size());
+      for (const ChaseConjunct* c : alive) facts.push_back(c->fact);
+      std::optional<Homomorphism> hom =
+          FindHomomorphism(q_prime, facts, chase.summary());
+      if (!hom.has_value()) return false;
+      report.chase_conjuncts = alive.size();
+      report.chase_levels = chase.MaxAliveLevel();
+      report.contained = true;
+      report.witness_max_level = WitnessMaxLevel(*hom, alive);
+      report.witness = std::move(hom);
+      return true;
+    };
+
+    uint32_t level = start_level;
+    while (true) {
+      Result<ChaseOutcome> expanded = chase.ExpandToLevel(level);
+      if (!expanded.ok()) {
+        // Budget tripped mid-expansion. A witness into the partial prefix is
+        // still a witness (every chase fact is derived), so search once
+        // before surfacing the error — this also keeps verdicts identical
+        // between a fresh chase (which searches level by level on the way
+        // up) and a cache-resumed one that starts deep and may re-trip a
+        // sticky limit before its first search.
+        if (expanded.status().code() == StatusCode::kResourceExhausted &&
+            search_witness()) {
+          return report;
+        }
+        return expanded.status();
+      }
+      ChaseOutcome outcome = *expanded;
+      report.chase_outcome = outcome;
+      report.chase_conjuncts = chase.AliveConjuncts().size();
+      report.chase_levels = chase.MaxAliveLevel();
+
+      if (outcome == ChaseOutcome::kEmptyQuery) {
+        // Q is unsatisfiable under Σ: Q(D) = ∅ for every Σ-database, so Q
+        // is contained in any Q' of matching arity.
+        report.contained = true;
+        return report;
+      }
+
+      if (search_witness()) return report;
+
+      if (outcome == ChaseOutcome::kSaturated) {
+        report.contained = false;
+        return report;
+      }
+      if (bound_is_complete && level >= bound) {
+        // Lemma 5: any homomorphism could have been remapped into the
+        // prefix of level <= bound; none exists there, so none at all.
+        report.contained = false;
+        return report;
+      }
+      if (level >= options.limits.max_level) {
+        return Status::ResourceExhausted(StrCat(
+            "containment undecided at chase level ", level, " (bound ",
+            bound, ", max_level ", options.limits.max_level, ")"));
+      }
+      uint32_t next = level + options.level_stride;
+      level = std::min<uint64_t>(
+          std::min<uint64_t>(next, options.limits.max_level),
+          bound_is_complete ? std::max<uint64_t>(bound, 1) : next);
+    }
+  }();
+
+  if (cacheable) ReleaseChase(chase_key, std::move(*entry));
+  return result;
+}
+
+std::optional<ContainmentEngine::ChaseEntry> ContainmentEngine::AcquireChase(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chase_cache_.find(key);
+  if (it == chase_cache_.end()) return std::nullopt;
+  ChaseEntry entry = std::move(it->second);
+  chase_cache_.erase(it);
+  auto fifo_it = std::find(chase_fifo_.begin(), chase_fifo_.end(), key);
+  if (fifo_it != chase_fifo_.end()) chase_fifo_.erase(fifo_it);
+  return entry;
+}
+
+void ContainmentEngine::ReleaseChase(const std::string& key,
+                                     ChaseEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = chase_cache_.emplace(key, std::move(entry));
+  if (!inserted) return;  // a concurrent asker re-published first
+  chase_fifo_.push_back(key);
+  while (chase_fifo_.size() > config_.chase_cache_capacity) {
+    chase_cache_.erase(chase_fifo_.front());
+    chase_fifo_.pop_front();
+  }
+}
+
+Result<std::optional<ContainmentCertificate>> ContainmentEngine::Certify(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps) {
+  return BuildCertificate(q, q_prime, deps, *symbols_, config_.containment);
+}
+
+Result<bool> ContainmentEngine::CheckEquivalence(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps) {
+  CQCHASE_ASSIGN_OR_RETURN(EngineVerdict forward, Check(q, q_prime, deps));
+  if (!forward.report.contained) return false;
+  CQCHASE_ASSIGN_OR_RETURN(EngineVerdict backward, Check(q_prime, q, deps));
+  return backward.report.contained;
+}
+
+std::vector<Result<EngineVerdict>> ContainmentEngine::CheckMany(
+    const std::vector<ContainmentTask>& tasks) {
+  std::vector<std::optional<Result<EngineVerdict>>> scratch(tasks.size());
+  auto run_one = [&](size_t i) {
+    const ContainmentTask& t = tasks[i];
+    if (t.q == nullptr || t.q_prime == nullptr || t.deps == nullptr) {
+      scratch[i].emplace(Status::InvalidArgument(
+          StrCat("CheckMany task ", i, " has a null pointer")));
+      return;
+    }
+    scratch[i].emplace(Check(*t.q, *t.q_prime, *t.deps));
+  };
+
+  const size_t workers =
+      std::min<size_t>(std::max<size_t>(config_.num_threads, 1), tasks.size());
+  if (workers <= 1) {
+    for (size_t i = 0; i < tasks.size(); ++i) run_one(i);
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < tasks.size();
+             i = next.fetch_add(1)) {
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::vector<Result<EngineVerdict>> out;
+  out.reserve(tasks.size());
+  for (std::optional<Result<EngineVerdict>>& r : scratch) {
+    out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+Result<bool> ContainmentEngine::IsNonMinimal(const ConjunctiveQuery& q,
+                                             const DependencySet& deps) {
+  if (q.is_empty_query() || q.conjuncts().empty()) return false;
+  for (size_t i = 0; i < q.conjuncts().size(); ++i) {
+    if (!RemovalKeepsSafety(q, i)) continue;
+    ConjunctiveQuery candidate = WithoutConjunct(q, i);
+    CQCHASE_ASSIGN_OR_RETURN(EngineVerdict v, Check(candidate, q, deps));
+    if (v.report.contained) return true;
+  }
+  return false;
+}
+
+Result<MinimizeReport> ContainmentEngine::Minimize(const ConjunctiveQuery& q,
+                                                   const DependencySet& deps) {
+  MinimizeReport report{q, 0, 0};
+  bool changed = true;
+  while (changed && !report.query.conjuncts().empty()) {
+    changed = false;
+    for (size_t i = 0; i < report.query.conjuncts().size(); ++i) {
+      if (!RemovalKeepsSafety(report.query, i)) continue;
+      ConjunctiveQuery candidate = WithoutConjunct(report.query, i);
+      ++report.containment_checks;
+      CQCHASE_ASSIGN_OR_RETURN(EngineVerdict v,
+                               Check(candidate, report.query, deps));
+      if (v.report.contained) {
+        report.query = std::move(candidate);
+        ++report.removed_conjuncts;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+Result<ContainmentEngine::FdUnifyResult> ContainmentEngine::FdUnify(
+    const ConjunctiveQuery& q, const DependencySet& deps) {
+  if (&q.symbols() != symbols_) {
+    return Status::InvalidArgument(
+        "queries must be built against the engine's symbol table");
+  }
+  FdUnifyResult result{q, 0, false};
+  if (deps.fds().empty()) return result;
+  DependencySet fds = deps.FdsOnly();
+  Chase chase(&q.catalog(), symbols_, &fds, ChaseVariant::kRequired,
+              config_.containment.limits);
+  CQCHASE_RETURN_IF_ERROR(chase.Init(q));
+  CQCHASE_ASSIGN_OR_RETURN(ChaseOutcome outcome, chase.Run());
+  if (outcome == ChaseOutcome::kEmptyQuery) {
+    ConjunctiveQuery empty(&q.catalog(), &q.symbols());
+    empty.SetSummary(q.summary());
+    empty.MarkEmptyQuery();
+    result.query = std::move(empty);
+    result.proved_empty = true;
+    return result;
+  }
+  const size_t before = q.Variables().size();
+  result.query = chase.AsQuery();
+  result.variables_unified = before - result.query.Variables().size();
+  return result;
+}
+
+Result<std::optional<Instance>> ContainmentEngine::ExhaustiveCounterexample(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, const ExhaustiveSearchParams& params) {
+  return ExhaustiveFiniteCounterexample(q, q_prime, deps, *symbols_, params);
+}
+
+Result<std::optional<Instance>> ContainmentEngine::RandomCounterexample(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, const RandomSearchParams& params) {
+  return RandomFiniteCounterexample(q, q_prime, deps, *symbols_, params);
+}
+
+Result<std::optional<Instance>> ContainmentEngine::FiniteCounterexample(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, const FiniteWitnessParams& params) {
+  return FiniteCounterexampleFromWitness(q, q_prime, deps, *symbols_, params);
+}
+
+EngineStats ContainmentEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ContainmentEngine::ClearCaches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  verdict_cache_.clear();
+  verdict_fifo_.clear();
+  chase_cache_.clear();
+  chase_fifo_.clear();
+  sigma_cache_.clear();
+  sigma_fifo_.clear();
+}
+
+}  // namespace cqchase

@@ -1,0 +1,248 @@
+// ContainmentEngine: the single entry point for every containment /
+// equivalence / minimization / finite-containment question the library can
+// answer. The engine layers, bottom to top:
+//
+//  1. Σ-classification (engine/sigma_class.h): AnalyzeSigma picks the
+//     cheapest sound strategy per task — pure homomorphism for empty Σ, the
+//     finite FD chase for FD-only Σ, the PSPACE frontier-streaming procedure
+//     for IND-only Σ with single-conjunct Q', Lemma-5-bounded iterative
+//     deepening for the remaining decidable classes, and a sound
+//     semi-decision (opt-in) for general mixes.
+//  2. Canonicalization + memoization (engine/canonical.h): verdicts are
+//     cached under an isomorphism-invariant key of (Q, Q', Σ, variant), so a
+//     re-ask of the same question — even with renamed variables or permuted
+//     conjuncts — returns instantly (this is also what absorbs repeated or
+//     isomorphic candidates in greedy Σ-minimization, whose chased side
+//     changes on every probe); chase prefixes are cached under an exact key
+//     of (Q, Σ, variant) and resumed, so loops that probe one fixed Q
+//     against many Q' (equivalence checks, repeated asks about one query)
+//     stop re-chasing.
+//  3. Batch API: CheckMany evaluates a vector of tasks against the shared
+//     caches, optionally fanning out across std::threads (the SymbolTable is
+//     internally mutex-guarded, so concurrent chases can intern fresh NDVs
+//     into the shared arena safely).
+//
+// Adding a new decision strategy is a three-step recipe (see README):
+// extend DecisionStrategy + ChooseStrategy in engine/sigma_class.h, add the
+// execution arm in ContainmentEngine::DecideUncached, and cover the route in
+// tests/engine_dispatch_test.cc.
+//
+// All defaults (chase limits, variant, semi-decision policy) flow from
+// EngineConfig::containment — call sites no longer restate them.
+#ifndef CQCHASE_ENGINE_ENGINE_H_
+#define CQCHASE_ENGINE_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/certificate.h"
+#include "core/containment.h"
+#include "core/minimize.h"
+#include "cq/query.h"
+#include "data/instance.h"
+#include "deps/dependency_set.h"
+#include "engine/canonical.h"
+#include "engine/sigma_class.h"
+#include "finite/finite_containment.h"
+
+namespace cqchase {
+
+struct EngineConfig {
+  // The single source of decision-procedure defaults (limits, chase variant,
+  // semi-decision policy). Everything the engine runs — containment,
+  // equivalence, minimization, streaming, FD unification — derives its
+  // budgets from here.
+  ContainmentOptions containment;
+
+  // Layer 2: verdict + chase-prefix memoization.
+  bool enable_cache = true;
+  size_t verdict_cache_capacity = 1 << 16;  // entries; FIFO eviction
+  size_t chase_cache_capacity = 32;         // live chase prefixes retained
+
+  // Layer 1: route IND-only single-conjunct tasks to the PSPACE streaming
+  // path. Streaming verdicts carry no witness homomorphism; callers that
+  // need the witness (or byte-identical legacy reports) disable this.
+  bool route_streaming_single_conjunct = true;
+
+  // Layer 3: CheckMany fan-out width. <= 1 means sequential.
+  size_t num_threads = 1;
+};
+
+// One containment question for the batch API. Pointers must stay valid for
+// the duration of the CheckMany call; all queries must share the engine's
+// catalog and symbol table.
+struct ContainmentTask {
+  const ConjunctiveQuery* q = nullptr;
+  const ConjunctiveQuery* q_prime = nullptr;
+  const DependencySet* deps = nullptr;
+};
+
+// A containment answer plus how the engine got it.
+struct EngineVerdict {
+  ContainmentReport report;
+  SigmaClass sigma_class = SigmaClass::kEmpty;
+  DecisionStrategy strategy = DecisionStrategy::kHomomorphism;
+  bool cache_hit = false;
+};
+
+// Monotone counters; read via stats(). Under CheckMany fan-out the counters
+// are aggregated across workers.
+struct EngineStats {
+  uint64_t checks = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t chase_prefix_reuses = 0;
+  uint64_t chases_built = 0;
+  std::array<uint64_t, kNumStrategies> by_strategy = {};
+};
+
+class ContainmentEngine {
+ public:
+  // The engine serves one catalog + symbol-table universe; every query and
+  // dependency set passed in must be built against them. `catalog` and
+  // `symbols` must outlive the engine. The chase creates NDVs in `symbols`.
+  ContainmentEngine(const Catalog* catalog, SymbolTable* symbols,
+                    EngineConfig config = {});
+
+  ContainmentEngine(const ContainmentEngine&) = delete;
+  ContainmentEngine& operator=(const ContainmentEngine&) = delete;
+
+  // --- Decision API --------------------------------------------------------
+
+  // Σ ⊨ Q ⊆∞ Q', dispatched per the Σ classification.
+  Result<EngineVerdict> Check(const ConjunctiveQuery& q,
+                              const ConjunctiveQuery& q_prime,
+                              const DependencySet& deps);
+
+  // Σ ⊨ Q ≡∞ Q' (containment both ways, short-circuiting).
+  Result<bool> CheckEquivalence(const ConjunctiveQuery& q,
+                                const ConjunctiveQuery& q_prime,
+                                const DependencySet& deps);
+
+  // Batch evaluation with the shared caches. One Result per task, in task
+  // order. With config.num_threads > 1 the tasks fan out across a thread
+  // pool; verdicts are identical to the sequential evaluation.
+  std::vector<Result<EngineVerdict>> CheckMany(
+      const std::vector<ContainmentTask>& tasks);
+
+  // Decides containment and, when it holds, extracts a Theorem 2 proof
+  // object (core/certificate.h). Uncached: the certificate references live
+  // chase derivation state that the memoization layer does not retain.
+  Result<std::optional<ContainmentCertificate>> Certify(
+      const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+      const DependencySet& deps);
+
+  // --- Optimization API (core/minimize.h semantics) ------------------------
+
+  // Greedy Σ-minimization. The O(n²) near-identical containment checks this
+  // issues are exactly what the memoization layer absorbs.
+  Result<MinimizeReport> Minimize(const ConjunctiveQuery& q,
+                                  const DependencySet& deps);
+
+  Result<bool> IsNonMinimal(const ConjunctiveQuery& q,
+                            const DependencySet& deps);
+
+  // Pass-1 FD unification for the optimizer: Q replaced by its finite
+  // FD-only chase. Returns the chased query (marked empty on constant
+  // clash) plus the number of distinct variables eliminated.
+  struct FdUnifyResult {
+    ConjunctiveQuery query;
+    size_t variables_unified = 0;
+    bool proved_empty = false;
+  };
+  Result<FdUnifyResult> FdUnify(const ConjunctiveQuery& q,
+                                const DependencySet& deps);
+
+  // --- Finite containment (Section 4 / Theorem 3 tools) --------------------
+
+  Result<std::optional<Instance>> ExhaustiveCounterexample(
+      const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+      const DependencySet& deps, const ExhaustiveSearchParams& params = {});
+
+  Result<std::optional<Instance>> RandomCounterexample(
+      const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+      const DependencySet& deps, const RandomSearchParams& params = {});
+
+  Result<std::optional<Instance>> FiniteCounterexample(
+      const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+      const DependencySet& deps, const FiniteWitnessParams& params = {});
+
+  // --- Introspection -------------------------------------------------------
+
+  // The Σ analysis the dispatcher would use (cached per canonical Σ key).
+  SigmaAnalysis Analyze(const DependencySet& deps);
+
+  // The strategy the dispatcher selects a priori for this (Q', Σ) shape, or
+  // nullopt when Σ is general and semi-decision is off. Check can still end
+  // up on kIterativeDeepening instead of the reported kStreamingFrontier in
+  // two cases it resolves per-call: an empty-marked Q, and a streaming run
+  // that exhausts its frontier budget and falls back.
+  std::optional<DecisionStrategy> RouteOf(const ConjunctiveQuery& q_prime,
+                                          const DependencySet& deps);
+
+  EngineStats stats() const;
+  const EngineConfig& config() const { return config_; }
+  void ClearCaches();
+
+ private:
+  struct CachedVerdict {
+    ContainmentReport report;  // witness dropped; see Check
+    SigmaClass sigma_class;
+    DecisionStrategy strategy;
+  };
+
+  // A resumable chase prefix: the engine owns a stable copy of Σ so the
+  // Chase's internal pointer outlives the caller's DependencySet.
+  struct ChaseEntry {
+    std::unique_ptr<DependencySet> deps;
+    std::unique_ptr<Chase> chase;
+  };
+
+  Result<EngineVerdict> CheckImpl(const ConjunctiveQuery& q,
+                                  const ConjunctiveQuery& q_prime,
+                                  const DependencySet& deps);
+
+  // Uncached dispatch: classify, route, execute.
+  Result<EngineVerdict> DecideUncached(const ConjunctiveQuery& q,
+                                       const ConjunctiveQuery& q_prime,
+                                       const DependencySet& deps,
+                                       const SigmaAnalysis& analysis);
+
+  // The Theorem 1/2 iterative-deepening decision loop, run on a fresh or
+  // cache-resumed chase of Q.
+  Result<ContainmentReport> DecideByChase(const ConjunctiveQuery& q,
+                                          const ConjunctiveQuery& q_prime,
+                                          const DependencySet& deps,
+                                          const SigmaAnalysis& analysis);
+
+  // Chase-prefix cache helpers: Acquire moves a matching entry out of the
+  // cache (exclusive use; concurrent askers of the same key miss and build
+  // fresh), Release re-inserts it.
+  std::optional<ChaseEntry> AcquireChase(const std::string& key);
+  void ReleaseChase(const std::string& key, ChaseEntry entry);
+
+  const Catalog* catalog_;
+  SymbolTable* symbols_;
+  EngineConfig config_;
+
+  mutable std::mutex mu_;  // guards everything below
+  std::unordered_map<std::string, CachedVerdict> verdict_cache_;
+  std::deque<std::string> verdict_fifo_;
+  std::unordered_map<std::string, ChaseEntry> chase_cache_;
+  std::deque<std::string> chase_fifo_;
+  std::unordered_map<std::string, SigmaAnalysis> sigma_cache_;
+  std::deque<std::string> sigma_fifo_;  // bounded like the verdict cache
+  EngineStats stats_;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_ENGINE_ENGINE_H_

@@ -1,0 +1,109 @@
+#include "engine/sigma_class.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cqchase {
+
+namespace {
+
+// The k_Σ constant of the Theorem 3 proof (see finite/finite_containment.h,
+// whose KSigma delegates here). Checked against the raw predicates rather
+// than the SigmaClass: key-basedness can hold for FD-only and empty sets
+// too (vacuous IND clause), which the class split files elsewhere.
+std::optional<uint32_t> ComputeKSigma(const DependencySet& deps,
+                                      const Catalog& catalog) {
+  if (deps.IsKeyBased(catalog)) return 1;  // Lemma 6
+  if (deps.ContainsOnlyInds() && deps.AllIndsWidthOne()) {
+    // Bounded by the sum of the arities of the relations occurring as IND
+    // right-hand sides.
+    std::vector<bool> seen(catalog.num_relations(), false);
+    uint32_t sum = 0;
+    for (const InclusionDependency& ind : deps.inds()) {
+      if (!seen[ind.rhs_relation]) {
+        seen[ind.rhs_relation] = true;
+        sum += static_cast<uint32_t>(catalog.arity(ind.rhs_relation));
+      }
+    }
+    return std::max<uint32_t>(sum, 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SigmaAnalysis AnalyzeSigma(const DependencySet& deps, const Catalog& catalog) {
+  SigmaAnalysis a;
+  a.max_ind_width = deps.MaxIndWidth();
+  if (deps.empty()) {
+    a.sigma_class = SigmaClass::kEmpty;
+  } else if (deps.ContainsOnlyFds()) {
+    a.sigma_class = SigmaClass::kFdOnly;
+  } else if (deps.ContainsOnlyInds()) {
+    a.sigma_class = deps.AllIndsWidthOne() ? SigmaClass::kIndOnlyW1
+                                           : SigmaClass::kIndOnly;
+  } else if (deps.IsKeyBased(catalog)) {
+    a.sigma_class = SigmaClass::kKeyBased;
+  } else {
+    a.sigma_class = SigmaClass::kGeneral;
+  }
+  a.decidable = a.sigma_class != SigmaClass::kGeneral;
+  // Theorem 3 coverage: trivially Σ-free and FD-only sets (finite chase),
+  // width-1 IND sets and key-based sets.
+  a.finitely_controllable = a.sigma_class == SigmaClass::kEmpty ||
+                            a.sigma_class == SigmaClass::kFdOnly ||
+                            a.sigma_class == SigmaClass::kIndOnlyW1 ||
+                            a.sigma_class == SigmaClass::kKeyBased;
+  a.k_sigma = ComputeKSigma(deps, catalog);
+  return a;
+}
+
+std::optional<DecisionStrategy> ChooseStrategy(const SigmaAnalysis& analysis,
+                                               const ConjunctiveQuery& q_prime,
+                                               bool allow_semidecision,
+                                               bool allow_streaming) {
+  switch (analysis.sigma_class) {
+    case SigmaClass::kEmpty:
+      return DecisionStrategy::kHomomorphism;
+    case SigmaClass::kFdOnly:
+      return DecisionStrategy::kFdChase;
+    case SigmaClass::kIndOnlyW1:
+    case SigmaClass::kIndOnly:
+      if (allow_streaming && q_prime.conjuncts().size() == 1 &&
+          !q_prime.is_empty_query()) {
+        return DecisionStrategy::kStreamingFrontier;
+      }
+      return DecisionStrategy::kIterativeDeepening;
+    case SigmaClass::kKeyBased:
+      return DecisionStrategy::kIterativeDeepening;
+    case SigmaClass::kGeneral:
+      if (allow_semidecision) return DecisionStrategy::kSemiDecision;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::string_view ToString(SigmaClass c) {
+  switch (c) {
+    case SigmaClass::kEmpty: return "empty";
+    case SigmaClass::kFdOnly: return "fd-only";
+    case SigmaClass::kIndOnlyW1: return "ind-only-width-1";
+    case SigmaClass::kIndOnly: return "ind-only";
+    case SigmaClass::kKeyBased: return "key-based";
+    case SigmaClass::kGeneral: return "general";
+  }
+  return "unknown";
+}
+
+std::string_view ToString(DecisionStrategy s) {
+  switch (s) {
+    case DecisionStrategy::kHomomorphism: return "homomorphism";
+    case DecisionStrategy::kFdChase: return "fd-chase";
+    case DecisionStrategy::kStreamingFrontier: return "streaming-frontier";
+    case DecisionStrategy::kIterativeDeepening: return "iterative-deepening";
+    case DecisionStrategy::kSemiDecision: return "semi-decision";
+  }
+  return "unknown";
+}
+
+}  // namespace cqchase

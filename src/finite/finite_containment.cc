@@ -6,6 +6,7 @@
 
 #include "base/rng.h"
 #include "base/string_util.h"
+#include "engine/sigma_class.h"
 
 namespace cqchase {
 
@@ -125,21 +126,9 @@ Result<std::optional<Instance>> RandomFiniteCounterexample(
 
 std::optional<uint32_t> KSigma(const DependencySet& deps,
                                const Catalog& catalog) {
-  if (deps.IsKeyBased(catalog)) return 1;  // Lemma 6
-  if (deps.ContainsOnlyInds() && deps.AllIndsWidthOne()) {
-    // Bounded by the sum of the widths (arities) of the relations occurring
-    // as IND right-hand sides.
-    std::vector<bool> seen(catalog.num_relations(), false);
-    uint32_t sum = 0;
-    for (const InclusionDependency& ind : deps.inds()) {
-      if (!seen[ind.rhs_relation]) {
-        seen[ind.rhs_relation] = true;
-        sum += static_cast<uint32_t>(catalog.arity(ind.rhs_relation));
-      }
-    }
-    return std::max<uint32_t>(sum, 1);
-  }
-  return std::nullopt;
+  // The constant is computed by the shared Σ analyzer (engine/sigma_class.h)
+  // so the engine's dispatcher and the Theorem 3 tools agree on coverage.
+  return AnalyzeSigma(deps, catalog).k_sigma;
 }
 
 uint32_t QueryGraphDiameter(const ConjunctiveQuery& q) {

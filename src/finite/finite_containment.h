@@ -65,7 +65,9 @@ struct FiniteWitnessParams {
   // theorem uses (d+1)·k_Σ with d = diameter of G_Q'; callers can pass
   // SuggestCutoff() or any larger value.
   uint32_t cutoff_level = 4;
-  size_t max_conjuncts = 200000;
+  // Defaults follow the library-wide chase budget (chase/chase.h), the one
+  // place resource defaults are stated.
+  size_t max_conjuncts = ChaseLimits{}.max_conjuncts;
 };
 
 struct FiniteWitness {

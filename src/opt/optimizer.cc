@@ -1,19 +1,13 @@
 #include "opt/optimizer.h"
 
-#include <set>
 #include <utility>
 
 #include "base/string_util.h"
-#include "chase/chase.h"
-#include "core/minimize.h"
+#include "engine/engine.h"
 
 namespace cqchase {
 
 namespace {
-
-size_t DistinctVariableCount(const ConjunctiveQuery& q) {
-  return q.Variables().size();
-}
 
 ConjunctiveQuery Reordered(const ConjunctiveQuery& q,
                            const std::vector<size_t>& order) {
@@ -31,38 +25,34 @@ Result<OptimizeReport> OptimizeQuery(const ConjunctiveQuery& q,
                                      const OptimizerOptions& options) {
   OptimizeReport report(q);
 
+  // One engine for the whole optimization: pass 2's near-identical
+  // containment checks share its verdict and chase-prefix caches.
+  EngineConfig config;
+  config.containment = options.containment;
+  ContainmentEngine engine(&q.catalog(), &symbols, config);
+
   // Pass 1: FD unification — replace Q by its finite FD-only chase.
   if (options.fd_unification && !deps.fds().empty()) {
-    DependencySet fds = deps.FdsOnly();
-    Chase chase(&q.catalog(), &symbols, &fds, ChaseVariant::kRequired,
-                options.containment.limits);
-    Status init = chase.Init(report.query);
-    if (!init.ok()) return init;
-    Result<ChaseOutcome> outcome = chase.Run();
-    if (!outcome.ok()) return outcome.status();
-    if (*outcome == ChaseOutcome::kEmptyQuery) {
-      ConjunctiveQuery empty(&q.catalog(), &symbols);
-      empty.SetSummary(report.query.summary());
-      empty.MarkEmptyQuery();
+    CQCHASE_ASSIGN_OR_RETURN(ContainmentEngine::FdUnifyResult unified,
+                             engine.FdUnify(report.query, deps));
+    if (unified.proved_empty) {
       report.proved_empty = true;
-      report.query = std::move(empty);
+      report.query = std::move(unified.query);
       report.trace.push_back(
           "fd-unification: constant clash; query is empty under the FDs");
       return report;
     }
-    size_t before = DistinctVariableCount(report.query);
-    report.query = chase.AsQuery();
-    size_t after = DistinctVariableCount(report.query);
-    report.variables_unified = before - after;
+    size_t before = report.query.Variables().size();
+    report.query = std::move(unified.query);
+    report.variables_unified = unified.variables_unified;
     report.trace.push_back(StrCat("fd-unification: ", report.variables_unified,
                                   " variable(s) merged, ", before, " -> ",
-                                  after));
+                                  report.query.Variables().size()));
   }
 
-  // Pass 2: Σ-minimization via containment.
+  // Pass 2: Σ-minimization via the engine's cached containment checks.
   if (options.minimize && report.query.size() > 1) {
-    Result<MinimizeReport> min = MinimizeQuery(report.query, deps, symbols,
-                                               options.containment);
+    Result<MinimizeReport> min = engine.Minimize(report.query, deps);
     if (!min.ok()) return min.status();
     report.conjuncts_removed = min->removed_conjuncts;
     report.containment_checks = min->containment_checks;

@@ -6,7 +6,33 @@
 
 namespace cqchase {
 
-std::vector<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) {
+SymbolTable::SymbolTable(SymbolTable&& other) noexcept : SymbolTable() {
+  *this = std::move(other);
+}
+
+SymbolTable& SymbolTable::operator=(SymbolTable&& other) noexcept {
+  if (this != &other) {
+    mu_ = std::move(other.mu_);
+    constants_ = std::move(other.constants_);
+    dist_vars_ = std::move(other.dist_vars_);
+    nondist_vars_ = std::move(other.nondist_vars_);
+    constant_index_ = std::move(other.constant_index_);
+    dist_var_index_ = std::move(other.dist_var_index_);
+    nondist_var_index_ = std::move(other.nondist_var_index_);
+    fresh_counter_ = other.fresh_counter_;
+    other.mu_ = std::make_unique<std::mutex>();
+    other.constants_.clear();
+    other.dist_vars_.clear();
+    other.nondist_vars_.clear();
+    other.constant_index_.clear();
+    other.dist_var_index_.clear();
+    other.nondist_var_index_.clear();
+    other.fresh_counter_ = 0;
+  }
+  return *this;
+}
+
+std::deque<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) {
   switch (kind) {
     case TermKind::kConstant:
       return constants_;
@@ -19,10 +45,11 @@ std::vector<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) {
   return nondist_vars_;
 }
 
-const std::vector<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) const {
+const std::deque<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) const {
   return const_cast<SymbolTable*>(this)->pool(kind);
 }
 
+// Callers hold *mu_.
 Term SymbolTable::Intern(TermKind kind, std::string_view name) {
   auto& index = kind == TermKind::kConstant  ? constant_index_
                 : kind == TermKind::kDistVar ? dist_var_index_
@@ -37,18 +64,22 @@ Term SymbolTable::Intern(TermKind kind, std::string_view name) {
 }
 
 Term SymbolTable::InternConstant(std::string_view name) {
+  std::lock_guard<std::mutex> lock(*mu_);
   return Intern(TermKind::kConstant, name);
 }
 
 Term SymbolTable::InternDistVar(std::string_view name) {
+  std::lock_guard<std::mutex> lock(*mu_);
   return Intern(TermKind::kDistVar, name);
 }
 
 Term SymbolTable::InternNondistVar(std::string_view name) {
+  std::lock_guard<std::mutex> lock(*mu_);
   return Intern(TermKind::kNondistVar, name);
 }
 
 Term SymbolTable::MakeChaseNdv(const NdvProvenance& provenance) {
+  std::lock_guard<std::mutex> lock(*mu_);
   uint32_t id = static_cast<uint32_t>(nondist_vars_.size());
   std::string name =
       StrCat("n", id, "[A", provenance.attribute_index, ",c",
@@ -60,17 +91,20 @@ Term SymbolTable::MakeChaseNdv(const NdvProvenance& provenance) {
 }
 
 Term SymbolTable::MakeFreshNondistVar(std::string_view name_hint) {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::string name = StrCat(name_hint, "#", fresh_counter_++);
   return Intern(TermKind::kNondistVar, name);
 }
 
 Term SymbolTable::MakeFreshConstant(std::string_view name_hint) {
+  std::lock_guard<std::mutex> lock(*mu_);
   std::string name = StrCat(name_hint, "#", fresh_counter_++);
   return Intern(TermKind::kConstant, name);
 }
 
 std::optional<Term> SymbolTable::Find(TermKind kind,
                                       std::string_view name) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   const auto& index = kind == TermKind::kConstant  ? constant_index_
                       : kind == TermKind::kDistVar ? dist_var_index_
                                                    : nondist_var_index_;
@@ -80,8 +114,11 @@ std::optional<Term> SymbolTable::Find(TermKind kind,
 }
 
 const std::string& SymbolTable::Name(Term t) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   const auto& p = pool(t.kind());
   assert(t.id() < p.size());
+  // Safe to hand out without the lock: deque entries are never moved or
+  // mutated after creation.
   return p[t.id()].name;
 }
 
@@ -100,6 +137,7 @@ std::string SymbolTable::DisplayName(Term t) const {
 }
 
 std::optional<NdvProvenance> SymbolTable::Provenance(Term t) const {
+  std::lock_guard<std::mutex> lock(*mu_);
   const auto& p = pool(t.kind());
   assert(t.id() < p.size());
   return p[t.id()].provenance;

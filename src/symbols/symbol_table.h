@@ -12,11 +12,13 @@
 #define CQCHASE_SYMBOLS_SYMBOL_TABLE_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "symbols/term.h"
 
@@ -32,16 +34,23 @@ struct NdvProvenance {
   uint32_t level = 0;            // level of the created conjunct
 };
 
+// Thread safety: all mutating and reading members are guarded by an internal
+// mutex, so concurrent chases (ContainmentEngine::CheckMany fan-out) can
+// intern fresh NDVs into one shared arena. Entries live in deques and are
+// never moved after creation, so the references Name() hands out stay valid
+// across later insertions without holding the lock.
 class SymbolTable {
  public:
-  SymbolTable() = default;
+  SymbolTable() : mu_(std::make_unique<std::mutex>()) {}
 
   // SymbolTables are identity objects shared by reference; copying one would
-  // silently fork the symbol universe.
+  // silently fork the symbol universe. Moves are custom (not defaulted) so
+  // the moved-from table keeps a live mutex and stays a valid empty table
+  // rather than crashing on first use.
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
-  SymbolTable(SymbolTable&&) = default;
-  SymbolTable& operator=(SymbolTable&&) = default;
+  SymbolTable(SymbolTable&& other) noexcept;
+  SymbolTable& operator=(SymbolTable&& other) noexcept;
 
   // Interns a constant by name. Repeated calls with the same name return the
   // same Term (constants compare equal iff their names are equal).
@@ -77,9 +86,18 @@ class SymbolTable {
   // Provenance of a chase-created NDV; nullopt for other terms.
   std::optional<NdvProvenance> Provenance(Term t) const;
 
-  size_t num_constants() const { return constants_.size(); }
-  size_t num_dist_vars() const { return dist_vars_.size(); }
-  size_t num_nondist_vars() const { return nondist_vars_.size(); }
+  size_t num_constants() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return constants_.size();
+  }
+  size_t num_dist_vars() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return dist_vars_.size();
+  }
+  size_t num_nondist_vars() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return nondist_vars_.size();
+  }
 
  private:
   struct Entry {
@@ -87,14 +105,17 @@ class SymbolTable {
     std::optional<NdvProvenance> provenance;
   };
 
-  std::vector<Entry>& pool(TermKind kind);
-  const std::vector<Entry>& pool(TermKind kind) const;
+  std::deque<Entry>& pool(TermKind kind);
+  const std::deque<Entry>& pool(TermKind kind) const;
 
   Term Intern(TermKind kind, std::string_view name);
 
-  std::vector<Entry> constants_;
-  std::vector<Entry> dist_vars_;
-  std::vector<Entry> nondist_vars_;
+  // unique_ptr keeps the table movable (a mutex itself is not); the move
+  // operations re-seat a fresh mutex in the source so it stays usable.
+  std::unique_ptr<std::mutex> mu_;
+  std::deque<Entry> constants_;
+  std::deque<Entry> dist_vars_;
+  std::deque<Entry> nondist_vars_;
   std::unordered_map<std::string, uint32_t> constant_index_;
   std::unordered_map<std::string, uint32_t> dist_var_index_;
   std::unordered_map<std::string, uint32_t> nondist_var_index_;

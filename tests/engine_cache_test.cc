@@ -1,0 +1,285 @@
+// The ContainmentEngine's memoization layer: canonical keys are invariant
+// under variable renaming and conjunct permutation (and only then), verdict
+// caching hits on isomorphic re-asks and misses on Σ changes, chase prefixes
+// are resumed across Q' variations, and — the soundness contract — verdicts
+// with the cache on are identical to verdicts with it off, sequentially and
+// under CheckMany thread fan-out.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "core/containment.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "engine/canonical.h"
+#include "engine/engine.h"
+#include "gen/generators.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddRelation("R", {"a", "b"}).ok());
+    ASSERT_TRUE(catalog_.AddRelation("S", {"x", "y"}).ok());
+    deps_ = *ParseDependencies(catalog_, "R[2] <= S[1]");
+  }
+
+  ConjunctiveQuery Parse(const std::string& text) {
+    Result<ConjunctiveQuery> q = ParseQuery(catalog_, symbols_, text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return *std::move(q);
+  }
+
+  Catalog catalog_;
+  SymbolTable symbols_;
+  DependencySet deps_;
+};
+
+// --- Canonical keys ----------------------------------------------------------
+
+TEST_F(CacheTest, CanonicalKeyInvariantUnderRenamingAndPermutation) {
+  ConjunctiveQuery a = Parse("ans(u) :- R(u, v), S(v, w)");
+  ConjunctiveQuery renamed = Parse("ans(p) :- R(p, q), S(q, t)");
+  ConjunctiveQuery permuted = Parse("ans(m) :- S(k, t2), R(m, k)");
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(renamed));
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(permuted));
+}
+
+TEST_F(CacheTest, CanonicalKeySeparatesStructurallyDifferentQueries) {
+  ConjunctiveQuery joined = Parse("ans(u) :- R(u, v), S(v, w)");
+  ConjunctiveQuery forked = Parse("ans(u2) :- R(u2, v2), S(w2, v2)");
+  ConjunctiveQuery self = Parse("ans(u3) :- R(u3, u3), S(u3, w3)");
+  ConjunctiveQuery constant = Parse("ans(u4) :- R(u4, '1'), S('1', w4)");
+  EXPECT_NE(CanonicalQueryKey(joined), CanonicalQueryKey(forked));
+  EXPECT_NE(CanonicalQueryKey(joined), CanonicalQueryKey(self));
+  EXPECT_NE(CanonicalQueryKey(joined), CanonicalQueryKey(constant));
+}
+
+TEST_F(CacheTest, CanonicalKeySeparatesSplicedConstantNames) {
+  // Constant names containing quote/comma sequences must not splice into
+  // the key syntax: R("x','y", "z") and R("x", "y','z") are different
+  // queries and need different keys.
+  ConjunctiveQuery a(&catalog_, &symbols_);
+  ConjunctiveQuery b(&catalog_, &symbols_);
+  a.AddConjunct(Fact{0, {symbols_.InternConstant("x','y"),
+                         symbols_.InternConstant("z")}});
+  b.AddConjunct(Fact{0, {symbols_.InternConstant("x"),
+                         symbols_.InternConstant("y','z")}});
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST_F(CacheTest, CanonicalSigmaKeyIsOrderInvariantAndContentSensitive) {
+  DependencySet ab = *ParseDependencies(catalog_, "R[1] <= S[1]\nS: 1 -> 2");
+  DependencySet ba = *ParseDependencies(catalog_, "S: 1 -> 2\nR[1] <= S[1]");
+  DependencySet other = *ParseDependencies(catalog_, "R[2] <= S[1]\nS: 1 -> 2");
+  EXPECT_EQ(CanonicalSigmaKey(ab), CanonicalSigmaKey(ba));
+  EXPECT_NE(CanonicalSigmaKey(ab), CanonicalSigmaKey(other));
+}
+
+// --- Verdict-cache behavior --------------------------------------------------
+
+TEST_F(CacheTest, HitOnIsomorphicReAsk) {
+  ContainmentEngine engine(&catalog_, &symbols_);
+  ConjunctiveQuery q = Parse("ans(u) :- R(u, v)");
+  ConjunctiveQuery qp = Parse("ans(u) :- R(u, v), S(v, w)");
+  ConjunctiveQuery q_iso = Parse("ans(e) :- R(e, f)");
+  ConjunctiveQuery qp_iso = Parse("ans(e) :- S(f, g), R(e, f)");
+
+  Result<EngineVerdict> first = engine.Check(q, qp, deps_);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  Result<EngineVerdict> second = engine.Check(q_iso, qp_iso, deps_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(first->report.contained, second->report.contained);
+  EXPECT_TRUE(first->report.contained);  // the IND supplies the S conjunct
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST_F(CacheTest, MissOnSigmaChange) {
+  ContainmentEngine engine(&catalog_, &symbols_);
+  ConjunctiveQuery q = Parse("ans(u) :- R(u, v)");
+  ConjunctiveQuery qp = Parse("ans(u) :- R(u, v), S(v, w)");
+  DependencySet other = *ParseDependencies(catalog_, "R[1] <= S[1]");
+
+  Result<EngineVerdict> first = engine.Check(q, qp, deps_);
+  Result<EngineVerdict> second = engine.Check(q, qp, other);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cache_hit);
+  EXPECT_TRUE(first->report.contained);
+  EXPECT_FALSE(second->report.contained);  // wrong column: no S(v, _) arises
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+}
+
+TEST_F(CacheTest, ChasePrefixReusedAcrossDifferentQPrimes) {
+  EngineConfig config;
+  config.route_streaming_single_conjunct = false;  // force the chase route
+  ContainmentEngine engine(&catalog_, &symbols_, config);
+  ConjunctiveQuery q = Parse("ans(u) :- R(u, v)");
+  ConjunctiveQuery qp1 = Parse("ans(f) :- S(f, g)");
+  ConjunctiveQuery qp2 = Parse("ans(e2) :- R(e2, f2), S(f2, g2)");
+
+  ASSERT_TRUE(engine.Check(q, qp1, deps_).ok());
+  ASSERT_TRUE(engine.Check(q, qp2, deps_).ok());
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.chases_built, 1u);
+  EXPECT_GE(stats.chase_prefix_reuses, 1u);
+}
+
+TEST_F(CacheTest, ExhaustedCachedChaseStillYieldsContainedVerdict) {
+  // A chase that tripped max_conjuncts gets re-cached; a later trivially-
+  // contained ask that resumes it re-trips the sticky limit before its
+  // first per-level search. The final-search-on-exhaustion path must still
+  // find the witness, keeping cache-on verdicts identical to cache-off.
+  DependencySet cyclic = *ParseDependencies(
+      catalog_, "R[2] <= R[1]\nR[2] <= S[1]\nS[2] <= R[1]");
+  ConjunctiveQuery q = Parse("ans(u) :- R(u, v), S(v, w)");
+  ConjunctiveQuery absent = Parse("ans(e) :- R(e, '9')");
+  ConjunctiveQuery trivial = Parse("ans(m) :- R(m, k)");
+
+  EngineConfig config;
+  config.containment.limits.max_conjuncts = 6;
+  config.route_streaming_single_conjunct = false;  // force the chase route
+  ContainmentEngine engine(&catalog_, &symbols_, config);
+
+  Result<EngineVerdict> first = engine.Check(q, absent, cyclic);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kResourceExhausted);
+
+  Result<EngineVerdict> second = engine.Check(q, trivial, cyclic);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->report.contained);
+  EXPECT_GE(engine.stats().chase_prefix_reuses, 1u);
+}
+
+TEST_F(CacheTest, ClearCachesForgetsVerdicts) {
+  ContainmentEngine engine(&catalog_, &symbols_);
+  ConjunctiveQuery q = Parse("ans(u) :- R(u, v)");
+  ConjunctiveQuery qp = Parse("ans(u) :- R(u, v), S(v, w)");
+  ASSERT_TRUE(engine.Check(q, qp, deps_).ok());
+  engine.ClearCaches();
+  Result<EngineVerdict> again = engine.Check(q, qp, deps_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->cache_hit);
+}
+
+// --- Cache on/off verdict identity across scenario bundles -------------------
+
+TEST(CacheParityTest, IdenticalVerdictsWithCacheOnAndOffAcrossScenarios) {
+  for (Scenario (*make)() : {EmpDepScenario, KeyBasedEmpDepScenario,
+                             Fig1Scenario}) {
+    Scenario s = make();
+    EngineConfig off_config;
+    off_config.enable_cache = false;
+    ContainmentEngine on(s.catalog.get(), s.symbols.get());
+    ContainmentEngine off(s.catalog.get(), s.symbols.get(), off_config);
+    for (size_t i = 0; i < s.queries.size(); ++i) {
+      for (size_t j = 0; j < s.queries.size(); ++j) {
+        Result<EngineVerdict> a = on.Check(s.queries[i], s.queries[j], s.deps);
+        Result<EngineVerdict> b = off.Check(s.queries[i], s.queries[j], s.deps);
+        ASSERT_EQ(a.ok(), b.ok()) << "pair (" << i << "," << j << ")";
+        if (!a.ok()) continue;
+        EXPECT_EQ(a->report.contained, b->report.contained)
+            << "pair (" << i << "," << j << ")";
+        // Re-ask through the warmed cache: same verdict, now a hit.
+        Result<EngineVerdict> again =
+            on.Check(s.queries[i], s.queries[j], s.deps);
+        ASSERT_TRUE(again.ok());
+        EXPECT_TRUE(again->cache_hit);
+        EXPECT_EQ(again->report.contained, a->report.contained);
+      }
+    }
+  }
+}
+
+// --- Batch API ---------------------------------------------------------------
+
+TEST(CheckManyTest, ThreadedFanOutMatchesSequentialVerdicts) {
+  Rng rng(21);
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  Catalog catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = 3;
+  ip.width = 1;
+  DependencySet deps = RandomIndOnlyDeps(rng, catalog, ip);
+  SymbolTable symbols;
+
+  std::vector<ConjunctiveQuery> lhs;
+  std::vector<ConjunctiveQuery> rhs;
+  for (size_t i = 0; i < 12; ++i) {
+    RandomQueryParams qp;
+    qp.num_conjuncts = 4;
+    qp.name_prefix = StrCat("l", i);
+    lhs.push_back(RandomQuery(rng, catalog, symbols, qp));
+    qp.num_conjuncts = 2;
+    qp.name_prefix = StrCat("r", i);
+    rhs.push_back(RandomQuery(rng, catalog, symbols, qp));
+  }
+  std::vector<ContainmentTask> tasks;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    tasks.push_back(ContainmentTask{&lhs[i], &rhs[i], &deps});
+  }
+
+  EngineConfig sequential_config;
+  sequential_config.enable_cache = false;
+  ContainmentEngine sequential(&catalog, &symbols, sequential_config);
+  std::vector<Result<EngineVerdict>> expected = sequential.CheckMany(tasks);
+
+  EngineConfig threaded_config;
+  threaded_config.num_threads = 4;
+  ContainmentEngine threaded(&catalog, &symbols, threaded_config);
+  std::vector<Result<EngineVerdict>> got = threaded.CheckMany(tasks);
+
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    ASSERT_EQ(expected[i].ok(), got[i].ok()) << "task " << i;
+    if (!expected[i].ok()) continue;
+    EXPECT_EQ(expected[i]->report.contained, got[i]->report.contained)
+        << "task " << i;
+  }
+}
+
+TEST(CheckManyTest, NullTaskPointerYieldsInvalidArgument) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a"}).ok());
+  SymbolTable symbols;
+  ContainmentEngine engine(&catalog, &symbols);
+  std::vector<ContainmentTask> tasks(1);  // all pointers null
+  std::vector<Result<EngineVerdict>> out = engine.CheckMany(tasks);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_FALSE(out[0].ok());
+  EXPECT_EQ(out[0].status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- The optimizer's minimization through the warm engine --------------------
+
+TEST(CacheMinimizeTest, MinimizeVerdictsUnchangedByCaching) {
+  Scenario s = EmpDepScenario();
+  EngineConfig off_config;
+  off_config.enable_cache = false;
+  ContainmentEngine on(s.catalog.get(), s.symbols.get());
+  ContainmentEngine off(s.catalog.get(), s.symbols.get(), off_config);
+  Result<MinimizeReport> a = on.Minimize(s.queries[0], s.deps);
+  Result<MinimizeReport> b = off.Minimize(s.queries[0], s.deps);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->removed_conjuncts, b->removed_conjuncts);
+  EXPECT_EQ(a->containment_checks, b->containment_checks);
+  EXPECT_EQ(a->query.ToString(), b->query.ToString());
+  EXPECT_EQ(a->removed_conjuncts, 1u);  // the DEP join goes
+}
+
+}  // namespace
+}  // namespace cqchase

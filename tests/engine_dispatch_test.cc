@@ -1,0 +1,249 @@
+// ContainmentEngine dispatch: every Σ class must route to the expected
+// decision strategy, the routed strategies must agree with the legacy
+// single-shot decision procedure, and undecidable shapes must surface the
+// same kUnimplemented the free function always returned.
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "engine/engine.h"
+#include "gen/scenarios.h"
+
+namespace cqchase {
+namespace {
+
+// --- AnalyzeSigma classification ---------------------------------------------
+
+TEST(SigmaClassTest, EmptySet) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SigmaAnalysis a = AnalyzeSigma(DependencySet(), catalog);
+  EXPECT_EQ(a.sigma_class, SigmaClass::kEmpty);
+  EXPECT_TRUE(a.decidable);
+  EXPECT_TRUE(a.finitely_controllable);
+}
+
+TEST(SigmaClassTest, FdOnly) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  DependencySet deps = *ParseDependencies(catalog, "R: 1 -> 2");
+  SigmaAnalysis a = AnalyzeSigma(deps, catalog);
+  EXPECT_EQ(a.sigma_class, SigmaClass::kFdOnly);
+  EXPECT_TRUE(a.decidable);
+  EXPECT_TRUE(a.finitely_controllable);
+}
+
+TEST(SigmaClassTest, IndOnlyWidthOneVsWider) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"x", "y"}).ok());
+  DependencySet w1 = *ParseDependencies(catalog, "R[1] <= S[1]");
+  SigmaAnalysis a1 = AnalyzeSigma(w1, catalog);
+  EXPECT_EQ(a1.sigma_class, SigmaClass::kIndOnlyW1);
+  EXPECT_TRUE(a1.finitely_controllable);
+  ASSERT_TRUE(a1.k_sigma.has_value());
+
+  DependencySet w2 = *ParseDependencies(catalog, "R[1,2] <= S[1,2]");
+  SigmaAnalysis a2 = AnalyzeSigma(w2, catalog);
+  EXPECT_EQ(a2.sigma_class, SigmaClass::kIndOnly);
+  EXPECT_EQ(a2.max_ind_width, 2u);
+  EXPECT_TRUE(a2.decidable);
+  EXPECT_FALSE(a2.finitely_controllable);
+}
+
+TEST(SigmaClassTest, KeyBasedAndGeneral) {
+  Scenario key_based = KeyBasedEmpDepScenario();
+  SigmaAnalysis a = AnalyzeSigma(key_based.deps, *key_based.catalog);
+  EXPECT_EQ(a.sigma_class, SigmaClass::kKeyBased);
+  EXPECT_TRUE(a.decidable);
+  EXPECT_TRUE(a.finitely_controllable);
+  EXPECT_EQ(a.k_sigma, std::optional<uint32_t>(1));  // Lemma 6
+
+  Scenario general = Section4Scenario();  // FD + IND, not key-based
+  SigmaAnalysis g = AnalyzeSigma(general.deps, *general.catalog);
+  EXPECT_EQ(g.sigma_class, SigmaClass::kGeneral);
+  EXPECT_FALSE(g.decidable);
+  EXPECT_FALSE(g.finitely_controllable);
+}
+
+// --- Strategy routing --------------------------------------------------------
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.AddRelation("R", {"a", "b"}).ok());
+    ASSERT_TRUE(catalog_.AddRelation("S", {"x", "y"}).ok());
+    q_ = *ParseQuery(catalog_, symbols_, "ans(u) :- R(u, v)");
+    one_ = *ParseQuery(catalog_, symbols_, "ans(p) :- S(p, w)");
+    two_ = *ParseQuery(catalog_, symbols_, "ans(p) :- S(p, w), R(p, w)");
+  }
+
+  Catalog catalog_;
+  SymbolTable symbols_;
+  ConjunctiveQuery q_{nullptr, nullptr};
+  ConjunctiveQuery one_{nullptr, nullptr};
+  ConjunctiveQuery two_{nullptr, nullptr};
+};
+
+TEST_F(DispatchTest, EmptySigmaRoutesToHomomorphism) {
+  ContainmentEngine engine(&catalog_, &symbols_);
+  DependencySet empty;
+  EXPECT_EQ(engine.RouteOf(one_, empty),
+            std::optional<DecisionStrategy>(DecisionStrategy::kHomomorphism));
+  Result<EngineVerdict> v = engine.Check(q_, one_, empty);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->strategy, DecisionStrategy::kHomomorphism);
+  EXPECT_EQ(v->sigma_class, SigmaClass::kEmpty);
+  EXPECT_FALSE(v->report.contained);
+}
+
+TEST_F(DispatchTest, FdOnlyRoutesToFdChase) {
+  ContainmentEngine engine(&catalog_, &symbols_);
+  DependencySet fds = *ParseDependencies(catalog_, "R: 1 -> 2");
+  Result<EngineVerdict> v = engine.Check(q_, q_, fds);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->strategy, DecisionStrategy::kFdChase);
+  EXPECT_TRUE(v->report.contained);  // Q subseteq Q always
+}
+
+TEST_F(DispatchTest, IndOnlySingleConjunctRoutesToStreaming) {
+  ContainmentEngine engine(&catalog_, &symbols_);
+  DependencySet inds = *ParseDependencies(catalog_, "R[1,2] <= S[1,2]");
+  EXPECT_EQ(engine.RouteOf(one_, inds),
+            std::optional<DecisionStrategy>(
+                DecisionStrategy::kStreamingFrontier));
+  Result<EngineVerdict> v = engine.Check(q_, one_, inds);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->strategy, DecisionStrategy::kStreamingFrontier);
+  EXPECT_TRUE(v->report.contained);
+}
+
+TEST_F(DispatchTest, IndOnlyMultiConjunctRoutesToIterativeDeepening) {
+  ContainmentEngine engine(&catalog_, &symbols_);
+  DependencySet inds = *ParseDependencies(catalog_, "R[1,2] <= S[1,2]");
+  Result<EngineVerdict> v = engine.Check(q_, two_, inds);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->strategy, DecisionStrategy::kIterativeDeepening);
+}
+
+TEST_F(DispatchTest, StreamingCanBeDisabledAndVerdictAgrees) {
+  DependencySet inds = *ParseDependencies(catalog_, "R[1,2] <= S[1,2]");
+  ContainmentEngine streaming(&catalog_, &symbols_);
+  EngineConfig no_streaming_config;
+  no_streaming_config.route_streaming_single_conjunct = false;
+  ContainmentEngine no_streaming(&catalog_, &symbols_, no_streaming_config);
+
+  Result<EngineVerdict> a = streaming.Check(q_, one_, inds);
+  Result<EngineVerdict> b = no_streaming.Check(q_, one_, inds);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->strategy, DecisionStrategy::kStreamingFrontier);
+  EXPECT_EQ(b->strategy, DecisionStrategy::kIterativeDeepening);
+  EXPECT_EQ(a->report.contained, b->report.contained);
+  // The chase route carries a witness homomorphism; streaming does not.
+  EXPECT_TRUE(b->report.witness.has_value());
+  EXPECT_FALSE(a->report.witness.has_value());
+}
+
+TEST_F(DispatchTest, StreamingFallsBackToChaseWhenFrontierExplodes) {
+  // Dense self/cross INDs whose witnesses already sit in Q: the R-chase
+  // saturates at level 0, but the undeduplicated streaming frontier grows
+  // geometrically and exhausts its budget — the engine must fall back to
+  // the chase route instead of surfacing ResourceExhausted.
+  DependencySet dense = *ParseDependencies(
+      catalog_,
+      "R[1] <= R[2]\nR[2] <= R[1]\nR[1] <= S[1]\nS[1] <= R[1]\n"
+      "S[1] <= S[2]\nS[2] <= S[1]\nR[2] <= S[2]");
+  ConjunctiveQuery q = *ParseQuery(catalog_, symbols_,
+                                   "ans(u) :- R(u, u), S(u, u)");
+  ConjunctiveQuery qp = *ParseQuery(catalog_, symbols_,
+                                    "ans(u2) :- S(u2, '9')");
+  EngineConfig config;
+  config.containment.limits.max_conjuncts = 5000;  // streaming budget
+  ContainmentEngine engine(&catalog_, &symbols_, config);
+  EXPECT_EQ(engine.RouteOf(qp, dense),
+            std::optional<DecisionStrategy>(
+                DecisionStrategy::kStreamingFrontier));
+  Result<EngineVerdict> v = engine.Check(q, qp, dense);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->strategy, DecisionStrategy::kIterativeDeepening);
+  EXPECT_FALSE(v->report.contained);
+}
+
+TEST_F(DispatchTest, KeyBasedRoutesToIterativeDeepening) {
+  Scenario s = KeyBasedEmpDepScenario();
+  ContainmentEngine engine(s.catalog.get(), s.symbols.get());
+  Result<EngineVerdict> v =
+      engine.Check(s.queries[0], s.queries[1], s.deps);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->sigma_class, SigmaClass::kKeyBased);
+  EXPECT_EQ(v->strategy, DecisionStrategy::kIterativeDeepening);
+  EXPECT_TRUE(v->report.contained);
+}
+
+TEST_F(DispatchTest, GeneralSigmaIsUnimplementedWithoutSemidecision) {
+  Scenario s = Section4Scenario();
+  ContainmentEngine engine(s.catalog.get(), s.symbols.get());
+  EXPECT_EQ(engine.RouteOf(s.queries[1], s.deps), std::nullopt);
+  Result<EngineVerdict> v =
+      engine.Check(s.queries[0], s.queries[1], s.deps);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(DispatchTest, GeneralSigmaSemidecisionRoutesWhenAllowed) {
+  Scenario s = Section4Scenario();
+  EngineConfig config;
+  config.containment.allow_semidecision = true;
+  config.containment.limits.max_level = 6;
+  config.containment.limits.max_conjuncts = 2000;
+  ContainmentEngine engine(s.catalog.get(), s.symbols.get(), config);
+  EXPECT_EQ(engine.RouteOf(s.queries[1], s.deps),
+            std::optional<DecisionStrategy>(DecisionStrategy::kSemiDecision));
+  // Section 4's pair is the undecided-by-construction case: the chase never
+  // saturates and no witness exists, so the budget runs out.
+  Result<EngineVerdict> v =
+      engine.Check(s.queries[0], s.queries[1], s.deps);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Parity with the legacy single-shot surface ------------------------------
+
+TEST(DispatchParityTest, EngineAgreesWithCheckContainmentOnScenarios) {
+  for (Scenario (*make)() : {EmpDepScenario, KeyBasedEmpDepScenario}) {
+    Scenario s = make();
+    ContainmentEngine engine(s.catalog.get(), s.symbols.get());
+    for (size_t i = 0; i < s.queries.size(); ++i) {
+      for (size_t j = 0; j < s.queries.size(); ++j) {
+        Result<EngineVerdict> via_engine =
+            engine.Check(s.queries[i], s.queries[j], s.deps);
+        Result<ContainmentReport> legacy = CheckContainment(
+            s.queries[i], s.queries[j], s.deps, *s.symbols);
+        ASSERT_TRUE(via_engine.ok());
+        ASSERT_TRUE(legacy.ok());
+        EXPECT_EQ(via_engine->report.contained, legacy->contained)
+            << "pair (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(DispatchParityTest, EmptyMarkedQueryIsContainedInEverything) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  SymbolTable symbols;
+  ConjunctiveQuery q = *ParseQuery(catalog, symbols, "ans(u) :- R(u, v)");
+  ConjunctiveQuery empty(&catalog, &symbols);
+  empty.SetSummary(q.summary());
+  empty.MarkEmptyQuery();
+  ContainmentEngine engine(&catalog, &symbols);
+  // Even for the streaming-eligible shape (IND-only, single-conjunct Q').
+  DependencySet inds = *ParseDependencies(catalog, "R[1] <= R[2]");
+  Result<EngineVerdict> v = engine.Check(empty, q, inds);
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(v->report.contained);
+}
+
+}  // namespace
+}  // namespace cqchase
