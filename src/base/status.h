@@ -122,6 +122,9 @@ class Result {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  // Rvalue deref moves the payload out, so `T t = *MakeResult();` works for
+  // move-only T (a Chase owns an NdvShard and is no longer copyable).
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 

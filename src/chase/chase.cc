@@ -16,7 +16,8 @@ Chase::Chase(const Catalog* catalog, SymbolTable* symbols,
       symbols_(symbols),
       deps_(deps),
       variant_(variant),
-      limits_(limits) {}
+      limits_(limits),
+      ndv_shard_(symbols->CreateShard()) {}
 
 Status Chase::Init(const ConjunctiveQuery& query) {
   if (initialized_) {
@@ -331,7 +332,7 @@ Result<bool> Chase::OneIndStep(uint32_t level) {
   }
   for (uint32_t col = 0; col < rhs_arity; ++col) {
     if (!created.terms[col].is_valid()) {
-      created.terms[col] = symbols_->MakeChaseNdv(NdvProvenance{
+      created.terms[col] = ndv_shard_.MakeChaseNdv(NdvProvenance{
           col, source_id, chosen_ind, new_level});
     }
   }

@@ -225,6 +225,10 @@ class Chase {
   const DependencySet* deps_;
   ChaseVariant variant_;
   ChaseLimits limits_;
+  // Per-chase NDV allocation shard: IND steps mint fresh NDVs without
+  // touching the SymbolTable mutex, so concurrent chases (CheckMany fan-out)
+  // never contend on the arena. Unused block tail returns on destruction.
+  SymbolTable::NdvShard ndv_shard_;
 
   std::vector<ChaseConjunct> conjuncts_;
   std::vector<ChaseArc> arcs_;

@@ -13,6 +13,14 @@
 namespace cqchase {
 
 namespace {
+// Relaxed ordering everywhere: the counters are monotone telemetry with no
+// ordering obligations to other memory.
+inline void Bump(std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+namespace {
 
 // Levels of the chase facts actually used by a homomorphism's image.
 uint32_t WitnessMaxLevel(const Homomorphism& hom,
@@ -81,7 +89,12 @@ bool RemovalKeepsSafety(const ConjunctiveQuery& q, size_t skip) {
 
 ContainmentEngine::ContainmentEngine(const Catalog* catalog,
                                      SymbolTable* symbols, EngineConfig config)
-    : catalog_(catalog), symbols_(symbols), config_(std::move(config)) {}
+    : catalog_(catalog),
+      symbols_(symbols),
+      config_(std::move(config)),
+      verdict_cache_(config_.verdict_cache_capacity),
+      sigma_cache_(config_.sigma_cache_capacity),
+      chase_cache_(config_.chase_cache_capacity) {}
 
 SigmaAnalysis ContainmentEngine::Analyze(const DependencySet& deps) {
   // Stateless engines (the compatibility wrappers) skip the keyed cache:
@@ -90,19 +103,11 @@ SigmaAnalysis ContainmentEngine::Analyze(const DependencySet& deps) {
   const std::string key = CanonicalSigmaKey(deps);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = sigma_cache_.find(key);
-    if (it != sigma_cache_.end()) return it->second;
+    if (const SigmaAnalysis* hit = sigma_cache_.Get(key)) return *hit;
   }
   SigmaAnalysis analysis = AnalyzeSigma(deps, *catalog_);
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = sigma_cache_.emplace(key, analysis);
-  if (inserted) {
-    sigma_fifo_.push_back(key);
-    while (sigma_fifo_.size() > config_.verdict_cache_capacity) {
-      sigma_cache_.erase(sigma_fifo_.front());
-      sigma_fifo_.pop_front();
-    }
-  }
+  sigma_cache_.Put(key, analysis);
   return analysis;
 }
 
@@ -116,16 +121,19 @@ std::optional<DecisionStrategy> ContainmentEngine::RouteOf(
 Result<EngineVerdict> ContainmentEngine::Check(const ConjunctiveQuery& q,
                                                const ConjunctiveQuery& q_prime,
                                                const DependencySet& deps) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.checks;
-  }
-  return CheckImpl(q, q_prime, deps);
+  return CheckCounted(q, q_prime, deps, /*cache_chase_prefix=*/true);
+}
+
+Result<EngineVerdict> ContainmentEngine::CheckCounted(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps, bool cache_chase_prefix) {
+  Bump(stats_.checks);
+  return CheckImpl(q, q_prime, deps, cache_chase_prefix);
 }
 
 Result<EngineVerdict> ContainmentEngine::CheckImpl(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
-    const DependencySet& deps) {
+    const DependencySet& deps, bool cache_chase_prefix) {
   CQCHASE_RETURN_IF_ERROR(q.Validate());
   CQCHASE_RETURN_IF_ERROR(q_prime.Validate());
   if (q.summary().size() != q_prime.summary().size()) {
@@ -150,27 +158,29 @@ Result<EngineVerdict> ContainmentEngine::CheckImpl(
       foreign_catalog ? AnalyzeSigma(deps, q.catalog()) : Analyze(deps);
   const bool cacheable = config_.enable_cache && !foreign_catalog &&
                          &q_prime.catalog() == catalog_;
-  if (!cacheable) return DecideUncached(q, q_prime, deps, analysis);
+  if (!cacheable) {
+    return DecideUncached(q, q_prime, deps, analysis, cache_chase_prefix);
+  }
 
   const std::string key =
       CanonicalTaskKey(q, q_prime, deps, config_.containment.variant);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = verdict_cache_.find(key);
-    if (it != verdict_cache_.end()) {
-      ++stats_.cache_hits;
+    if (const CachedVerdict* hit = verdict_cache_.Get(key)) {
+      Bump(stats_.cache_hits);
       EngineVerdict verdict;
-      verdict.report = it->second.report;
-      verdict.sigma_class = it->second.sigma_class;
-      verdict.strategy = it->second.strategy;
+      verdict.report = hit->report;
+      verdict.sigma_class = hit->sigma_class;
+      verdict.strategy = hit->strategy;
       verdict.cache_hit = true;
       return verdict;
     }
-    ++stats_.cache_misses;
+    Bump(stats_.cache_misses);
   }
 
-  CQCHASE_ASSIGN_OR_RETURN(EngineVerdict verdict,
-                           DecideUncached(q, q_prime, deps, analysis));
+  CQCHASE_ASSIGN_OR_RETURN(
+      EngineVerdict verdict,
+      DecideUncached(q, q_prime, deps, analysis, cache_chase_prefix));
 
   CachedVerdict cached;
   cached.report = verdict.report;
@@ -182,21 +192,15 @@ Result<EngineVerdict> ContainmentEngine::CheckImpl(
   cached.strategy = verdict.strategy;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = verdict_cache_.emplace(key, std::move(cached));
-    if (inserted) {
-      verdict_fifo_.push_back(key);
-      while (verdict_fifo_.size() > config_.verdict_cache_capacity) {
-        verdict_cache_.erase(verdict_fifo_.front());
-        verdict_fifo_.pop_front();
-      }
-    }
+    verdict_cache_.Put(key, std::move(cached));
   }
   return verdict;
 }
 
 Result<EngineVerdict> ContainmentEngine::DecideUncached(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
-    const DependencySet& deps, const SigmaAnalysis& analysis) {
+    const DependencySet& deps, const SigmaAnalysis& analysis,
+    bool cache_chase_prefix) {
   std::optional<DecisionStrategy> strategy =
       ChooseStrategy(analysis, q_prime, config_.containment.allow_semidecision,
                      config_.route_streaming_single_conjunct);
@@ -222,7 +226,7 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
         // Empty Q is contained in any Q' of matching arity; run the shared
         // loop, whose empty-query arm reports it.
         CQCHASE_ASSIGN_OR_RETURN(verdict.report,
-                                 DecideByChase(q, q_prime, deps, analysis));
+                                 DecideByChase(q, q_prime, deps, analysis, cache_chase_prefix));
         break;
       }
       ContainmentReport report;
@@ -260,7 +264,7 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
         // easily — fall back rather than surface an avoidable error.
         verdict.strategy = DecisionStrategy::kIterativeDeepening;
         CQCHASE_ASSIGN_OR_RETURN(verdict.report,
-                                 DecideByChase(q, q_prime, deps, analysis));
+                                 DecideByChase(q, q_prime, deps, analysis, cache_chase_prefix));
         break;
       }
       const StreamingContainmentReport& sr = *streamed;
@@ -279,59 +283,73 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
     case DecisionStrategy::kIterativeDeepening:
     case DecisionStrategy::kSemiDecision: {
       CQCHASE_ASSIGN_OR_RETURN(verdict.report,
-                               DecideByChase(q, q_prime, deps, analysis));
+                               DecideByChase(q, q_prime, deps, analysis, cache_chase_prefix));
       break;
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.by_strategy[static_cast<size_t>(verdict.strategy)];
-  }
+  Bump(stats_.by_strategy[static_cast<size_t>(verdict.strategy)]);
   return verdict;
 }
 
 Result<ContainmentReport> ContainmentEngine::DecideByChase(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
-    const DependencySet& deps, const SigmaAnalysis& analysis) {
+    const DependencySet& deps, const SigmaAnalysis& analysis,
+    bool cache_chase_prefix) {
   const ContainmentOptions& options = config_.containment;
 
-  std::string chase_key;
-  std::optional<ChaseEntry> entry;
-  std::optional<Chase> local_chase;
-  Chase* chase_ptr = nullptr;
   // Symbol-table identity is enforced at the Check entry point; only
   // catalog identity still needs checking for the exact-key cache.
-  const bool cacheable = config_.enable_cache && &q.catalog() == catalog_;
-  if (cacheable) {
-    chase_key = StrCat("V", static_cast<int>(options.variant), "|",
-                       CanonicalSigmaKey(deps), "|", ExactQueryKey(q));
-    entry = AcquireChase(chase_key);
-  }
+  const bool cacheable = cache_chase_prefix && config_.enable_cache &&
+                         config_.chase_cache_capacity > 0 &&
+                         &q.catalog() == catalog_;
+  std::shared_ptr<SharedChase> shared;
+  std::optional<Chase> local_chase;
+  Chase* chase_ptr = nullptr;
+  // Held for the whole decision loop when the chase is shared: a Chase is
+  // not internally thread-safe, so concurrent askers of the same exact key
+  // queue here and each extends the single shared prefix in turn. Askers of
+  // different keys proceed in parallel; eviction of this entry while we run
+  // only drops the map's reference, not ours.
+  std::unique_lock<std::mutex> shared_lock;
   uint32_t start_level = 0;
-  if (entry.has_value()) {
-    chase_ptr = entry->chase.get();
-    // Resume where the cached prefix already is: the first homomorphism
-    // search sees the whole prefix anyway, so the per-level searches below
-    // this depth would be identical repeats.
-    start_level =
-        std::min(entry->chase->MaxAliveLevel(), options.limits.max_level);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.chase_prefix_reuses;
-  } else if (cacheable) {
-    // The entry owns a stable copy of Σ so the cached Chase's internal
-    // pointer outlives the caller's DependencySet.
-    ChaseEntry fresh;
-    fresh.deps = std::make_unique<DependencySet>(deps);
-    fresh.chase = std::make_unique<Chase>(&q.catalog(), symbols_,
-                                          fresh.deps.get(), options.variant,
-                                          options.limits);
-    Status init = fresh.chase->Init(q);
-    if (!init.ok()) return init;
-    entry = std::move(fresh);
-    chase_ptr = entry->chase.get();
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.chases_built;
+  if (cacheable) {
+    const std::string chase_key =
+        StrCat("V", static_cast<int>(options.variant), "|",
+               CanonicalSigmaKey(deps), "|", ExactQueryKey(q));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (std::shared_ptr<SharedChase>* hit = chase_cache_.Get(chase_key)) {
+        shared = *hit;
+      } else {
+        shared = std::make_shared<SharedChase>();
+        chase_cache_.Put(chase_key, shared);
+      }
+    }
+    shared_lock = std::unique_lock<std::mutex>(shared->mu);
+    if (!shared->built) {
+      // First asker through the entry lock builds the chase. The entry owns
+      // a stable copy of Σ so the Chase's internal pointer outlives the
+      // caller's DependencySet.
+      shared->deps = std::make_unique<DependencySet>(deps);
+      shared->chase = std::make_unique<Chase>(&q.catalog(), symbols_,
+                                              shared->deps.get(),
+                                              options.variant, options.limits);
+      shared->init_status = shared->chase->Init(q);
+      shared->built = true;
+      if (shared->init_status.ok()) Bump(stats_.chases_built);
+    } else if (shared->init_status.ok()) {
+      Bump(stats_.chase_prefix_reuses);
+      // Resume where the shared prefix already is: the first homomorphism
+      // search sees the whole prefix anyway, so the per-level searches
+      // below this depth would be identical repeats.
+      start_level =
+          std::min(shared->chase->MaxAliveLevel(), options.limits.max_level);
+    }
+    // Init failures are deterministic for a fixed (Q, Σ): replay the same
+    // status to every asker instead of rebuilding just to re-fail.
+    if (!shared->init_status.ok()) return shared->init_status;
+    chase_ptr = shared->chase.get();
   } else {
     // Uncached: the chase lives and dies in this call, directly on the
     // caller's Σ — no copies, matching the pre-engine cost profile.
@@ -340,8 +358,7 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
     Status init = local_chase->Init(q);
     if (!init.ok()) return init;
     chase_ptr = &*local_chase;
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.chases_built;
+    Bump(stats_.chases_built);
   }
 
   Chase& chase = *chase_ptr;
@@ -432,32 +449,10 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
     }
   }();
 
-  if (cacheable) ReleaseChase(chase_key, std::move(*entry));
+  // No release step: the shared entry stayed in the cache the whole time
+  // (touched to most-recently-used at lookup); shared_lock and our
+  // shared_ptr reference drop on return.
   return result;
-}
-
-std::optional<ContainmentEngine::ChaseEntry> ContainmentEngine::AcquireChase(
-    const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = chase_cache_.find(key);
-  if (it == chase_cache_.end()) return std::nullopt;
-  ChaseEntry entry = std::move(it->second);
-  chase_cache_.erase(it);
-  auto fifo_it = std::find(chase_fifo_.begin(), chase_fifo_.end(), key);
-  if (fifo_it != chase_fifo_.end()) chase_fifo_.erase(fifo_it);
-  return entry;
-}
-
-void ContainmentEngine::ReleaseChase(const std::string& key,
-                                     ChaseEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = chase_cache_.emplace(key, std::move(entry));
-  if (!inserted) return;  // a concurrent asker re-published first
-  chase_fifo_.push_back(key);
-  while (chase_fifo_.size() > config_.chase_cache_capacity) {
-    chase_cache_.erase(chase_fifo_.front());
-    chase_fifo_.pop_front();
-  }
 }
 
 Result<std::optional<ContainmentCertificate>> ContainmentEngine::Certify(
@@ -521,7 +516,12 @@ Result<bool> ContainmentEngine::IsNonMinimal(const ConjunctiveQuery& q,
   for (size_t i = 0; i < q.conjuncts().size(); ++i) {
     if (!RemovalKeepsSafety(q, i)) continue;
     ConjunctiveQuery candidate = WithoutConjunct(q, i);
-    CQCHASE_ASSIGN_OR_RETURN(EngineVerdict v, Check(candidate, q, deps));
+    // Candidate-side probe: the chased side is this one-shot candidate whose
+    // exact key never repeats, so skip chase-prefix caching (the verdict
+    // cache still absorbs isomorphic candidates).
+    CQCHASE_ASSIGN_OR_RETURN(
+        EngineVerdict v,
+        CheckCounted(candidate, q, deps, /*cache_chase_prefix=*/false));
     if (v.report.contained) return true;
   }
   return false;
@@ -537,8 +537,10 @@ Result<MinimizeReport> ContainmentEngine::Minimize(const ConjunctiveQuery& q,
       if (!RemovalKeepsSafety(report.query, i)) continue;
       ConjunctiveQuery candidate = WithoutConjunct(report.query, i);
       ++report.containment_checks;
+      // One-shot candidate probe; see IsNonMinimal.
       CQCHASE_ASSIGN_OR_RETURN(EngineVerdict v,
-                               Check(candidate, report.query, deps));
+                               CheckCounted(candidate, report.query, deps,
+                                            /*cache_chase_prefix=*/false));
       if (v.report.contained) {
         report.query = std::move(candidate);
         ++report.removed_conjuncts;
@@ -596,18 +598,30 @@ Result<std::optional<Instance>> ContainmentEngine::FiniteCounterexample(
 }
 
 EngineStats ContainmentEngine::stats() const {
+  EngineStats out;
+  out.checks = stats_.checks.load(std::memory_order_relaxed);
+  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
+  out.chase_prefix_reuses =
+      stats_.chase_prefix_reuses.load(std::memory_order_relaxed);
+  out.chases_built = stats_.chases_built.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumStrategies; ++i) {
+    out.by_strategy[i] = stats_.by_strategy[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+ContainmentEngine::CacheSizes ContainmentEngine::cache_sizes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return CacheSizes{verdict_cache_.size(), sigma_cache_.size(),
+                    chase_cache_.size()};
 }
 
 void ContainmentEngine::ClearCaches() {
   std::lock_guard<std::mutex> lock(mu_);
-  verdict_cache_.clear();
-  verdict_fifo_.clear();
-  chase_cache_.clear();
-  chase_fifo_.clear();
-  sigma_cache_.clear();
-  sigma_fifo_.clear();
+  verdict_cache_.Clear();
+  chase_cache_.Clear();
+  sigma_cache_.Clear();
 }
 
 }  // namespace cqchase

@@ -16,11 +16,19 @@
 //     changes on every probe); chase prefixes are cached under an exact key
 //     of (Q, Σ, variant) and resumed, so loops that probe one fixed Q
 //     against many Q' (equivalence checks, repeated asks about one query)
-//     stop re-chasing.
+//     stop re-chasing. All three caches (verdict, Σ-analysis, chase prefix)
+//     evict least-recently-used with independent capacity knobs; chase
+//     prefixes are reference-counted and *shared* — N concurrent askers of
+//     the same exact (Q, Σ, variant) serialize on that one entry's mutex
+//     and extend a single chase instead of re-chasing from scratch.
+//     Minimization's candidate-side probes are tagged non-prefix-cacheable
+//     (their exact keys never repeat, so caching them would only pin dead
+//     chases until eviction).
 //  3. Batch API: CheckMany evaluates a vector of tasks against the shared
-//     caches, optionally fanning out across std::threads (the SymbolTable is
-//     internally mutex-guarded, so concurrent chases can intern fresh NDVs
-//     into the shared arena safely).
+//     caches, optionally fanning out across std::threads. Each chase mints
+//     fresh NDVs through its own lock-free SymbolTable::NdvShard, so workers
+//     only meet at the engine mutex (brief cache lookups) and at rare NDV
+//     block handoffs — never per chase step.
 //
 // Adding a new decision strategy is a three-step recipe (see README):
 // extend DecisionStrategy + ChooseStrategy in engine/sigma_class.h, add the
@@ -33,13 +41,12 @@
 #define CQCHASE_ENGINE_ENGINE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "chase/chase.h"
@@ -50,6 +57,7 @@
 #include "data/instance.h"
 #include "deps/dependency_set.h"
 #include "engine/canonical.h"
+#include "engine/lru_cache.h"
 #include "engine/sigma_class.h"
 #include "finite/finite_containment.h"
 
@@ -62,10 +70,13 @@ struct EngineConfig {
   // budgets from here.
   ContainmentOptions containment;
 
-  // Layer 2: verdict + chase-prefix memoization.
+  // Layer 2: verdict + Σ-analysis + chase-prefix memoization. Each cache
+  // evicts least-recently-used against its own bound (a capacity of 0
+  // disables that cache alone; enable_cache = false disables all three).
   bool enable_cache = true;
-  size_t verdict_cache_capacity = 1 << 16;  // entries; FIFO eviction
-  size_t chase_cache_capacity = 32;         // live chase prefixes retained
+  size_t verdict_cache_capacity = 1 << 16;  // canonical-key verdicts
+  size_t sigma_cache_capacity = 1 << 12;    // Σ classifications
+  size_t chase_cache_capacity = 32;         // shared chase prefixes retained
 
   // Layer 1: route IND-only single-conjunct tasks to the PSPACE streaming
   // path. Streaming verdicts carry no witness homomorphism; callers that
@@ -108,7 +119,11 @@ class ContainmentEngine {
  public:
   // The engine serves one catalog + symbol-table universe; every query and
   // dependency set passed in must be built against them. `catalog` and
-  // `symbols` must outlive the engine. The chase creates NDVs in `symbols`.
+  // `symbols` must outlive the engine — strictly: the chase-prefix cache
+  // holds live chases (each owning an NdvShard into `symbols`) until
+  // ClearCaches() or destruction, so destroying the table first is
+  // use-after-free, not just stale pointers. The chase creates NDVs in
+  // `symbols`.
   ContainmentEngine(const Catalog* catalog, SymbolTable* symbols,
                     EngineConfig config = {});
 
@@ -189,6 +204,16 @@ class ContainmentEngine {
                                           const DependencySet& deps);
 
   EngineStats stats() const;
+
+  // Current entry counts of the three caches (gauges, not counters) —
+  // introspection for capacity/eviction tests and ops dashboards.
+  struct CacheSizes {
+    size_t verdict_entries = 0;
+    size_t sigma_entries = 0;
+    size_t chase_entries = 0;
+  };
+  CacheSizes cache_sizes() const;
+
   const EngineConfig& config() const { return config_; }
   void ClearCaches();
 
@@ -199,48 +224,73 @@ class ContainmentEngine {
     DecisionStrategy strategy;
   };
 
-  // A resumable chase prefix: the engine owns a stable copy of Σ so the
-  // Chase's internal pointer outlives the caller's DependencySet.
-  struct ChaseEntry {
+  // A shared, resumable chase prefix. The engine hands out shared_ptrs: the
+  // LRU map holds one reference and every in-flight asker holds another, so
+  // eviction under load never destroys a chase mid-use — the last asker
+  // does. `mu` serializes extension (a Chase is not internally thread-safe);
+  // concurrent askers of the same exact (Q, Σ, variant) queue here and each
+  // resumes the single shared prefix where the previous one left it. The
+  // entry owns a stable copy of Σ so the Chase's internal pointer outlives
+  // any caller's DependencySet.
+  struct SharedChase {
+    std::mutex mu;  // guards everything below
+    bool built = false;
+    Status init_status;
     std::unique_ptr<DependencySet> deps;
     std::unique_ptr<Chase> chase;
   };
 
+  // `cache_chase_prefix` distinguishes ordinary checks from one-shot probes
+  // (Minimize / IsNonMinimal candidates) whose exact chase keys never
+  // repeat: probes still use the verdict cache but skip chase-prefix
+  // insertion, which would otherwise pin up to chase_cache_capacity dead
+  // chases.
   Result<EngineVerdict> CheckImpl(const ConjunctiveQuery& q,
                                   const ConjunctiveQuery& q_prime,
-                                  const DependencySet& deps);
+                                  const DependencySet& deps,
+                                  bool cache_chase_prefix);
 
   // Uncached dispatch: classify, route, execute.
   Result<EngineVerdict> DecideUncached(const ConjunctiveQuery& q,
                                        const ConjunctiveQuery& q_prime,
                                        const DependencySet& deps,
-                                       const SigmaAnalysis& analysis);
+                                       const SigmaAnalysis& analysis,
+                                       bool cache_chase_prefix);
 
-  // The Theorem 1/2 iterative-deepening decision loop, run on a fresh or
-  // cache-resumed chase of Q.
+  // The Theorem 1/2 iterative-deepening decision loop, run on a fresh,
+  // shared-from-cache, or local chase of Q.
   Result<ContainmentReport> DecideByChase(const ConjunctiveQuery& q,
                                           const ConjunctiveQuery& q_prime,
                                           const DependencySet& deps,
-                                          const SigmaAnalysis& analysis);
+                                          const SigmaAnalysis& analysis,
+                                          bool cache_chase_prefix);
 
-  // Chase-prefix cache helpers: Acquire moves a matching entry out of the
-  // cache (exclusive use; concurrent askers of the same key miss and build
-  // fresh), Release re-inserts it.
-  std::optional<ChaseEntry> AcquireChase(const std::string& key);
-  void ReleaseChase(const std::string& key, ChaseEntry entry);
+  // Check()'s body, minus the public-entry stats increment.
+  Result<EngineVerdict> CheckCounted(const ConjunctiveQuery& q,
+                                     const ConjunctiveQuery& q_prime,
+                                     const DependencySet& deps,
+                                     bool cache_chase_prefix);
 
   const Catalog* catalog_;
   SymbolTable* symbols_;
   EngineConfig config_;
 
-  mutable std::mutex mu_;  // guards everything below
-  std::unordered_map<std::string, CachedVerdict> verdict_cache_;
-  std::deque<std::string> verdict_fifo_;
-  std::unordered_map<std::string, ChaseEntry> chase_cache_;
-  std::deque<std::string> chase_fifo_;
-  std::unordered_map<std::string, SigmaAnalysis> sigma_cache_;
-  std::deque<std::string> sigma_fifo_;  // bounded like the verdict cache
-  EngineStats stats_;
+  // Monotone counters are atomics so the chase hot path never takes mu_ for
+  // bookkeeping; stats() assembles a relaxed snapshot.
+  struct AtomicStats {
+    std::atomic<uint64_t> checks{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> chase_prefix_reuses{0};
+    std::atomic<uint64_t> chases_built{0};
+    std::array<std::atomic<uint64_t>, kNumStrategies> by_strategy{};
+  };
+  AtomicStats stats_;
+
+  mutable std::mutex mu_;  // guards the three caches below
+  LruCache<CachedVerdict> verdict_cache_;
+  LruCache<SigmaAnalysis> sigma_cache_;
+  LruCache<std::shared_ptr<SharedChase>> chase_cache_;
 };
 
 }  // namespace cqchase

@@ -1,0 +1,70 @@
+// A string-keyed least-recently-used cache with O(1) lookup, insert and
+// eviction: a doubly-linked recency list (front = most recent) plus a hash
+// map from key to list node. Replaces the engine's former FIFO deques, whose
+// eviction ignored reuse and whose erase-by-key was an O(n) scan.
+//
+// Not thread-safe; the ContainmentEngine serializes access under its own
+// mutex. Capacity 0 disables storage entirely (Put is a no-op), which is how
+// a cache knob is turned off without sprinkling conditionals at call sites.
+#ifndef CQCHASE_ENGINE_LRU_CACHE_H_
+#define CQCHASE_ENGINE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace cqchase {
+
+template <typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  // Returns the value for `key` and marks it most-recently-used; nullptr on
+  // miss. The pointer is invalidated by the next mutating call.
+  Value* Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return &it->second->second;
+  }
+
+  // Inserts or overwrites `key`, marks it most-recently-used, and evicts
+  // from the least-recently-used end until the capacity bound holds.
+  void Put(const std::string& key, Value value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      recency_.splice(recency_.begin(), recency_, it->second);
+      return;
+    }
+    recency_.emplace_front(key, std::move(value));
+    index_.emplace(key, recency_.begin());
+    while (index_.size() > capacity_) {
+      index_.erase(recency_.back().first);
+      recency_.pop_back();
+    }
+  }
+
+  void Clear() {
+    recency_.clear();
+    index_.clear();
+  }
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<std::string, Value>> recency_;  // front = MRU
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, Value>>::iterator>
+      index_;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_ENGINE_LRU_CACHE_H_

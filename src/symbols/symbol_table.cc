@@ -1,10 +1,14 @@
 #include "symbols/symbol_table.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "base/string_util.h"
 
 namespace cqchase {
+
+static_assert(SymbolTable::kNdvSlabSize % SymbolTable::kNdvBlockSize == 0,
+              "blocks must tile slabs exactly");
 
 SymbolTable::SymbolTable(SymbolTable&& other) noexcept : SymbolTable() {
   *this = std::move(other);
@@ -15,19 +19,28 @@ SymbolTable& SymbolTable::operator=(SymbolTable&& other) noexcept {
     mu_ = std::move(other.mu_);
     constants_ = std::move(other.constants_);
     dist_vars_ = std::move(other.dist_vars_);
-    nondist_vars_ = std::move(other.nondist_vars_);
     constant_index_ = std::move(other.constant_index_);
     dist_var_index_ = std::move(other.dist_var_index_);
     nondist_var_index_ = std::move(other.nondist_var_index_);
     fresh_counter_ = other.fresh_counter_;
+    ndv_slabs_ = std::move(other.ndv_slabs_);
+    ndv_limit_ = other.ndv_limit_;
+    intern_range_ = other.intern_range_;
+    ndv_blocks_handed_out_ = other.ndv_blocks_handed_out_;
+    ndv_count_.store(other.ndv_count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
     other.mu_ = std::make_unique<std::mutex>();
     other.constants_.clear();
     other.dist_vars_.clear();
-    other.nondist_vars_.clear();
     other.constant_index_.clear();
     other.dist_var_index_.clear();
     other.nondist_var_index_.clear();
     other.fresh_counter_ = 0;
+    other.ndv_slabs_.clear();
+    other.ndv_limit_ = 0;
+    other.intern_range_ = IdRange{};
+    other.ndv_blocks_handed_out_ = 0;
+    other.ndv_count_.store(0, std::memory_order_relaxed);
   }
   return *this;
 }
@@ -39,15 +52,82 @@ std::deque<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) {
     case TermKind::kDistVar:
       return dist_vars_;
     case TermKind::kNondistVar:
-      return nondist_vars_;
+      break;  // NDVs live in slabs, not a deque
   }
-  assert(false);
-  return nondist_vars_;
+  assert(kind != TermKind::kNondistVar);
+  return dist_vars_;
 }
 
 const std::deque<SymbolTable::Entry>& SymbolTable::pool(TermKind kind) const {
   return const_cast<SymbolTable*>(this)->pool(kind);
 }
+
+// --- NDV arena ---------------------------------------------------------------
+
+void SymbolTable::EnsureNdvStorageLocked(uint32_t limit) {
+  while (ndv_slabs_.size() * kNdvSlabSize < limit) {
+    ndv_slabs_.push_back(std::make_unique<Entry[]>(kNdvSlabSize));
+  }
+}
+
+SymbolTable::IdRange SymbolTable::ReserveBlockLocked() {
+  ++ndv_blocks_handed_out_;
+  // Rollbacks can leave ndv_limit_ mid-slab; clip so a block never
+  // straddles a slab boundary (shards cache one raw slot pointer).
+  const uint32_t slab_end =
+      (ndv_limit_ / kNdvSlabSize + 1) * kNdvSlabSize;
+  IdRange r{ndv_limit_, std::min(ndv_limit_ + kNdvBlockSize, slab_end)};
+  ndv_limit_ = r.end;
+  EnsureNdvStorageLocked(ndv_limit_);
+  return r;
+}
+
+void SymbolTable::ReturnRangeLocked(IdRange range) {
+  if (range.begin >= range.end) return;
+  if (range.end == ndv_limit_) ndv_limit_ = range.begin;
+  // Otherwise the tail is abandoned: ids are plentiful, order is not.
+}
+
+uint32_t SymbolTable::ReserveSingleNdvLocked() {
+  if (intern_range_.begin >= intern_range_.end) {
+    intern_range_ = ReserveBlockLocked();
+  }
+  return intern_range_.begin++;
+}
+
+std::string SymbolTable::ChaseNdvName(uint32_t id, const NdvProvenance& p) {
+  return StrCat("n", id, "[A", p.attribute_index, ",c", p.source_conjunct,
+                ",i", p.ind_index, ",L", p.level, "]");
+}
+
+Term SymbolTable::NdvShard::MakeChaseNdv(const NdvProvenance& provenance) {
+  assert(table_ != nullptr);
+  if (next_ == end_) Refill();
+  const uint32_t id = next_++;
+  Entry& slot = static_cast<Entry*>(base_)[id - begin_];
+  slot.name = ChaseNdvName(id, provenance);
+  slot.provenance = provenance;
+  table_->ndv_count_.fetch_add(1, std::memory_order_relaxed);
+  return Term(TermKind::kNondistVar, id);
+}
+
+void SymbolTable::NdvShard::Refill() {
+  std::lock_guard<std::mutex> lock(*table_->mu_);
+  IdRange r = table_->ReserveBlockLocked();
+  begin_ = next_ = r.begin;
+  end_ = r.end;
+  base_ = table_->NdvSlotLocked(r.begin);
+}
+
+void SymbolTable::NdvShard::ReturnRemainder() {
+  if (table_ == nullptr || next_ >= end_) return;
+  std::lock_guard<std::mutex> lock(*table_->mu_);
+  table_->ReturnRangeLocked(IdRange{next_, end_});
+  begin_ = next_ = end_ = 0;
+  base_ = nullptr;
+}
+
+// --- Interning (locked paths) ------------------------------------------------
 
 // Callers hold *mu_.
 Term SymbolTable::Intern(TermKind kind, std::string_view name) {
@@ -56,9 +136,18 @@ Term SymbolTable::Intern(TermKind kind, std::string_view name) {
                                              : nondist_var_index_;
   auto it = index.find(std::string(name));
   if (it != index.end()) return Term(kind, it->second);
-  auto& p = pool(kind);
-  uint32_t id = static_cast<uint32_t>(p.size());
-  p.push_back(Entry{std::string(name), std::nullopt});
+  uint32_t id;
+  if (kind == TermKind::kNondistVar) {
+    id = ReserveSingleNdvLocked();
+    Entry* slot = NdvSlotLocked(id);
+    slot->name = std::string(name);
+    slot->provenance = std::nullopt;
+    ndv_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto& p = pool(kind);
+    id = static_cast<uint32_t>(p.size());
+    p.push_back(Entry{std::string(name), std::nullopt});
+  }
   index.emplace(std::string(name), id);
   return Term(kind, id);
 }
@@ -80,13 +169,12 @@ Term SymbolTable::InternNondistVar(std::string_view name) {
 
 Term SymbolTable::MakeChaseNdv(const NdvProvenance& provenance) {
   std::lock_guard<std::mutex> lock(*mu_);
-  uint32_t id = static_cast<uint32_t>(nondist_vars_.size());
-  std::string name =
-      StrCat("n", id, "[A", provenance.attribute_index, ",c",
-             provenance.source_conjunct, ",i", provenance.ind_index, ",L",
-             provenance.level, "]");
-  nondist_vars_.push_back(Entry{std::move(name), provenance});
-  nondist_var_index_.emplace(nondist_vars_.back().name, id);
+  const uint32_t id = ReserveSingleNdvLocked();
+  Entry* slot = NdvSlotLocked(id);
+  slot->name = ChaseNdvName(id, provenance);
+  slot->provenance = provenance;
+  ndv_count_.fetch_add(1, std::memory_order_relaxed);
+  nondist_var_index_.emplace(slot->name, id);
   return Term(TermKind::kNondistVar, id);
 }
 
@@ -115,10 +203,14 @@ std::optional<Term> SymbolTable::Find(TermKind kind,
 
 const std::string& SymbolTable::Name(Term t) const {
   std::lock_guard<std::mutex> lock(*mu_);
+  if (t.kind() == TermKind::kNondistVar) {
+    assert(t.id() < ndv_limit_);
+    // Safe to hand out without the lock: slab entries are written once by
+    // their owner and never moved.
+    return NdvSlotLocked(t.id())->name;
+  }
   const auto& p = pool(t.kind());
   assert(t.id() < p.size());
-  // Safe to hand out without the lock: deque entries are never moved or
-  // mutated after creation.
   return p[t.id()].name;
 }
 
@@ -138,6 +230,10 @@ std::string SymbolTable::DisplayName(Term t) const {
 
 std::optional<NdvProvenance> SymbolTable::Provenance(Term t) const {
   std::lock_guard<std::mutex> lock(*mu_);
+  if (t.kind() == TermKind::kNondistVar) {
+    assert(t.id() < ndv_limit_);
+    return NdvSlotLocked(t.id())->provenance;
+  }
   const auto& p = pool(t.kind());
   assert(t.id() < p.size());
   return p[t.id()].provenance;

@@ -5,12 +5,36 @@
 //
 // The table also implements the paper's chase-NDV naming scheme: when the IND
 // chase rule introduces a fresh NDV, its identity encodes the attribute, the
-// source conjunct, the IND applied and the level of the created conjunct, and
-// its position in the lexicographic order follows every symbol created
-// earlier (guaranteed here because order == creation order within a kind).
+// source conjunct, the IND applied and the level of the created conjunct.
+//
+// NDV arena sharding. Chase steps are the hot path of every decision
+// procedure, and each IND step mints fresh NDVs. Rather than taking the
+// table mutex per mint (which serializes CheckMany's thread fan-out exactly
+// where it is hottest), NDV ids are handed out in *blocks*: an NdvShard holds
+// a reserved id range plus a raw pointer into the backing slab and mints
+// entirely lock-free; only block handoff (one mutex acquisition per
+// kNdvBlockSize mints, and none at all for FD-only chases) synchronizes.
+// A destroyed shard returns its unused tail: if it is still the top of the
+// id space the high-water mark rolls back (sequential workloads keep
+// contiguous ids); otherwise the tail becomes a permanent hole (<= 127 ids
+// per handoff, negligible against the 2^32 id space). Every block is
+// therefore reserved *above every symbol in existence at handoff time*, so
+// a fresh NDV always lexicographically follows the query terms and all of
+// its chase's earlier mints — the paper's naming invariant. Across
+// concurrently-minting shards the interleaving of already-reserved blocks
+// is whatever the thread schedule made it; verdicts are isomorphism-
+// invariant, so that cannot change an answer.
+//
+// NDV entries live in fixed-size slabs that never move once allocated, so
+// the references Name() hands out stay valid across later insertions, and a
+// shard can fill its reserved slots without touching any shared structure.
+// Shard-minted NDVs are *not* registered in the name index (that would need
+// the lock): Find() does not see them. Their names embed the id, so they
+// cannot collide with each other; they are fresh symbols nothing re-interns.
 #ifndef CQCHASE_SYMBOLS_SYMBOL_TABLE_H_
 #define CQCHASE_SYMBOLS_SYMBOL_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -19,6 +43,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "symbols/term.h"
 
@@ -34,19 +60,28 @@ struct NdvProvenance {
   uint32_t level = 0;            // level of the created conjunct
 };
 
-// Thread safety: all mutating and reading members are guarded by an internal
-// mutex, so concurrent chases (ContainmentEngine::CheckMany fan-out) can
-// intern fresh NDVs into one shared arena. Entries live in deques and are
-// never moved after creation, so the references Name() hands out stay valid
-// across later insertions without holding the lock.
+// Thread safety: interning, fresh-symbol creation and all by-name lookups
+// are guarded by an internal mutex. NDV *minting through an NdvShard* is
+// lock-free within the shard's reserved block; see the arena notes above.
+// Reading Name()/Provenance() of a term is safe from any thread that
+// obtained the term through a proper happens-before edge (a mutex, a thread
+// join, a cache publish) with its creator — which is the only way a term can
+// travel between threads anyway.
 class SymbolTable {
  public:
+  // Ids are reserved in blocks of this many NDVs; slabs hold kNdvSlabSize
+  // entries. Block size divides slab size, so one block never straddles a
+  // slab boundary and a shard can cache a single raw Entry pointer.
+  static constexpr uint32_t kNdvBlockSize = 128;
+  static constexpr uint32_t kNdvSlabSize = 1024;
+
   SymbolTable() : mu_(std::make_unique<std::mutex>()) {}
 
   // SymbolTables are identity objects shared by reference; copying one would
   // silently fork the symbol universe. Moves are custom (not defaulted) so
   // the moved-from table keeps a live mutex and stays a valid empty table
-  // rather than crashing on first use.
+  // rather than crashing on first use. Moving a table with live NdvShards
+  // attached is undefined behavior (the shards keep pointing at the source).
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
   SymbolTable(SymbolTable&& other) noexcept;
@@ -61,9 +96,11 @@ class SymbolTable {
   Term InternDistVar(std::string_view name);
   Term InternNondistVar(std::string_view name);
 
-  // Creates a fresh NDV for the IND chase rule. The generated name encodes
-  // the provenance, e.g. "n17[A2,c5,i1,L3]"; the creation index guarantees it
-  // lexicographically follows all earlier symbols.
+  // Creates a fresh NDV for the IND chase rule, taking the table mutex. The
+  // generated name encodes the provenance, e.g. "n17[A2,c5,i1,L3]". Chase
+  // hot loops should mint through an NdvShard instead; this convenience
+  // entry point serves the single-threaded artifact builders (EMVD chase,
+  // Theorem 3 constructions).
   Term MakeChaseNdv(const NdvProvenance& provenance);
 
   // Creates a fresh anonymous NDV (used by generators and by the Theorem 3
@@ -73,7 +110,8 @@ class SymbolTable {
   // Creates a fresh constant with a unique name derived from the hint.
   Term MakeFreshConstant(std::string_view name_hint);
 
-  // Looks up an interned symbol by kind+name; nullopt if absent.
+  // Looks up an interned symbol by kind+name; nullopt if absent. Shard-
+  // minted NDVs are not indexed and therefore not found here.
   std::optional<Term> Find(TermKind kind, std::string_view name) const;
 
   // Printable name of a term. Terms must belong to this table.
@@ -86,6 +124,56 @@ class SymbolTable {
   // Provenance of a chase-created NDV; nullopt for other terms.
   std::optional<NdvProvenance> Provenance(Term t) const;
 
+  // A per-worker handle that mints NDVs lock-free from reserved id blocks.
+  // One shard must be used by one thread at a time (typically: owned by one
+  // Chase). Destroying (or moving from) a shard returns its unused id range
+  // to the table's free pool. The table must outlive every shard.
+  class NdvShard {
+   public:
+    NdvShard() = default;
+    explicit NdvShard(SymbolTable* table) : table_(table) {}
+    ~NdvShard() { ReturnRemainder(); }
+
+    NdvShard(const NdvShard&) = delete;
+    NdvShard& operator=(const NdvShard&) = delete;
+    NdvShard(NdvShard&& other) noexcept { *this = std::move(other); }
+    NdvShard& operator=(NdvShard&& other) noexcept {
+      if (this != &other) {
+        ReturnRemainder();
+        table_ = other.table_;
+        base_ = other.base_;
+        begin_ = other.begin_;
+        next_ = other.next_;
+        end_ = other.end_;
+        other.table_ = nullptr;
+        other.base_ = nullptr;
+        other.begin_ = other.next_ = other.end_ = 0;
+      }
+      return *this;
+    }
+
+    // Lock-free except when the current block is exhausted (then one table
+    // mutex acquisition reserves the next block). Minted ids strictly
+    // increase and follow every symbol that existed at block-handoff time.
+    Term MakeChaseNdv(const NdvProvenance& provenance);
+
+    bool attached() const { return table_ != nullptr; }
+
+   private:
+    void Refill();           // reserve the next block (locks the table)
+    void ReturnRemainder();  // give [next_, end_) back (locks the table)
+
+    SymbolTable* table_ = nullptr;
+    void* base_ = nullptr;  // Entry* of slot begin_; opaque to keep Entry private
+    uint32_t begin_ = 0;    // first id of the current block
+    uint32_t next_ = 0;     // next id to mint
+    uint32_t end_ = 0;      // one past the last reserved id
+  };
+
+  // Creates a shard minting into this table. Cheap; the first block is
+  // reserved lazily on the first mint.
+  NdvShard CreateShard() { return NdvShard(this); }
+
   size_t num_constants() const {
     std::lock_guard<std::mutex> lock(*mu_);
     return constants_.size();
@@ -94,15 +182,34 @@ class SymbolTable {
     std::lock_guard<std::mutex> lock(*mu_);
     return dist_vars_.size();
   }
+  // Count of *minted* NDVs (interned + chase-created). With sharding the id
+  // space may contain reserved-but-unused holes, so this can be less than
+  // the highest NDV id.
   size_t num_nondist_vars() const {
+    return ndv_count_.load(std::memory_order_relaxed);
+  }
+  // Total NDV id blocks ever handed out (to shards and to the table's own
+  // intern cursor). The arena's amortization story in one number: compare
+  // against num_nondist_vars() — the old design paid one lock per mint,
+  // this one pays one per block.
+  uint64_t ndv_blocks_handed_out() const {
     std::lock_guard<std::mutex> lock(*mu_);
-    return nondist_vars_.size();
+    return ndv_blocks_handed_out_;
   }
 
  private:
+  friend class NdvShard;
+
   struct Entry {
     std::string name;
     std::optional<NdvProvenance> provenance;
+  };
+
+  // A reserved-but-unconsumed id range, [begin, end); always within one
+  // block (hence one slab).
+  struct IdRange {
+    uint32_t begin = 0;
+    uint32_t end = 0;
   };
 
   std::deque<Entry>& pool(TermKind kind);
@@ -110,16 +217,55 @@ class SymbolTable {
 
   Term Intern(TermKind kind, std::string_view name);
 
+  // --- NDV arena internals (all require *mu_ unless noted) -----------------
+
+  // Slot address of an NDV id. Safe to call without the lock only for ids
+  // inside a range the caller owns (the slab pointer is cached by shards).
+  Entry* NdvSlotLocked(uint32_t id) {
+    return &ndv_slabs_[id / kNdvSlabSize][id % kNdvSlabSize];
+  }
+  const Entry* NdvSlotLocked(uint32_t id) const {
+    return const_cast<SymbolTable*>(this)->NdvSlotLocked(id);
+  }
+
+  // Grows the slab array to cover ids < limit.
+  void EnsureNdvStorageLocked(uint32_t limit);
+
+  // Reserves the next block at the high-water mark (clipped to the current
+  // slab's end so a block never straddles slabs). Blocks always sit above
+  // every id reserved before, which is what keeps fresh NDVs
+  // lexicographically above all existing symbols.
+  IdRange ReserveBlockLocked();
+
+  // Takes one id for an intern/fresh-NDV call, from the table's own cursor
+  // range (refilled through ReserveBlockLocked like any shard).
+  uint32_t ReserveSingleNdvLocked();
+
+  // Composes the provenance-encoding chase-NDV name, e.g. "n17[A2,c5,i1,L3]".
+  static std::string ChaseNdvName(uint32_t id, const NdvProvenance& p);
+
+  // Returns an unused tail: rolls the high-water mark back when the range
+  // still tops the id space, else abandons it (reusing a low range would
+  // put later-minted NDVs lexicographically below existing symbols).
+  void ReturnRangeLocked(IdRange range);
+
   // unique_ptr keeps the table movable (a mutex itself is not); the move
   // operations re-seat a fresh mutex in the source so it stays usable.
   std::unique_ptr<std::mutex> mu_;
   std::deque<Entry> constants_;
   std::deque<Entry> dist_vars_;
-  std::deque<Entry> nondist_vars_;
   std::unordered_map<std::string, uint32_t> constant_index_;
   std::unordered_map<std::string, uint32_t> dist_var_index_;
   std::unordered_map<std::string, uint32_t> nondist_var_index_;
   uint64_t fresh_counter_ = 0;
+
+  // NDV arena: slabs never move or shrink; entries are written once by
+  // their id's owner and read-only afterwards.
+  std::vector<std::unique_ptr<Entry[]>> ndv_slabs_;
+  uint32_t ndv_limit_ = 0;  // high-water mark of block reservation
+  IdRange intern_range_;    // the table's own single-id cursor
+  uint64_t ndv_blocks_handed_out_ = 0;
+  std::atomic<uint64_t> ndv_count_{0};
 };
 
 }  // namespace cqchase

@@ -201,6 +201,141 @@ TEST(CacheParityTest, IdenticalVerdictsWithCacheOnAndOffAcrossScenarios) {
   }
 }
 
+// --- LRU eviction and per-cache capacity knobs -------------------------------
+
+TEST_F(CacheTest, VerdictCacheEvictsLeastRecentlyUsedNotOldest) {
+  EngineConfig config;
+  config.verdict_cache_capacity = 2;
+  ContainmentEngine engine(&catalog_, &symbols_, config);
+  ConjunctiveQuery qp = Parse("ans(p) :- R(p, p0)");
+
+  // A enters first; under FIFO it would be the first casualty.
+  ConjunctiveQuery a = Parse("ans(u) :- R(u, v), S(v, w)");
+  ASSERT_TRUE(engine.Check(a, qp, deps_).ok());
+  for (int i = 0; i < 6; ++i) {
+    // Touch A, then insert a fresh key (distinct constant => distinct
+    // canonical key). The insertion evicts the *previous* filler, never the
+    // just-touched A.
+    Result<EngineVerdict> again = engine.Check(a, qp, deps_);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->cache_hit) << "round " << i;
+    ConjunctiveQuery filler =
+        Parse(StrCat("ans(u", i, ") :- R(u", i, ", 'k", i, "')"));
+    ASSERT_TRUE(engine.Check(filler, qp, deps_).ok());
+    EXPECT_LE(engine.cache_sizes().verdict_entries, 2u);
+  }
+}
+
+TEST_F(CacheTest, ChaseCacheEvictsLeastRecentlyUsedNotOldest) {
+  EngineConfig config;
+  config.verdict_cache_capacity = 0;  // force every check down to the chase
+  config.chase_cache_capacity = 2;
+  config.route_streaming_single_conjunct = false;
+  ContainmentEngine engine(&catalog_, &symbols_, config);
+  ConjunctiveQuery qp = Parse("ans(p) :- R(p, p0)");
+
+  ConjunctiveQuery a = Parse("ans(u) :- R(u, v), S(v, w)");
+  ASSERT_TRUE(engine.Check(a, qp, deps_).ok());
+  const int kRounds = 5;
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE(engine.Check(a, qp, deps_).ok());  // touches A's prefix
+    ConjunctiveQuery filler =
+        Parse(StrCat("ans(f", i, ") :- R(f", i, ", 'c", i, "'), S(f", i,
+                     ", g", i, ")"));
+    ASSERT_TRUE(engine.Check(filler, qp, deps_).ok());
+    EXPECT_LE(engine.cache_sizes().chase_entries, 2u);
+  }
+  EngineStats stats = engine.stats();
+  // A's chase was built once and resumed every round; FIFO eviction would
+  // have rebuilt it each time the fillers cycled the cache.
+  EXPECT_EQ(stats.chases_built, 1u + kRounds);
+  EXPECT_EQ(stats.chase_prefix_reuses, static_cast<uint64_t>(kRounds));
+}
+
+TEST_F(CacheTest, ChaseCacheHammeredAtCapacityStaysBoundedAndConsistent) {
+  // Regression for the old exclusive-checkout bookkeeping (O(n) fifo scan,
+  // entries erased while in use): hammer acquire/release through a tiny
+  // cache and require bounded size plus stable verdicts throughout.
+  EngineConfig config;
+  config.verdict_cache_capacity = 0;
+  config.chase_cache_capacity = 4;
+  config.route_streaming_single_conjunct = false;
+  ContainmentEngine engine(&catalog_, &symbols_, config);
+  ConjunctiveQuery qp = Parse("ans(p) :- R(p, p0), S(p0, p1)");
+
+  std::vector<ConjunctiveQuery> qs;
+  for (int i = 0; i < 12; ++i) {
+    qs.push_back(Parse(StrCat("ans(h", i, ") :- R(h", i, ", 'v", i, "')")));
+  }
+  std::vector<bool> first_verdicts;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < qs.size(); ++i) {
+      Result<EngineVerdict> v = engine.Check(qs[i], qp, deps_);
+      ASSERT_TRUE(v.ok()) << "round " << round << " q " << i;
+      if (round == 0) {
+        first_verdicts.push_back(v->report.contained);
+      } else {
+        EXPECT_EQ(v->report.contained, first_verdicts[i])
+            << "round " << round << " q " << i;
+      }
+      EXPECT_LE(engine.cache_sizes().chase_entries, 4u);
+    }
+  }
+}
+
+TEST_F(CacheTest, SigmaCacheSizesIndependentlyOfVerdictCache) {
+  EngineConfig config;
+  config.sigma_cache_capacity = 2;
+  config.verdict_cache_capacity = 64;
+  ContainmentEngine engine(&catalog_, &symbols_, config);
+  std::vector<DependencySet> sigmas;
+  sigmas.push_back(*ParseDependencies(catalog_, "R[1] <= S[1]"));
+  sigmas.push_back(*ParseDependencies(catalog_, "R[2] <= S[1]"));
+  sigmas.push_back(*ParseDependencies(catalog_, "R[2] <= S[2]"));
+  sigmas.push_back(*ParseDependencies(catalog_, "S[1] <= R[1]"));
+  for (const DependencySet& s : sigmas) engine.Analyze(s);
+  EXPECT_EQ(engine.cache_sizes().sigma_entries, 2u);
+
+  // The converse: a starved verdict cache must not constrain Σ analyses
+  // (the old code evicted the sigma cache against verdict_cache_capacity).
+  EngineConfig tight;
+  tight.verdict_cache_capacity = 1;
+  tight.sigma_cache_capacity = 64;
+  ContainmentEngine tight_engine(&catalog_, &symbols_, tight);
+  ConjunctiveQuery q = Parse("ans(u) :- R(u, v)");
+  ConjunctiveQuery qp = Parse("ans(u) :- R(u, v), S(v, w)");
+  for (const DependencySet& s : sigmas) {
+    ASSERT_TRUE(tight_engine.Check(q, qp, s).ok());
+  }
+  EXPECT_EQ(tight_engine.cache_sizes().sigma_entries, sigmas.size());
+  EXPECT_EQ(tight_engine.cache_sizes().verdict_entries, 1u);
+}
+
+// --- Minimization probes must not pollute the chase-prefix cache -------------
+
+TEST(CacheProbeTest, MinimizeLeavesChaseCacheEmpty) {
+  // Each candidate probe chases a one-shot query whose exact key never
+  // repeats; caching those prefixes would pin up to chase_cache_capacity
+  // dead chases. Tagged non-cacheable, minimization must leave the chase
+  // cache empty while still warming the verdict cache.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"x", "y"}).ok());
+  SymbolTable symbols;
+  DependencySet deps = *ParseDependencies(catalog, "R[2] <= S[1]");
+  Result<ConjunctiveQuery> q = ParseQuery(
+      catalog, symbols,
+      "ans(u) :- R(u, v), S(v, w), S(v, w2), R(u, v2), S(v2, w3)");
+  ASSERT_TRUE(q.ok());
+
+  ContainmentEngine engine(&catalog, &symbols);
+  Result<MinimizeReport> report = engine.Minimize(*q, deps);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->containment_checks, 0u);
+  EXPECT_EQ(engine.cache_sizes().chase_entries, 0u);
+  EXPECT_GT(engine.cache_sizes().verdict_entries, 0u);
+}
+
 // --- Batch API ---------------------------------------------------------------
 
 TEST(CheckManyTest, ThreadedFanOutMatchesSequentialVerdicts) {

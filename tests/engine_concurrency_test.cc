@@ -1,0 +1,239 @@
+// Concurrency stress for the sharded symbol arena and the engine's shared
+// chase-prefix cache. Every test here is also a ThreadSanitizer target:
+// ci.sh builds this binary (plus the other engine/chase tests) under
+// -fsanitize=thread and fails CI on any reported race. The assertions cover
+// correctness (distinct ids, verdict parity with a sequential oracle,
+// single shared chase per exact key); TSan covers the memory model.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
+#include "engine/engine.h"
+#include "gen/generators.h"
+#include "symbols/symbol_table.h"
+
+namespace cqchase {
+namespace {
+
+TEST(ShardConcurrencyTest, ParallelShardsMintDistinctReadableNdvs) {
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::vector<Term>> minted(kThreads);
+  {
+    std::vector<std::thread> pool;
+    for (int w = 0; w < kThreads; ++w) {
+      pool.emplace_back([&table, &minted, w] {
+        SymbolTable::NdvShard shard = table.CreateShard();
+        minted[w].reserve(kPerThread);
+        for (int i = 0; i < kPerThread; ++i) {
+          minted[w].push_back(shard.MakeChaseNdv(NdvProvenance{
+              /*attribute_index=*/static_cast<uint32_t>(w),
+              /*source_conjunct=*/static_cast<uint64_t>(i),
+              /*ind_index=*/0, /*level=*/1}));
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::set<uint32_t> ids;
+  for (int w = 0; w < kThreads; ++w) {
+    uint32_t prev = 0;
+    for (size_t i = 0; i < minted[w].size(); ++i) {
+      Term t = minted[w][i];
+      EXPECT_TRUE(ids.insert(t.id()).second) << "duplicate id " << t.id();
+      if (i > 0) EXPECT_GT(t.id(), prev) << "shard ids must increase";
+      prev = t.id();
+    }
+    // Spot-check a cross-thread read of an entry written lock-free.
+    ASSERT_TRUE(table.Provenance(minted[w][7]).has_value());
+    EXPECT_EQ(table.Provenance(minted[w][7])->attribute_index,
+              static_cast<uint32_t>(w));
+    EXPECT_EQ(table.Provenance(minted[w][7])->source_conjunct, 7u);
+  }
+  EXPECT_EQ(table.num_nondist_vars(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(ShardConcurrencyTest, ShardMintingInterleavedWithLockedInterning) {
+  // Shard mints race the locked intern/fresh paths for the same id space;
+  // ids must stay disjoint and the index must only see the interned names.
+  SymbolTable table;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<Term>> minted(kThreads);
+  std::vector<Term> interned;
+  {
+    std::vector<std::thread> pool;
+    for (int w = 0; w < kThreads; ++w) {
+      pool.emplace_back([&table, &minted, w] {
+        SymbolTable::NdvShard shard = table.CreateShard();
+        for (int i = 0; i < kPerThread; ++i) {
+          minted[w].push_back(shard.MakeChaseNdv(NdvProvenance{}));
+        }
+      });
+    }
+    interned.reserve(kPerThread);
+    for (int i = 0; i < kPerThread; ++i) {
+      interned.push_back(table.MakeFreshNondistVar("it"));
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  std::set<uint32_t> ids;
+  for (const auto& v : minted) {
+    for (Term t : v) EXPECT_TRUE(ids.insert(t.id()).second);
+  }
+  for (Term t : interned) {
+    EXPECT_TRUE(ids.insert(t.id()).second);
+    EXPECT_EQ(table.Find(TermKind::kNondistVar, table.Name(t)), t);
+  }
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kThreads + 1) * kPerThread);
+}
+
+// A CheckMany workload mixing distinct canonical keys, exact repeats (shared
+// verdict keys), and one fixed Q probed against many Q' (shared chase key).
+// unique_ptrs keep the catalog / symbol-table addresses stable across moves
+// of the workload itself — the queries hold pointers into them.
+struct StressWorkload {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<SymbolTable> symbols;
+  DependencySet deps;
+  std::vector<ConjunctiveQuery> queries;  // stable storage for task pointers
+  std::vector<ContainmentTask> tasks;
+};
+
+StressWorkload BuildStressWorkload() {
+  StressWorkload w;
+  Rng rng(33);
+  RandomCatalogParams cp;
+  cp.num_relations = 3;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  w.catalog = std::make_unique<Catalog>(RandomCatalog(rng, cp));
+  w.symbols = std::make_unique<SymbolTable>();
+  RandomIndParams ip;
+  ip.count = 4;
+  ip.width = 1;
+  w.deps = RandomIndOnlyDeps(rng, *w.catalog, ip);
+
+  // Distinct pairs.
+  w.queries.reserve(64);
+  for (int i = 0; i < 10; ++i) {
+    RandomQueryParams qp;
+    qp.num_conjuncts = 4;
+    qp.name_prefix = StrCat("dl", i);
+    w.queries.push_back(RandomQuery(rng, *w.catalog, *w.symbols, qp));
+    qp.num_conjuncts = 2;
+    qp.name_prefix = StrCat("dr", i);
+    w.queries.push_back(RandomQuery(rng, *w.catalog, *w.symbols, qp));
+  }
+  // One fixed Q against several Q' (same exact chase key, distinct verdicts).
+  RandomQueryParams fixed;
+  fixed.num_conjuncts = 4;
+  fixed.name_prefix = "fx";
+  w.queries.push_back(RandomQuery(rng, *w.catalog, *w.symbols, fixed));
+  const size_t fixed_idx = w.queries.size() - 1;
+  for (int i = 0; i < 6; ++i) {
+    RandomQueryParams qp;
+    qp.num_conjuncts = 2;
+    qp.name_prefix = StrCat("fr", i);
+    w.queries.push_back(RandomQuery(rng, *w.catalog, *w.symbols, qp));
+  }
+
+  for (int i = 0; i < 10; ++i) {
+    w.tasks.push_back(
+        ContainmentTask{&w.queries[2 * i], &w.queries[2 * i + 1], &w.deps});
+  }
+  for (int i = 0; i < 6; ++i) {
+    w.tasks.push_back(ContainmentTask{&w.queries[fixed_idx],
+                                      &w.queries[fixed_idx + 1 + i], &w.deps});
+  }
+  // Exact repeats of everything so far: same pointers, same canonical keys.
+  const size_t unique_tasks = w.tasks.size();
+  for (size_t i = 0; i < unique_tasks; ++i) w.tasks.push_back(w.tasks[i]);
+  return w;
+}
+
+TEST(CheckManyConcurrencyTest, EightWorkerFanOutMatchesSequentialOracle) {
+  StressWorkload w = BuildStressWorkload();
+
+  EngineConfig oracle_config;
+  oracle_config.enable_cache = false;
+  ContainmentEngine oracle(w.catalog.get(), w.symbols.get(), oracle_config);
+  std::vector<Result<EngineVerdict>> expected = oracle.CheckMany(w.tasks);
+
+  EngineConfig threaded_config;
+  threaded_config.num_threads = 8;
+  // A tiny chase cache forces eviction while entries are in use; the
+  // reference-counted entries must keep in-flight chases alive.
+  threaded_config.chase_cache_capacity = 2;
+  ContainmentEngine threaded(w.catalog.get(), w.symbols.get(), threaded_config);
+
+  // Two passes through the same engine: cold caches, then warm.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<Result<EngineVerdict>> got = threaded.CheckMany(w.tasks);
+    ASSERT_EQ(expected.size(), got.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(expected[i].ok(), got[i].ok())
+          << "pass " << pass << " task " << i << ": "
+          << (expected[i].ok() ? got[i].status().ToString()
+                               : expected[i].status().ToString());
+      if (!expected[i].ok()) continue;
+      EXPECT_EQ(expected[i]->report.contained, got[i]->report.contained)
+          << "pass " << pass << " task " << i;
+    }
+  }
+}
+
+TEST(CheckManyConcurrencyTest, ConcurrentAskersOfOneExactKeyShareOneChase) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+  ASSERT_TRUE(catalog.AddRelation("S", {"x", "y"}).ok());
+  SymbolTable symbols;
+  DependencySet deps = *ParseDependencies(catalog, "R[2] <= S[1]\nS[2] <= R[1]");
+  Result<ConjunctiveQuery> q =
+      ParseQuery(catalog, symbols, "ans(u) :- R(u, v), S(v, w)");
+  ASSERT_TRUE(q.ok());
+
+  // Distinct Q' per task => distinct verdict keys, but one exact chase key:
+  // all 16 workers must extend the single shared prefix, not re-chase.
+  std::vector<ConjunctiveQuery> rhs;
+  for (int i = 0; i < 16; ++i) {
+    Result<ConjunctiveQuery> qp = ParseQuery(
+        catalog, symbols,
+        StrCat("ans(p", i, ") :- R(p", i, ", q", i, "), S(q", i, ", 'z", i,
+               "')"));
+    ASSERT_TRUE(qp.ok());
+    rhs.push_back(*std::move(qp));
+  }
+  std::vector<ContainmentTask> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back(ContainmentTask{&*q, &rhs[i], &deps});
+  }
+
+  EngineConfig config;
+  config.num_threads = 8;
+  config.route_streaming_single_conjunct = false;
+  ContainmentEngine engine(&catalog, &symbols, config);
+  std::vector<Result<EngineVerdict>> results = engine.CheckMany(tasks);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "task " << i << ": "
+                                 << results[i].status().ToString();
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.chases_built, 1u);
+  EXPECT_EQ(stats.chase_prefix_reuses, 15u);
+}
+
+}  // namespace
+}  // namespace cqchase

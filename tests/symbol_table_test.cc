@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "symbols/term.h"
 
 namespace cqchase {
@@ -110,6 +113,101 @@ TEST(SymbolTableTest, ProvenanceAbsentForPlainSymbols) {
   SymbolTable t;
   EXPECT_FALSE(t.Provenance(t.InternConstant("k")).has_value());
   EXPECT_FALSE(t.Provenance(t.InternDistVar("x")).has_value());
+}
+
+// --- Sharded NDV arena -------------------------------------------------------
+
+TEST(NdvShardTest, ShardMintsProvenancedNdvsReadableFromTheTable) {
+  SymbolTable t;
+  SymbolTable::NdvShard shard = t.CreateShard();
+  NdvProvenance p{/*attribute_index=*/1, /*source_conjunct=*/7,
+                  /*ind_index=*/2, /*level=*/4};
+  Term n = shard.MakeChaseNdv(p);
+  EXPECT_TRUE(n.is_nondist_var());
+  ASSERT_TRUE(t.Provenance(n).has_value());
+  EXPECT_EQ(t.Provenance(n)->source_conjunct, 7u);
+  EXPECT_NE(t.Name(n).find("A1"), std::string::npos);
+  EXPECT_NE(t.Name(n).find("L4"), std::string::npos);
+  EXPECT_EQ(t.num_nondist_vars(), 1u);
+}
+
+TEST(NdvShardTest, IdsStrictlyIncreaseAcrossBlockRefills) {
+  // One shard minting past several block boundaries: the handoff protocol
+  // must keep this shard's ids monotone (the paper's "NDVs follow all
+  // earlier symbols" invariant, scoped to the minting chase).
+  SymbolTable t;
+  SymbolTable::NdvShard shard = t.CreateShard();
+  Term prev = shard.MakeChaseNdv(NdvProvenance{});
+  for (uint32_t i = 0; i < 3 * SymbolTable::kNdvBlockSize; ++i) {
+    Term next = shard.MakeChaseNdv(NdvProvenance{});
+    EXPECT_LT(prev, next);
+    prev = next;
+  }
+}
+
+TEST(NdvShardTest, DestroyedShardRollsBackTheHighWaterMark) {
+  SymbolTable t;
+  uint32_t first_id;
+  {
+    SymbolTable::NdvShard shard = t.CreateShard();
+    first_id = shard.MakeChaseNdv(NdvProvenance{}).id();
+  }
+  // The shard consumed one id of its block and its tail still topped the id
+  // space, so the high-water mark rolled back: no kNdvBlockSize hole per
+  // sequential chase.
+  Term next = t.MakeChaseNdv(NdvProvenance{});
+  EXPECT_EQ(next.id(), first_id + 1);
+}
+
+TEST(NdvShardTest, AbandonedLowTailIsNeverReused) {
+  // A freed range buried under a younger block must become a hole, not be
+  // recycled: recycling would hand later mints ids *below* existing symbols
+  // and break the lexicographic-follow invariant the FD merge rule keys on.
+  SymbolTable t;
+  SymbolTable::NdvShard low = t.CreateShard();
+  low.MakeChaseNdv(NdvProvenance{});
+  SymbolTable::NdvShard high = t.CreateShard();
+  Term top = high.MakeChaseNdv(NdvProvenance{});
+  { SymbolTable::NdvShard dying = std::move(low); }  // tail is not the top
+  Term next = t.MakeChaseNdv(NdvProvenance{});
+  EXPECT_GT(next.id(), top.id());
+}
+
+TEST(NdvShardTest, BlockHandoffsAreAmortized) {
+  SymbolTable t;
+  SymbolTable::NdvShard shard = t.CreateShard();
+  const uint32_t kMints = 4 * SymbolTable::kNdvBlockSize;
+  for (uint32_t i = 0; i < kMints; ++i) shard.MakeChaseNdv(NdvProvenance{});
+  // One lock acquisition per block, not per mint.
+  EXPECT_EQ(t.ndv_blocks_handed_out(), kMints / SymbolTable::kNdvBlockSize);
+  EXPECT_EQ(t.num_nondist_vars(), kMints);
+}
+
+TEST(NdvShardTest, ShardIsMovableAndMovedFromShardIsInert) {
+  SymbolTable t;
+  SymbolTable::NdvShard a = t.CreateShard();
+  Term first = a.MakeChaseNdv(NdvProvenance{});
+  SymbolTable::NdvShard b = std::move(a);
+  EXPECT_FALSE(a.attached());
+  Term second = b.MakeChaseNdv(NdvProvenance{});
+  EXPECT_LT(first, second);
+  EXPECT_EQ(t.num_nondist_vars(), 2u);
+}
+
+TEST(NdvShardTest, ShardMintsCoexistWithInterning) {
+  // Interned NDVs and shard-minted NDVs share one id space and never
+  // collide; interned ones stay findable by name, shard-minted ones are
+  // deliberately unindexed (indexing would need the lock on the hot path).
+  SymbolTable t;
+  Term interned = t.InternNondistVar("y");
+  SymbolTable::NdvShard shard = t.CreateShard();
+  Term minted = shard.MakeChaseNdv(NdvProvenance{});
+  Term interned2 = t.InternNondistVar("z");
+  EXPECT_NE(interned.id(), minted.id());
+  EXPECT_NE(interned2.id(), minted.id());
+  EXPECT_EQ(t.Find(TermKind::kNondistVar, "y"), interned);
+  EXPECT_EQ(t.Find(TermKind::kNondistVar, "z"), interned2);
+  EXPECT_EQ(t.Find(TermKind::kNondistVar, t.Name(minted)), std::nullopt);
 }
 
 }  // namespace
