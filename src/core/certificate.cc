@@ -72,6 +72,66 @@ bool SameFactMultiset(std::vector<Fact> a, std::vector<Fact> b) {
 
 }  // namespace
 
+bool CertifiableSigma(const DependencySet& deps, const Catalog& catalog) {
+  // Certificates require derivations free of post-IND FD rewrites, which
+  // Lemma 2 guarantees exactly for the paper's decidable classes.
+  return deps.ContainsOnlyInds() || deps.ContainsOnlyFds() || deps.empty() ||
+         deps.IsKeyBased(catalog);
+}
+
+ContainmentCertificate ExtractCertificateFromChase(const Chase& chase,
+                                                   const Homomorphism& hom) {
+  // Extract the image conjuncts and their ordinary-arc ancestors. One id
+  // index up front: the engine calls this while holding a shared chase
+  // entry's lock against a prefix other askers may have driven far deeper
+  // than this witness needs, so the ancestor walk must be O(prefix + cone),
+  // not O(cone x prefix).
+  std::vector<const ChaseConjunct*> alive = chase.AliveConjuncts();
+  std::unordered_map<uint64_t, const ChaseConjunct*> by_id;
+  by_id.reserve(alive.size());
+  for (const ChaseConjunct* c : alive) by_id.emplace(c->id, c);
+  std::set<uint64_t> needed;
+  for (size_t fact_index : hom.conjunct_images) {
+    const ChaseConjunct* c = alive[fact_index];
+    while (true) {
+      if (!needed.insert(c->id).second) break;
+      if (!c->parent.has_value()) break;
+      // Ids are creation-ordered and stable; parent lookup by id.
+      auto it = by_id.find(*c->parent);
+      if (it == by_id.end()) break;  // parent merged away (FD-only chases)
+      c = it->second;
+    }
+  }
+
+  ContainmentCertificate cert;
+  // Roots: every alive level-0 conjunct — this *is* chase_Σ[F](Q) (for
+  // IND-only Σ, Q itself).
+  std::unordered_map<uint64_t, size_t> index_of_id;
+  for (const ChaseConjunct* c : alive) {
+    if (c->level != 0) continue;
+    index_of_id[c->id] = cert.roots.size();
+    cert.roots.push_back(c->fact);
+  }
+  cert.summary = chase.summary();
+  // Steps: needed non-root conjuncts in creation order (parents precede
+  // children by construction).
+  for (const ChaseConjunct* c : alive) {
+    if (c->level == 0 || needed.count(c->id) == 0) continue;
+    DerivationStep step;
+    step.ind_index = c->parent_ind.value_or(0);
+    step.parent = index_of_id.at(*c->parent);
+    step.fact = c->fact;
+    index_of_id[c->id] = cert.roots.size() + cert.steps.size();
+    cert.steps.push_back(std::move(step));
+  }
+  cert.mapping = hom.mapping;
+  cert.conjunct_images.reserve(hom.conjunct_images.size());
+  for (size_t fact_index : hom.conjunct_images) {
+    cert.conjunct_images.push_back(index_of_id.at(alive[fact_index]->id));
+  }
+  return cert;
+}
+
 Result<std::optional<ContainmentCertificate>> BuildCertificate(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
     const DependencySet& deps, SymbolTable& symbols,
@@ -82,10 +142,7 @@ Result<std::optional<ContainmentCertificate>> BuildCertificate(
     return Status::InvalidArgument(
         "queries must have the same output arity for containment");
   }
-  // Certificates require derivations free of post-IND FD rewrites, which
-  // Lemma 2 guarantees exactly for the paper's decidable classes.
-  if (!deps.ContainsOnlyInds() && !deps.ContainsOnlyFds() && !deps.empty() &&
-      !deps.IsKeyBased(q.catalog())) {
+  if (!CertifiableSigma(deps, q.catalog())) {
     return Status::Unimplemented(
         "certificates are only constructed for IND-only, FD-only or "
         "key-based dependency sets");
@@ -125,54 +182,8 @@ Result<std::optional<ContainmentCertificate>> BuildCertificate(
     ++level;
   }
 
-  // Extract the image conjuncts and their ordinary-arc ancestors.
-  std::vector<const ChaseConjunct*> alive = chase.AliveConjuncts();
-  std::set<uint64_t> needed;
-  for (size_t fact_index : hom->conjunct_images) {
-    const ChaseConjunct* c = alive[fact_index];
-    while (true) {
-      if (!needed.insert(c->id).second) break;
-      if (!c->parent.has_value()) break;
-      // Ids are creation-ordered and stable; parent lookup by id.
-      const ChaseConjunct* parent = nullptr;
-      for (const ChaseConjunct* a : alive) {
-        if (a->id == *c->parent) {
-          parent = a;
-          break;
-        }
-      }
-      if (parent == nullptr) break;  // parent merged away (FD-only chases)
-      c = parent;
-    }
-  }
-
-  ContainmentCertificate cert;
-  // Roots: every alive level-0 conjunct — this *is* chase_Σ[F](Q) (for
-  // IND-only Σ, Q itself).
-  std::unordered_map<uint64_t, size_t> index_of_id;
-  for (const ChaseConjunct* c : alive) {
-    if (c->level != 0) continue;
-    index_of_id[c->id] = cert.roots.size();
-    cert.roots.push_back(c->fact);
-  }
-  cert.summary = chase.summary();
-  // Steps: needed non-root conjuncts in creation order (parents precede
-  // children by construction).
-  for (const ChaseConjunct* c : alive) {
-    if (c->level == 0 || needed.count(c->id) == 0) continue;
-    DerivationStep step;
-    step.ind_index = c->parent_ind.value_or(0);
-    step.parent = index_of_id.at(*c->parent);
-    step.fact = c->fact;
-    index_of_id[c->id] = cert.roots.size() + cert.steps.size();
-    cert.steps.push_back(std::move(step));
-  }
-  cert.mapping = hom->mapping;
-  cert.conjunct_images.reserve(hom->conjunct_images.size());
-  for (size_t fact_index : hom->conjunct_images) {
-    cert.conjunct_images.push_back(index_of_id.at(alive[fact_index]->id));
-  }
-  return std::optional<ContainmentCertificate>(std::move(cert));
+  return std::optional<ContainmentCertificate>(
+      ExtractCertificateFromChase(chase, *hom));
 }
 
 Status VerifyCertificate(const ContainmentCertificate& certificate,

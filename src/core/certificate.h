@@ -34,7 +34,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chase/chase.h"
 #include "core/containment.h"
+#include "core/homomorphism.h"
 #include "cq/query.h"
 #include "deps/dependency_set.h"
 
@@ -82,6 +84,22 @@ struct ContainmentCertificate {
   std::string ToString(const Catalog& catalog,
                        const SymbolTable& symbols) const;
 };
+
+// True iff Σ is a shape certificates can be constructed for: empty, FD-only,
+// IND-only, or key-based. Lemma 2 guarantees exactly these classes yield
+// derivations free of post-IND FD rewrites (the certificate format's
+// requirement); general FD+IND mixes are rejected with kUnimplemented by
+// both certificate builders.
+bool CertifiableSigma(const DependencySet& deps, const Catalog& catalog);
+
+// Extracts a certificate from a chase of Q that already yielded a witness
+// homomorphism Q' → chase (the decision's own chase — this is what lets the
+// engine return a proof without re-chasing). `hom.conjunct_images` must
+// index into `chase.AliveConjuncts()` (the order FindHomomorphism produced
+// it in). Roots are the chase's alive level-0 conjuncts, i.e. chase_Σ[F](Q);
+// the derivation keeps only the witness image's ancestor cone.
+ContainmentCertificate ExtractCertificateFromChase(const Chase& chase,
+                                                   const Homomorphism& hom);
 
 // Decides Σ ⊨ Q ⊆∞ Q' and, when it holds, produces a certificate. Returns
 // nullopt when containment does not hold. Accepts the same Σ shapes as

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -17,6 +18,16 @@ namespace {
 // ordering obligations to other memory.
 inline void Bump(std::atomic<uint64_t>& counter) {
   counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Width of the shared executor: the explicit knob wins; otherwise a
+// num_threads > 1 legacy config keeps sizing the pool its CheckMany batches
+// now run on; otherwise whatever the hardware offers.
+size_t ExecutorWidth(const EngineConfig& config) {
+  if (config.executor_threads > 0) return config.executor_threads;
+  if (config.num_threads > 1) return config.num_threads;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
 }
 }  // namespace
 
@@ -94,7 +105,23 @@ ContainmentEngine::ContainmentEngine(const Catalog* catalog,
       config_(std::move(config)),
       verdict_cache_(config_.verdict_cache_capacity),
       sigma_cache_(config_.sigma_cache_capacity),
-      chase_cache_(config_.chase_cache_capacity) {}
+      chase_cache_(config_.chase_cache_capacity),
+      executor_(ExecutorWidth(config_)) {}
+
+ContainmentEngine::~ContainmentEngine() {
+  // Cancel everything still in flight before the executor member's
+  // destructor drains the queue: an abandoned no-deadline request (e.g. a
+  // divergent semi-decision whose future was dropped) would otherwise run
+  // forever and hang teardown. Cancelled tasks stop at their next control
+  // poll and resolve kCancelled.
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  for (std::weak_ptr<internal::FutureState<EngineOutcome>>& weak : inflight_) {
+    if (std::shared_ptr<internal::FutureState<EngineOutcome>> state =
+            weak.lock()) {
+      state->control.cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+}
 
 SigmaAnalysis ContainmentEngine::Analyze(const DependencySet& deps) {
   // Stateless engines (the compatibility wrappers) skip the keyed cache:
@@ -118,6 +145,74 @@ std::optional<DecisionStrategy> ContainmentEngine::RouteOf(
                         config_.route_streaming_single_conjunct);
 }
 
+// --- Async API --------------------------------------------------------------
+
+EngineFuture<EngineOutcome> ContainmentEngine::Submit(
+    ContainmentRequest request) {
+  auto state = std::make_shared<internal::FutureState<EngineOutcome>>();
+  // Resolve the relative form once, at submission — queue time counts
+  // against the deadline, exactly like a network request's.
+  if (request.options.deadline.has_value()) {
+    state->control.deadline = request.options.deadline;
+  } else if (request.options.timeout.has_value()) {
+    state->control.deadline =
+        std::chrono::steady_clock::now() + *request.options.timeout;
+  }
+  const bool high_priority = request.options.priority > 0;
+  auto shared_request =
+      std::make_shared<const ContainmentRequest>(std::move(request));
+  {
+    // Register for cancel-on-destruction; prune resolved (expired) entries
+    // opportunistically so the registry tracks live requests, not history.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    if (inflight_.size() >= 64) {
+      inflight_.erase(
+          std::remove_if(
+              inflight_.begin(), inflight_.end(),
+              [](const std::weak_ptr<internal::FutureState<EngineOutcome>>&
+                     weak) { return weak.expired(); }),
+          inflight_.end());
+    }
+    inflight_.push_back(state);
+  }
+  Bump(stats_.submits);
+  executor_.Submit(
+      [this, state, shared_request] {
+        if (shared_request->q == nullptr ||
+            shared_request->q_prime == nullptr ||
+            shared_request->deps == nullptr) {
+          state->Set(Status::InvalidArgument(
+              "ContainmentRequest has a null query or dependency set"));
+          return;
+        }
+        Bump(stats_.checks);
+        Result<EngineOutcome> result =
+            Execute(*shared_request->q, *shared_request->q_prime,
+                    *shared_request->deps, shared_request->options,
+                    &state->control, /*cache_chase_prefix=*/true);
+        if (!result.ok()) {
+          if (result.status().code() == StatusCode::kDeadlineExceeded) {
+            Bump(stats_.deadline_expirations);
+          } else if (result.status().code() == StatusCode::kCancelled) {
+            Bump(stats_.cancellations);
+          }
+        }
+        state->Set(std::move(result));
+      },
+      high_priority);
+  return EngineFuture<EngineOutcome>(std::move(state));
+}
+
+std::vector<EngineFuture<EngineOutcome>> ContainmentEngine::SubmitAll(
+    std::vector<ContainmentRequest> requests) {
+  std::vector<EngineFuture<EngineOutcome>> futures;
+  futures.reserve(requests.size());
+  for (ContainmentRequest& r : requests) futures.push_back(Submit(std::move(r)));
+  return futures;
+}
+
+// --- Synchronous API --------------------------------------------------------
+
 Result<EngineVerdict> ContainmentEngine::Check(const ConjunctiveQuery& q,
                                                const ConjunctiveQuery& q_prime,
                                                const DependencySet& deps) {
@@ -127,13 +222,22 @@ Result<EngineVerdict> ContainmentEngine::Check(const ConjunctiveQuery& q,
 Result<EngineVerdict> ContainmentEngine::CheckCounted(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
     const DependencySet& deps, bool cache_chase_prefix) {
+  // The checks bump lives here, not in Check: Minimize/IsNonMinimal probes
+  // route through this too, and every cache hit/miss they record must
+  // belong to a counted check (hit rates over stats() stay <= 100%).
   Bump(stats_.checks);
-  return CheckImpl(q, q_prime, deps, cache_chase_prefix);
+  RequestOptions defaults;
+  CQCHASE_ASSIGN_OR_RETURN(
+      EngineOutcome outcome,
+      Execute(q, q_prime, deps, defaults, /*control=*/nullptr,
+              cache_chase_prefix));
+  return std::move(outcome.verdict);
 }
 
-Result<EngineVerdict> ContainmentEngine::CheckImpl(
+Result<EngineOutcome> ContainmentEngine::Execute(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
-    const DependencySet& deps, bool cache_chase_prefix) {
+    const DependencySet& deps, const RequestOptions& options,
+    ChaseControl* control, bool cache_chase_prefix) {
   CQCHASE_RETURN_IF_ERROR(q.Validate());
   CQCHASE_RETURN_IF_ERROR(q_prime.Validate());
   if (q.summary().size() != q_prime.summary().size()) {
@@ -149,6 +253,14 @@ Result<EngineVerdict> ContainmentEngine::CheckImpl(
     return Status::InvalidArgument(
         "queries must be built against the engine's symbol table");
   }
+  // A request that spent its whole budget in the queue resolves without
+  // touching a cache or chase.
+  if (control != nullptr) CQCHASE_RETURN_IF_ERROR(control->Check());
+  if (options.want_certificate && !CertifiableSigma(deps, q.catalog())) {
+    return Status::Unimplemented(
+        "certificates are only constructed for IND-only, FD-only or "
+        "key-based dependency sets");
+  }
 
   // Queries built against a foreign catalog would alias relation ids in the
   // cache keys; serve them uncached — and classify Σ against *their*
@@ -158,51 +270,65 @@ Result<EngineVerdict> ContainmentEngine::CheckImpl(
       foreign_catalog ? AnalyzeSigma(deps, q.catalog()) : Analyze(deps);
   const bool cacheable = config_.enable_cache && !foreign_catalog &&
                          &q_prime.catalog() == catalog_;
+
+  ExecContext ctx;
+  ctx.options = &options;
+  ctx.control = control;
+  ctx.cache_chase_prefix = cache_chase_prefix;
+  EngineOutcome outcome;
+  if (options.want_certificate) ctx.cert_out = &outcome.certificate;
+
   if (!cacheable) {
-    return DecideUncached(q, q_prime, deps, analysis, cache_chase_prefix);
+    CQCHASE_ASSIGN_OR_RETURN(outcome.verdict,
+                             DecideUncached(q, q_prime, deps, analysis, ctx));
+    return outcome;
   }
 
   const std::string key =
       CanonicalTaskKey(q, q_prime, deps, config_.containment.variant);
-  {
+  // A certificate request skips the verdict-cache *read*: a cached verdict
+  // dropped its chase derivation, so there is nothing to extract a proof
+  // from. It still writes its verdict below for later certificate-free
+  // askers.
+  if (!options.want_certificate) {
     std::lock_guard<std::mutex> lock(mu_);
     if (const CachedVerdict* hit = verdict_cache_.Get(key)) {
       Bump(stats_.cache_hits);
-      EngineVerdict verdict;
-      verdict.report = hit->report;
-      verdict.sigma_class = hit->sigma_class;
-      verdict.strategy = hit->strategy;
-      verdict.cache_hit = true;
-      return verdict;
+      outcome.verdict.report = hit->report;
+      outcome.verdict.sigma_class = hit->sigma_class;
+      outcome.verdict.strategy = hit->strategy;
+      outcome.verdict.cache_hit = true;
+      return outcome;
     }
     Bump(stats_.cache_misses);
   }
 
-  CQCHASE_ASSIGN_OR_RETURN(
-      EngineVerdict verdict,
-      DecideUncached(q, q_prime, deps, analysis, cache_chase_prefix));
+  CQCHASE_ASSIGN_OR_RETURN(outcome.verdict,
+                           DecideUncached(q, q_prime, deps, analysis, ctx));
 
   CachedVerdict cached;
-  cached.report = verdict.report;
+  cached.report = outcome.verdict.report;
   // The witness homomorphism references this computation's chase facts and
   // the asker's terms; for a future (possibly merely isomorphic) asker it
   // would be meaningless, so only the verdict and its statistics are kept.
   cached.report.witness.reset();
-  cached.sigma_class = verdict.sigma_class;
-  cached.strategy = verdict.strategy;
+  cached.sigma_class = outcome.verdict.sigma_class;
+  cached.strategy = outcome.verdict.strategy;
   {
     std::lock_guard<std::mutex> lock(mu_);
     verdict_cache_.Put(key, std::move(cached));
   }
-  return verdict;
+  return outcome;
 }
 
 Result<EngineVerdict> ContainmentEngine::DecideUncached(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
     const DependencySet& deps, const SigmaAnalysis& analysis,
-    bool cache_chase_prefix) {
+    const ExecContext& ctx) {
+  const bool allow_semidecision = ctx.options->allow_semidecision.value_or(
+      config_.containment.allow_semidecision);
   std::optional<DecisionStrategy> strategy =
-      ChooseStrategy(analysis, q_prime, config_.containment.allow_semidecision,
+      ChooseStrategy(analysis, q_prime, allow_semidecision,
                      config_.route_streaming_single_conjunct);
   if (!strategy.has_value()) {
     return Status::Unimplemented(
@@ -215,6 +341,15 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
   if (*strategy == DecisionStrategy::kStreamingFrontier && q.is_empty_query()) {
     strategy = DecisionStrategy::kIterativeDeepening;
   }
+  // A certificate is extracted from a live chase derivation, so the
+  // chase-free routes (bare homomorphism, streaming frontier) hand over to
+  // the deepening loop — the same decision, now with a proof to show. This
+  // mirrors what the standalone BuildCertificate always did.
+  if (ctx.cert_out != nullptr &&
+      (*strategy == DecisionStrategy::kHomomorphism ||
+       *strategy == DecisionStrategy::kStreamingFrontier)) {
+    strategy = DecisionStrategy::kIterativeDeepening;
+  }
 
   EngineVerdict verdict;
   verdict.sigma_class = analysis.sigma_class;
@@ -225,9 +360,15 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
       if (q.is_empty_query()) {
         // Empty Q is contained in any Q' of matching arity; run the shared
         // loop, whose empty-query arm reports it.
-        CQCHASE_ASSIGN_OR_RETURN(verdict.report,
-                                 DecideByChase(q, q_prime, deps, analysis, cache_chase_prefix));
+        CQCHASE_ASSIGN_OR_RETURN(
+            verdict.report, DecideByChase(q, q_prime, deps, analysis, ctx));
         break;
+      }
+      // Granularity caveat: the single homomorphism search below is not
+      // interruptible — a control trip is noticed here or not until it
+      // returns. (Chase-routed strategies poll between steps and levels.)
+      if (ctx.control != nullptr) {
+        CQCHASE_RETURN_IF_ERROR(ctx.control->Check());
       }
       ContainmentReport report;
       report.chase_conjuncts = q.conjuncts().size();
@@ -245,6 +386,12 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
       break;
     }
     case DecisionStrategy::kStreamingFrontier: {
+      // Same caveat as the homomorphism arm: the streaming run itself does
+      // not poll; deadline/cancel trips land before it starts or after it
+      // finishes (its own frontier budget bounds the run).
+      if (ctx.control != nullptr) {
+        CQCHASE_RETURN_IF_ERROR(ctx.control->Check());
+      }
       StreamingContainmentOptions sopt;
       sopt.max_level = config_.containment.limits.max_level;
       // Deliberately wider than StreamingContainmentOptions' default
@@ -263,8 +410,8 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
         // budget on dense cyclic Σ that the deduplicating R-chase decides
         // easily — fall back rather than surface an avoidable error.
         verdict.strategy = DecisionStrategy::kIterativeDeepening;
-        CQCHASE_ASSIGN_OR_RETURN(verdict.report,
-                                 DecideByChase(q, q_prime, deps, analysis, cache_chase_prefix));
+        CQCHASE_ASSIGN_OR_RETURN(
+            verdict.report, DecideByChase(q, q_prime, deps, analysis, ctx));
         break;
       }
       const StreamingContainmentReport& sr = *streamed;
@@ -283,7 +430,7 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
     case DecisionStrategy::kIterativeDeepening:
     case DecisionStrategy::kSemiDecision: {
       CQCHASE_ASSIGN_OR_RETURN(verdict.report,
-                               DecideByChase(q, q_prime, deps, analysis, cache_chase_prefix));
+                               DecideByChase(q, q_prime, deps, analysis, ctx));
       break;
     }
   }
@@ -295,12 +442,12 @@ Result<EngineVerdict> ContainmentEngine::DecideUncached(
 Result<ContainmentReport> ContainmentEngine::DecideByChase(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
     const DependencySet& deps, const SigmaAnalysis& analysis,
-    bool cache_chase_prefix) {
+    const ExecContext& ctx) {
   const ContainmentOptions& options = config_.containment;
 
-  // Symbol-table identity is enforced at the Check entry point; only
+  // Symbol-table identity is enforced at the Execute entry point; only
   // catalog identity still needs checking for the exact-key cache.
-  const bool cacheable = cache_chase_prefix && config_.enable_cache &&
+  const bool cacheable = ctx.cache_chase_prefix && config_.enable_cache &&
                          config_.chase_cache_capacity > 0 &&
                          &q.catalog() == catalog_;
   std::shared_ptr<SharedChase> shared;
@@ -362,6 +509,12 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
   }
 
   Chase& chase = *chase_ptr;
+  // This asker's cancellation/deadline applies for exactly this asker's
+  // turn on the chase: attach now, detach before unlocking, so a shared
+  // prefix never carries a dead asker's control into the next turn. A
+  // tripped control unwinds like a resource limit — the prefix stays
+  // consistent and resumable for other askers.
+  chase.set_control(ctx.control);
   // The Theorem 1/2 decision loop (moved here from core/containment.cc):
   // expand the chase prefix level by level, searching for a homomorphism
   // after each expansion, stopping at a witness, saturation, the Lemma 5
@@ -399,6 +552,12 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
 
     uint32_t level = start_level;
     while (true) {
+      // Level-boundary poll: the chase polls between steps, but a
+      // homomorphism search over a large prefix can also run long — check
+      // once per deepening iteration so neither side starves the control.
+      if (ctx.control != nullptr) {
+        CQCHASE_RETURN_IF_ERROR(ctx.control->Check());
+      }
       Result<ChaseOutcome> expanded = chase.ExpandToLevel(level);
       if (!expanded.ok()) {
         // Budget tripped mid-expansion. A witness into the partial prefix is
@@ -406,7 +565,8 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
         // before surfacing the error — this also keeps verdicts identical
         // between a fresh chase (which searches level by level on the way
         // up) and a cache-resumed one that starts deep and may re-trip a
-        // sticky limit before its first search.
+        // sticky limit before its first search. (Not for a cancelled
+        // request: its caller asked us to stop, not to answer.)
         if (expanded.status().code() == StatusCode::kResourceExhausted &&
             search_witness()) {
           return report;
@@ -449,6 +609,22 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
     }
   }();
 
+  // Certificate extraction happens here — while the chase (shared or local)
+  // is still alive and, for a shared prefix, still locked by us. This is
+  // the "no re-chase" unification: the decision's own derivation becomes
+  // the Theorem 2 proof object.
+  if (ctx.cert_out != nullptr && result.ok() && result->contained) {
+    if (chase.is_empty_query()) {
+      ContainmentCertificate cert;
+      cert.q_is_empty = true;
+      *ctx.cert_out = std::move(cert);
+    } else if (result->witness.has_value()) {
+      *ctx.cert_out = ExtractCertificateFromChase(chase, *result->witness);
+    }
+    if (ctx.cert_out->has_value()) Bump(stats_.certificates_built);
+  }
+
+  chase.set_control(nullptr);
   // No release step: the shared entry stayed in the cache the whole time
   // (touched to most-recently-used at lookup); shared_lock and our
   // shared_ptr reference drop on return.
@@ -458,7 +634,23 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
 Result<std::optional<ContainmentCertificate>> ContainmentEngine::Certify(
     const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
     const DependencySet& deps) {
-  return BuildCertificate(q, q_prime, deps, *symbols_, config_.containment);
+  RequestOptions options;
+  options.want_certificate = true;
+  // Inline, like Check: a blocking shim gains nothing from the executor
+  // hop, and a purely synchronous caller should not spin up the pool.
+  CQCHASE_ASSIGN_OR_RETURN(
+      EngineOutcome outcome,
+      Execute(q, q_prime, deps, options, /*control=*/nullptr,
+              /*cache_chase_prefix=*/true));
+  if (!outcome.verdict.report.contained) {
+    return std::optional<ContainmentCertificate>();
+  }
+  if (!outcome.certificate.has_value()) {
+    return Status::Internal(
+        "contained verdict resolved without the requested certificate");
+  }
+  return std::optional<ContainmentCertificate>(
+      std::move(*outcome.certificate));
 }
 
 Result<bool> ContainmentEngine::CheckEquivalence(
@@ -472,40 +664,47 @@ Result<bool> ContainmentEngine::CheckEquivalence(
 
 std::vector<Result<EngineVerdict>> ContainmentEngine::CheckMany(
     const std::vector<ContainmentTask>& tasks) {
-  std::vector<std::optional<Result<EngineVerdict>>> scratch(tasks.size());
-  auto run_one = [&](size_t i) {
-    const ContainmentTask& t = tasks[i];
-    if (t.q == nullptr || t.q_prime == nullptr || t.deps == nullptr) {
-      scratch[i].emplace(Status::InvalidArgument(
-          StrCat("CheckMany task ", i, " has a null pointer")));
-      return;
-    }
-    scratch[i].emplace(Check(*t.q, *t.q_prime, *t.deps));
-  };
-
-  const size_t workers =
-      std::min<size_t>(std::max<size_t>(config_.num_threads, 1), tasks.size());
-  if (workers <= 1) {
-    for (size_t i = 0; i < tasks.size(); ++i) run_one(i);
-  } else {
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (size_t i = next.fetch_add(1); i < tasks.size();
-             i = next.fetch_add(1)) {
-          run_one(i);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
-
   std::vector<Result<EngineVerdict>> out;
   out.reserve(tasks.size());
-  for (std::optional<Result<EngineVerdict>>& r : scratch) {
-    out.push_back(std::move(*r));
+  auto null_error = [](size_t i) {
+    return Status::InvalidArgument(
+        StrCat("CheckMany task ", i, " has a null pointer"));
+  };
+
+  if (config_.num_threads <= 1 || tasks.size() <= 1) {
+    // Sequential fast path: exact historical behavior, no executor hop.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const ContainmentTask& t = tasks[i];
+      if (t.q == nullptr || t.q_prime == nullptr || t.deps == nullptr) {
+        out.push_back(null_error(i));
+        continue;
+      }
+      out.push_back(Check(*t.q, *t.q_prime, *t.deps));
+    }
+    return out;
+  }
+
+  // Batch shim over the async API: Borrow is safe because this frame blocks
+  // until every future resolves. The executor (width >= num_threads when
+  // sized by it) replaces the per-call thread spawn/join of old.
+  std::vector<EngineFuture<EngineOutcome>> futures(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const ContainmentTask& t = tasks[i];
+    if (t.q == nullptr || t.q_prime == nullptr || t.deps == nullptr) continue;
+    futures[i] = Submit(ContainmentRequest::Borrow(*t.q, *t.q_prime, *t.deps));
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (!futures[i].valid()) {
+      out.push_back(null_error(i));
+      continue;
+    }
+    Result<EngineOutcome> r = futures[i].Get();
+    if (!r.ok()) {
+      out.push_back(r.status());
+    } else {
+      EngineOutcome outcome = *std::move(r);
+      out.push_back(std::move(outcome.verdict));
+    }
   }
   return out;
 }
@@ -605,6 +804,17 @@ EngineStats ContainmentEngine::stats() const {
   out.chase_prefix_reuses =
       stats_.chase_prefix_reuses.load(std::memory_order_relaxed);
   out.chases_built = stats_.chases_built.load(std::memory_order_relaxed);
+  out.submits = stats_.submits.load(std::memory_order_relaxed);
+  out.deadline_expirations =
+      stats_.deadline_expirations.load(std::memory_order_relaxed);
+  out.cancellations = stats_.cancellations.load(std::memory_order_relaxed);
+  out.certificates_built =
+      stats_.certificates_built.load(std::memory_order_relaxed);
+  const Executor::StatsSnapshot exec = executor_.stats();
+  out.executor_tasks = exec.executed;
+  out.executor_steals = exec.steals;
+  out.executor_queue_depth = exec.queue_depth;
+  out.executor_workers = exec.workers;
   for (size_t i = 0; i < kNumStrategies; ++i) {
     out.by_strategy[i] = stats_.by_strategy[i].load(std::memory_order_relaxed);
   }

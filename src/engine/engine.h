@@ -24,11 +24,15 @@
 //     Minimization's candidate-side probes are tagged non-prefix-cacheable
 //     (their exact keys never repeat, so caching them would only pin dead
 //     chases until eviction).
-//  3. Batch API: CheckMany evaluates a vector of tasks against the shared
-//     caches, optionally fanning out across std::threads. Each chase mints
-//     fresh NDVs through its own lock-free SymbolTable::NdvShard, so workers
-//     only meet at the engine mutex (brief cache lookups) and at rare NDV
-//     block handoffs — never per chase step.
+//  3. Async request execution (engine/request.h + engine/executor.h):
+//     Submit(ContainmentRequest) -> EngineFuture<EngineOutcome> runs every
+//     request on a persistent work-stealing thread pool shared across calls.
+//     Requests own their inputs, carry per-request policy (deadline,
+//     priority, want_certificate, semi-decision override), support
+//     cooperative cancellation threaded through the chase deepening loop,
+//     and can return a Theorem 2 certificate extracted from the *same*
+//     chase the decision ran. CheckMany and Certify survive as thin
+//     blocking shims over Submit + wait.
 //
 // Adding a new decision strategy is a three-step recipe (see README):
 // extend DecisionStrategy + ChooseStrategy in engine/sigma_class.h, add the
@@ -36,7 +40,8 @@
 // tests/engine_dispatch_test.cc.
 //
 // All defaults (chase limits, variant, semi-decision policy) flow from
-// EngineConfig::containment — call sites no longer restate them.
+// EngineConfig::containment — call sites no longer restate them; a
+// RequestOptions can override the per-request subset of that policy.
 #ifndef CQCHASE_ENGINE_ENGINE_H_
 #define CQCHASE_ENGINE_ENGINE_H_
 
@@ -50,6 +55,7 @@
 #include <vector>
 
 #include "chase/chase.h"
+#include "chase/control.h"
 #include "core/certificate.h"
 #include "core/containment.h"
 #include "core/minimize.h"
@@ -57,7 +63,9 @@
 #include "data/instance.h"
 #include "deps/dependency_set.h"
 #include "engine/canonical.h"
+#include "engine/executor.h"
 #include "engine/lru_cache.h"
+#include "engine/request.h"
 #include "engine/sigma_class.h"
 #include "finite/finite_containment.h"
 
@@ -67,7 +75,7 @@ struct EngineConfig {
   // The single source of decision-procedure defaults (limits, chase variant,
   // semi-decision policy). Everything the engine runs — containment,
   // equivalence, minimization, streaming, FD unification — derives its
-  // budgets from here.
+  // budgets from here. RequestOptions can override the per-request subset.
   ContainmentOptions containment;
 
   // Layer 2: verdict + Σ-analysis + chase-prefix memoization. Each cache
@@ -83,35 +91,48 @@ struct EngineConfig {
   // need the witness (or byte-identical legacy reports) disable this.
   bool route_streaming_single_conjunct = true;
 
-  // Layer 3: CheckMany fan-out width. <= 1 means sequential.
+  // Layer 3: width of the shared work-stealing executor Submit runs on.
+  // 0 means "derive": num_threads when that is > 1 (so the legacy CheckMany
+  // fan-out knob keeps sizing the pool it now runs on), else the hardware
+  // concurrency. Workers start lazily on the first Submit.
+  size_t executor_threads = 0;
+
+  // Legacy CheckMany fan-out width. <= 1 means the shim evaluates the batch
+  // sequentially inline (exact historical behavior); > 1 means it submits
+  // the batch to the executor and waits.
   size_t num_threads = 1;
 };
 
-// One containment question for the batch API. Pointers must stay valid for
-// the duration of the CheckMany call; all queries must share the engine's
-// catalog and symbol table.
+// One containment question for the legacy batch API. Pointers must stay
+// valid for the duration of the CheckMany call; all queries must share the
+// engine's catalog and symbol table. New code should build a
+// ContainmentRequest (engine/request.h), which owns its inputs and cannot
+// dangle.
 struct ContainmentTask {
   const ConjunctiveQuery* q = nullptr;
   const ConjunctiveQuery* q_prime = nullptr;
   const DependencySet* deps = nullptr;
 };
 
-// A containment answer plus how the engine got it.
-struct EngineVerdict {
-  ContainmentReport report;
-  SigmaClass sigma_class = SigmaClass::kEmpty;
-  DecisionStrategy strategy = DecisionStrategy::kHomomorphism;
-  bool cache_hit = false;
-};
-
-// Monotone counters; read via stats(). Under CheckMany fan-out the counters
-// are aggregated across workers.
+// Monotone counters (plus two executor gauges); read via stats(). Counters
+// are aggregated across executor workers and synchronous callers alike.
 struct EngineStats {
   uint64_t checks = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t chase_prefix_reuses = 0;
   uint64_t chases_built = 0;
+  // Async surface.
+  uint64_t submits = 0;
+  uint64_t deadline_expirations = 0;
+  uint64_t cancellations = 0;
+  uint64_t certificates_built = 0;
+  // Executor health (Executor::stats passthrough): tasks/steals are
+  // monotone, queue_depth (queued, not yet started) and workers are gauges.
+  uint64_t executor_tasks = 0;
+  uint64_t executor_steals = 0;
+  uint64_t executor_queue_depth = 0;
+  uint64_t executor_workers = 0;
   std::array<uint64_t, kNumStrategies> by_strategy = {};
 };
 
@@ -130,9 +151,36 @@ class ContainmentEngine {
   ContainmentEngine(const ContainmentEngine&) = delete;
   ContainmentEngine& operator=(const ContainmentEngine&) = delete;
 
-  // --- Decision API --------------------------------------------------------
+  // Cancels every outstanding request (their futures resolve kCancelled),
+  // then joins the executor after draining the queue: every future handed
+  // out resolves before the engine dies, and teardown never hangs on a
+  // dropped-future semi-decision with no deadline. Granularity caveat: a
+  // request inside a single homomorphism/streaming search notices the
+  // cancel only when that search returns (polls sit between chase steps
+  // and deepening levels). Do not submit during destruction.
+  ~ContainmentEngine();
 
-  // Σ ⊨ Q ⊆∞ Q', dispatched per the Σ classification.
+  // --- Async decision API --------------------------------------------------
+
+  // Submits one containment question for execution on the shared
+  // work-stealing pool and returns immediately. The future resolves to the
+  // verdict (plus certificate when requested); a deadline/cancellation trips
+  // it to kDeadlineExceeded / kCancelled. The request's queries and Σ are
+  // owned or shared by the request, so the caller's locals may go out of
+  // scope freely; the engine keeps the request alive until it resolves.
+  //
+  // Do not block on a future from inside another request's execution (the
+  // classic pool deadlock); Submit more work instead.
+  EngineFuture<EngineOutcome> Submit(ContainmentRequest request);
+
+  // Convenience fan-out: one future per request, in order.
+  std::vector<EngineFuture<EngineOutcome>> SubmitAll(
+      std::vector<ContainmentRequest> requests);
+
+  // --- Synchronous decision API --------------------------------------------
+
+  // Σ ⊨ Q ⊆∞ Q', dispatched per the Σ classification. Runs inline on the
+  // calling thread (no executor hop).
   Result<EngineVerdict> Check(const ConjunctiveQuery& q,
                               const ConjunctiveQuery& q_prime,
                               const DependencySet& deps);
@@ -142,15 +190,19 @@ class ContainmentEngine {
                                 const ConjunctiveQuery& q_prime,
                                 const DependencySet& deps);
 
-  // Batch evaluation with the shared caches. One Result per task, in task
-  // order. With config.num_threads > 1 the tasks fan out across a thread
-  // pool; verdicts are identical to the sequential evaluation.
+  // Legacy batch shim: with num_threads > 1, submits every task to the
+  // executor and waits (identical verdicts to sequential evaluation); with
+  // num_threads <= 1, evaluates inline sequentially. One Result per task,
+  // in task order.
   std::vector<Result<EngineVerdict>> CheckMany(
       const std::vector<ContainmentTask>& tasks);
 
-  // Decides containment and, when it holds, extracts a Theorem 2 proof
-  // object (core/certificate.h). Uncached: the certificate references live
-  // chase derivation state that the memoization layer does not retain.
+  // Legacy certificate shim: the synchronous counterpart of Submit with
+  // want_certificate, running inline on the calling thread (like Check —
+  // no pool spin-up for a blocking call). Decides containment and, when it
+  // holds, returns the Theorem 2 proof object extracted from the
+  // decision's own chase (a single chase serves both — and a cached chase
+  // prefix may mean no new chase at all).
   Result<std::optional<ContainmentCertificate>> Certify(
       const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
       const DependencySet& deps);
@@ -219,7 +271,7 @@ class ContainmentEngine {
 
  private:
   struct CachedVerdict {
-    ContainmentReport report;  // witness dropped; see Check
+    ContainmentReport report;  // witness dropped; see Execute
     SigmaClass sigma_class;
     DecisionStrategy strategy;
   };
@@ -231,7 +283,9 @@ class ContainmentEngine {
   // concurrent askers of the same exact (Q, Σ, variant) queue here and each
   // resumes the single shared prefix where the previous one left it. The
   // entry owns a stable copy of Σ so the Chase's internal pointer outlives
-  // any caller's DependencySet.
+  // any caller's DependencySet. Each asker attaches its own ChaseControl for
+  // its turn and detaches before unlocking, so one asker's deadline or
+  // cancellation never aborts another's.
   struct SharedChase {
     std::mutex mu;  // guards everything below
     bool built = false;
@@ -240,30 +294,46 @@ class ContainmentEngine {
     std::unique_ptr<Chase> chase;
   };
 
-  // `cache_chase_prefix` distinguishes ordinary checks from one-shot probes
-  // (Minimize / IsNonMinimal candidates) whose exact chase keys never
-  // repeat: probes still use the verdict cache but skip chase-prefix
-  // insertion, which would otherwise pin up to chase_cache_capacity dead
-  // chases.
-  Result<EngineVerdict> CheckImpl(const ConjunctiveQuery& q,
-                                  const ConjunctiveQuery& q_prime,
-                                  const DependencySet& deps,
-                                  bool cache_chase_prefix);
+  // Per-execution context threaded through the decision path: the request's
+  // policy, the cooperative control (null for uncontrolled synchronous
+  // calls), the certificate out-slot (null unless want_certificate), and
+  // whether the chase prefix may be cached (`false` for Minimize /
+  // IsNonMinimal one-shot probes whose exact keys never repeat — they still
+  // use the verdict cache but would otherwise pin dead chases).
+  struct ExecContext {
+    const RequestOptions* options = nullptr;  // never null
+    ChaseControl* control = nullptr;
+    std::optional<ContainmentCertificate>* cert_out = nullptr;
+    bool cache_chase_prefix = true;
+  };
+
+  // The one decision path everything funnels into: validate, classify,
+  // consult the verdict cache (unless a certificate is wanted — a cached
+  // verdict has no derivation to extract), decide, extract the certificate,
+  // fill the cache.
+  Result<EngineOutcome> Execute(const ConjunctiveQuery& q,
+                                const ConjunctiveQuery& q_prime,
+                                const DependencySet& deps,
+                                const RequestOptions& options,
+                                ChaseControl* control,
+                                bool cache_chase_prefix);
 
   // Uncached dispatch: classify, route, execute.
   Result<EngineVerdict> DecideUncached(const ConjunctiveQuery& q,
                                        const ConjunctiveQuery& q_prime,
                                        const DependencySet& deps,
                                        const SigmaAnalysis& analysis,
-                                       bool cache_chase_prefix);
+                                       const ExecContext& ctx);
 
   // The Theorem 1/2 iterative-deepening decision loop, run on a fresh,
-  // shared-from-cache, or local chase of Q.
+  // shared-from-cache, or local chase of Q. Polls ctx.control between
+  // levels (and the chase polls it between steps); extracts ctx.cert_out
+  // from the live chase on a contained verdict.
   Result<ContainmentReport> DecideByChase(const ConjunctiveQuery& q,
                                           const ConjunctiveQuery& q_prime,
                                           const DependencySet& deps,
                                           const SigmaAnalysis& analysis,
-                                          bool cache_chase_prefix);
+                                          const ExecContext& ctx);
 
   // Check()'s body, minus the public-entry stats increment.
   Result<EngineVerdict> CheckCounted(const ConjunctiveQuery& q,
@@ -283,6 +353,10 @@ class ContainmentEngine {
     std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> chase_prefix_reuses{0};
     std::atomic<uint64_t> chases_built{0};
+    std::atomic<uint64_t> submits{0};
+    std::atomic<uint64_t> deadline_expirations{0};
+    std::atomic<uint64_t> cancellations{0};
+    std::atomic<uint64_t> certificates_built{0};
     std::array<std::atomic<uint64_t>, kNumStrategies> by_strategy{};
   };
   AtomicStats stats_;
@@ -291,6 +365,18 @@ class ContainmentEngine {
   LruCache<CachedVerdict> verdict_cache_;
   LruCache<SigmaAnalysis> sigma_cache_;
   LruCache<std::shared_ptr<SharedChase>> chase_cache_;
+
+  // Outstanding request states, so destruction can cancel them all — the
+  // futures may have been dropped, and without this a no-deadline
+  // semi-decision would stall the destructor's drain forever. Weak: a
+  // resolved request's state dies with its task + futures; Submit prunes
+  // expired entries as it registers new ones.
+  std::mutex inflight_mu_;
+  std::vector<std::weak_ptr<internal::FutureState<EngineOutcome>>> inflight_;
+
+  // Last member: destroyed first, so queued tasks drain while the caches,
+  // stats and symbol table above are still alive.
+  Executor executor_;
 };
 
 }  // namespace cqchase

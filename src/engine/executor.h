@@ -1,0 +1,111 @@
+// A persistent work-stealing thread pool: the execution substrate of the
+// engine's async Submit API.
+//
+// Before this existed, every CheckMany call spawned num_threads fresh
+// std::threads and joined them — fine for one big batch, pure churn for a
+// service answering a stream of small ones. The Executor keeps its workers
+// alive across calls:
+//
+//   * one deque per worker. Submissions are dealt round-robin to the worker
+//     deques; a worker pops its own deque from the front (FIFO for fairness
+//     of same-queue submissions) and, when empty, *steals* from the back of
+//     another worker's deque. Stealing keeps all cores busy under skew —
+//     e.g. when one queue happens to receive the long-running chases.
+//   * lazy start: constructing an Executor is free; worker threads spawn on
+//     the first Submit. An engine that only ever serves synchronous
+//     single-shot calls never pays for a pool.
+//   * high-priority submissions jump to the front of their deque (LIFO), so
+//     a latency-sensitive request overtakes queued work without a separate
+//     priority queue.
+//   * destruction drains: remaining queued tasks run to completion before
+//     the workers join, so a future handed out for a queued task always
+//     completes (tasks observe cancellation/deadlines through their own
+//     ChaseControl, which is how a drain stays prompt).
+//
+// Tasks must not block waiting for other tasks of the same Executor (the
+// classic pool deadlock); the engine's blocking shims (CheckMany, Certify)
+// are documented as caller-side APIs for exactly this reason.
+//
+// Locking: each deque has its own mutex (submit and steal touch one deque
+// at a time); a global mutex+condvar only handles sleep/wakeup of idle
+// workers. Tasks are coarse (whole containment decisions), so deque
+// operations are far off any hot path.
+#ifndef CQCHASE_ENGINE_EXECUTOR_H_
+#define CQCHASE_ENGINE_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cqchase {
+
+class Executor {
+ public:
+  // `num_workers` is clamped to >= 1. Threads are not created here.
+  explicit Executor(size_t num_workers);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Blocks until every already-submitted task has run, then joins.
+  ~Executor();
+
+  // Enqueues `task`. First call starts the worker threads. With
+  // `high_priority` the task is pushed to the *front* of its deque and runs
+  // before that deque's queued normal-priority work.
+  void Submit(std::function<void()> task, bool high_priority = false);
+
+  size_t num_workers() const { return queues_.size(); }
+
+  // Monotone counters plus two gauges (queue_depth, started). `steals` is
+  // the scheduler-health signal: zero under an even load, spiking when some
+  // deques run long tasks while others sit idle.
+  struct StatsSnapshot {
+    uint64_t submitted = 0;
+    uint64_t executed = 0;
+    uint64_t steals = 0;
+    uint64_t queue_depth = 0;  // queued, not yet started (gauge)
+    uint64_t workers = 0;
+    bool started = false;
+  };
+  StatsSnapshot stats() const;
+
+ private:
+  // Cache-line-ish isolation is not worth the complexity here (tasks are
+  // milliseconds, not nanoseconds); a plain mutex per deque suffices.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void EnsureStarted();
+  void WorkerLoop(size_t self);
+  // Own deque front first, then other deques' backs (round-robin from
+  // self+1). Decrements pending_ on success.
+  bool TryPop(size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  // Guards threads_/started_/stopping_ and carries idle workers' sleep.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  bool stopping_ = false;
+
+  std::atomic<size_t> next_queue_{0};  // round-robin submission cursor
+  std::atomic<size_t> pending_{0};     // queued, not yet popped
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_ENGINE_EXECUTOR_H_
