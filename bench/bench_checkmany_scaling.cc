@@ -221,6 +221,10 @@ int main() {
   // persistent executor, so its steal/queue counters are part of the
   // scaling story this bench records.
   bench::AppendEngineCounters(run8.stats, counters);
+  // The cache knobs are the EngineConfig defaults in all three runs (the
+  // worker counts this bench varies are already in ms_1/ms_4/ms_8 and the
+  // speedup series).
+  bench::AppendEngineConfig(EngineConfig{}, counters);
   bench::PrintJsonRecord("checkmany_scaling", run1.ms + run4.ms + run8.ms,
                          counters);
 

@@ -147,15 +147,16 @@ int main() {
   std::printf("  verdicts : %zu contained, %zu mismatches, %zu errors\n\n",
               contained, mismatches, errors);
 
-  bench::PrintJsonRecord(
-      "engine_cache", cached_ms + uncached_ms,
-      {{"tasks", static_cast<double>(tasks.size())},
-       {"cached_ms", cached_ms},
-       {"uncached_ms", uncached_ms},
-       {"speedup", speedup},
-       {"cache_hits", static_cast<double>(stats.cache_hits)},
-       {"mismatches", static_cast<double>(mismatches)},
-       {"errors", static_cast<double>(errors)}});
+  std::vector<std::pair<std::string, double>> counters = {
+      {"tasks", static_cast<double>(tasks.size())},
+      {"cached_ms", cached_ms},
+      {"uncached_ms", uncached_ms},
+      {"speedup", speedup},
+      {"cache_hits", static_cast<double>(stats.cache_hits)},
+      {"mismatches", static_cast<double>(mismatches)},
+      {"errors", static_cast<double>(errors)}};
+  bench::AppendEngineConfig(cached_config, counters);
+  bench::PrintJsonRecord("engine_cache", cached_ms + uncached_ms, counters);
 
   if (mismatches > 0 || errors > 0) {
     std::fprintf(stderr, "FAIL: verdict mismatch or error\n");

@@ -268,6 +268,8 @@ int main() {
       {"mismatches", static_cast<double>(mismatches)},
       {"errors", static_cast<double>(errors)}};
   bench::AppendEngineCounters(pooled.stats, counters);
+  // Both modes measure under BenchConfig's cache knobs.
+  bench::AppendEngineConfig(BenchConfig(), counters);
   bench::PrintJsonRecord("submit_throughput", legacy.ms + pooled.ms, counters);
 
   if (mismatches > 0) {

@@ -35,16 +35,25 @@ inline void PrintHeader(const std::string& experiment,
   std::printf("paper claim: %s\n\n", claim.c_str());
 }
 
+// Version of the bench JSON record layout. Bumped whenever the record shape
+// or the meaning of a shared counter changes, so cross-PR trajectory
+// comparisons know which records are commensurable. History:
+//   1 — implicit (records before the field existed carry no "schema" key)
+//   2 — added the schema field itself + engine cache-capacity knobs via
+//       AppendEngineConfig + store_hits/store_writes in AppendEngineCounters
+inline constexpr int kBenchRecordSchema = 2;
+
 // One-line machine-readable record, emitted by every bench so the perf
 // trajectory can be scraped (`grep '^{"bench"'` over the run log). Integral
 // counters print exactly (no %g exponent rounding, which would hide small
 // regressions in large counts); fractional ones keep 6 significant digits.
 //
-//   {"bench":"engine_cache","wall_ms":12.345,"counters":{"hits":100}}
+//   {"bench":"engine_cache","schema":2,"wall_ms":12.345,"counters":{...}}
 inline void PrintJsonRecord(
     const std::string& name, double wall_ms,
     const std::vector<std::pair<std::string, double>>& counters = {}) {
-  std::printf("{\"bench\":\"%s\",\"wall_ms\":%.3f", name.c_str(), wall_ms);
+  std::printf("{\"bench\":\"%s\",\"schema\":%d,\"wall_ms\":%.3f", name.c_str(),
+              kBenchRecordSchema, wall_ms);
   if (!counters.empty()) {
     std::printf(",\"counters\":{");
     for (size_t i = 0; i < counters.size(); ++i) {
@@ -82,6 +91,30 @@ inline void AppendEngineCounters(
                         static_cast<double>(stats.deadline_expirations));
   counters.emplace_back("cancellations",
                         static_cast<double>(stats.cancellations));
+  counters.emplace_back("store_hits", static_cast<double>(stats.store_hits));
+  counters.emplace_back("store_writes",
+                        static_cast<double>(stats.store_writes));
+}
+
+// Appends the engine's cache-capacity knobs (and whether the persistent
+// tier is on) to a record's counters. Capacity knobs change cache behavior
+// wholesale, so a trajectory comparison across PRs is only interpretable
+// when each record names the configuration it measured.
+inline void AppendEngineConfig(
+    const EngineConfig& config,
+    std::vector<std::pair<std::string, double>>& counters) {
+  const bool caches_on = config.enable_cache;
+  counters.emplace_back(
+      "verdict_cache_capacity",
+      static_cast<double>(caches_on ? config.verdict_cache_capacity : 0));
+  counters.emplace_back(
+      "sigma_cache_capacity",
+      static_cast<double>(caches_on ? config.sigma_cache_capacity : 0));
+  counters.emplace_back(
+      "chase_cache_capacity",
+      static_cast<double>(caches_on ? config.chase_cache_capacity : 0));
+  counters.emplace_back("store_enabled",
+                        config.store_path.empty() ? 0.0 : 1.0);
 }
 
 }  // namespace cqchase::bench

@@ -1,45 +1,117 @@
 #!/usr/bin/env bash
-# Canonical CI entry point, three stages:
+# Canonical CI entry point, six stages (each timed; the wall-clock table at
+# the end makes slow stages visible in logs):
 #
-#  1. Release build + ctest. Built -O3 explicitly (not the cmake default
-#     RelWithDebInfo fallback) because stage 2's perf gates measure this
-#     tree; gating an unoptimized build would enforce the claim on a
-#     configuration nobody ships.
-#  2. Enforced perf smokes. bench_engine_cache exits non-zero if cached and
-#     uncached verdicts diverge or the >= 2x cache speedup is missed;
-#     bench_checkmany_scaling exits non-zero if worker fan-out verdicts
-#     diverge or 8-worker throughput misses the target for the host's core
-#     count (>= 2x on >= 4 cores); bench_submit_throughput exits non-zero
-#     if pooled async submission loses to the legacy per-call thread
-#     fan-out (>= 1.0x at 8 workers on >= 4 cores) or verdicts diverge
-#     between the two modes.
-#  3. ThreadSanitizer pass over the concurrency-bearing binaries (sharded
-#     symbol arena, shared chase prefixes, CheckMany fan-out): any data race
-#     TSan reports fails CI via the non-zero exit code.
+#  1. release-build: Release configure + build. Built -O3 explicitly (not the
+#     cmake default RelWithDebInfo fallback) because stage 3's perf gates
+#     measure this tree; gating an unoptimized build would enforce the claim
+#     on a configuration nobody ships.
+#  2. ctest: the full suite. Tests carry LABELS (unit / engine / concurrency
+#     / store) and per-test TIMEOUT properties, so a hang is a named per-test
+#     failure, not a stuck job.
+#  3. perf-gates: enforced perf smokes. bench_engine_cache exits non-zero if
+#     cached and uncached verdicts diverge or the >= 2x cache speedup is
+#     missed; bench_checkmany_scaling if worker fan-out verdicts diverge or
+#     8-worker throughput misses the target for the host's core count;
+#     bench_submit_throughput if pooled async submission loses to the legacy
+#     per-call thread fan-out or verdicts diverge between the two modes.
+#  4. warmstart-gate: the persistent-tier restart contract. Runs
+#     bench_store_warmstart twice against the same fresh store directory; the
+#     cold run populates the store and checks verdict parity against a
+#     store-less engine, the warm run additionally exits non-zero unless it
+#     answered the whole repeated workload with zero chases built.
+#  5. asan-ubsan: AddressSanitizer + UndefinedBehaviorSanitizer over the
+#     store/serialize/engine binaries. The store parses attacker-shaped bytes
+#     off disk (and its tests feed it corrupted files), so the parsing code
+#     runs under ASan+UBSan from day one; -fno-sanitize-recover turns any UB
+#     into a non-zero exit.
+#  6. tsan: ThreadSanitizer over the concurrency-bearing binaries (sharded
+#     symbol arena, shared chase prefixes, CheckMany fan-out, executor,
+#     write-behind store flush): any data race fails CI.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "${JOBS}"
-(cd build && ctest --output-on-failure -j "${JOBS}")
+STAGE_NAMES=()
+STAGE_SECS=()
+stage() {
+  local name="$1"
+  shift
+  echo ""
+  echo "=== stage: ${name} ==="
+  local t0=${SECONDS}
+  "$@"
+  local dt=$(( SECONDS - t0 ))
+  STAGE_NAMES+=("${name}")
+  STAGE_SECS+=("${dt}")
+  echo "=== stage: ${name} ok (${dt}s) ==="
+}
 
-./build/bench_engine_cache
-./build/bench_checkmany_scaling
-./build/bench_submit_throughput
+release_build() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}"
+}
+
+run_ctest() {
+  (cd build && ctest --output-on-failure -j "${JOBS}")
+}
+
+perf_gates() {
+  ./build/bench_engine_cache
+  ./build/bench_checkmany_scaling
+  ./build/bench_submit_throughput
+}
+
+warmstart_gate() {
+  local dir="build/warmstart-store"
+  rm -rf "${dir}"
+  ./build/bench_store_warmstart "${dir}"          # cold: populate + parity
+  ./build/bench_store_warmstart "${dir}" --warm   # warm: zero chases or fail
+}
+
+# Per-config-flags pattern shared by both sanitizer stages: Debug, not
+# RelWithDebInfo, because per-config flags append *after* CMAKE_CXX_FLAGS and
+# RelWithDebInfo's "-O2 -DNDEBUG" would override -O1 and compile out the
+# asserts guarding the arena — the exact checks these stages exist to keep
+# hot.
+ASAN_TESTS=(serialize_test store_test engine_test engine_cache_test
+            engine_dispatch_test)
+asan_ubsan() {
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j "${JOBS}" --target "${ASAN_TESTS[@]}"
+  for t in "${ASAN_TESTS[@]}"; do
+    echo "=== asan+ubsan: ${t} ==="
+    ./build-asan/"${t}"
+  done
+}
 
 TSAN_TESTS=(symbol_table_test chase_test engine_test engine_cache_test
             engine_dispatch_test engine_concurrency_test executor_test
-            engine_submit_test)
-# Debug, not RelWithDebInfo: per-config flags append *after* CMAKE_CXX_FLAGS,
-# and RelWithDebInfo's "-O2 -DNDEBUG" would override -O1 and compile out the
-# asserts guarding the arena — the exact checks this stage exists to keep hot.
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TESTS[@]}"
-for t in "${TSAN_TESTS[@]}"; do
-  echo "=== tsan: ${t} ==="
-  ./build-tsan/"${t}"
+            engine_submit_test store_test)
+tsan() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j "${JOBS}" --target "${TSAN_TESTS[@]}"
+  for t in "${TSAN_TESTS[@]}"; do
+    echo "=== tsan: ${t} ==="
+    ./build-tsan/"${t}"
+  done
+}
+
+stage release-build   release_build
+stage ctest           run_ctest
+stage perf-gates      perf_gates
+stage warmstart-gate  warmstart_gate
+stage asan-ubsan      asan_ubsan
+stage tsan            tsan
+
+echo ""
+echo "=== stage timings ==="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-16s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
 done
+echo "CI OK"

@@ -27,6 +27,14 @@
 
 namespace cqchase {
 
+// Version of the canonical-key output format. The persistent verdict store
+// keys durable entries by these strings, so any change to what the functions
+// below emit — ordering, rendering, separators — must bump this constant:
+// it feeds the store's schema fingerprint (engine/serialize.h), which
+// invalidates stores written under the old scheme instead of letting old and
+// new keys collide.
+inline constexpr uint32_t kCanonicalKeySchemeVersion = 1;
+
 // Canonical form of one query: conjuncts in a signature-canonical order,
 // variables renamed d0,d1,… / n0,n1,… by first occurrence in that order,
 // constants rendered by name. Stable under variable renaming and under

@@ -76,6 +76,44 @@ ConjunctiveQuery WithoutConjunct(const ConjunctiveQuery& q, size_t skip) {
   return out;
 }
 
+// The persisted form of a decided verdict: the cacheable report fields (the
+// witness cannot survive the process), provenance, and — telemetry only —
+// whether this computation also extracted a certificate.
+StoredVerdict ToStoredVerdict(const EngineOutcome& outcome) {
+  const ContainmentReport& report = outcome.verdict.report;
+  StoredVerdict stored;
+  stored.contained = report.contained;
+  stored.chase_outcome = static_cast<uint8_t>(report.chase_outcome);
+  stored.sigma_class = static_cast<uint8_t>(outcome.verdict.sigma_class);
+  stored.strategy = static_cast<uint8_t>(outcome.verdict.strategy);
+  stored.witness_max_level = report.witness_max_level;
+  stored.chase_levels = report.chase_levels;
+  stored.level_bound = report.level_bound;
+  stored.chase_conjuncts = report.chase_conjuncts;
+  stored.certified = outcome.certificate.has_value();
+  stored.certificate_depth =
+      outcome.certificate.has_value() ? report.witness_max_level : 0;
+  return stored;
+}
+
+// Inverse of ToStoredVerdict. Enum bytes were range-validated at decode
+// time (serialize.cc), so the casts are safe here.
+EngineVerdict FromStoredVerdict(const StoredVerdict& stored) {
+  EngineVerdict verdict;
+  verdict.report.contained = stored.contained;
+  verdict.report.witness_max_level = stored.witness_max_level;
+  verdict.report.level_bound = stored.level_bound;
+  verdict.report.chase_conjuncts = stored.chase_conjuncts;
+  verdict.report.chase_levels = stored.chase_levels;
+  verdict.report.chase_outcome =
+      static_cast<ChaseOutcome>(stored.chase_outcome);
+  verdict.sigma_class = static_cast<SigmaClass>(stored.sigma_class);
+  verdict.strategy = static_cast<DecisionStrategy>(stored.strategy);
+  verdict.cache_hit = true;
+  verdict.store_hit = true;
+  return verdict;
+}
+
 // A summary DV must keep occurring in the body; removing the only conjunct
 // containing it would make the query unsafe.
 bool RemovalKeepsSafety(const ConjunctiveQuery& q, size_t skip) {
@@ -106,7 +144,28 @@ ContainmentEngine::ContainmentEngine(const Catalog* catalog,
       verdict_cache_(config_.verdict_cache_capacity),
       sigma_cache_(config_.sigma_cache_capacity),
       chase_cache_(config_.chase_cache_capacity),
-      executor_(ExecutorWidth(config_)) {}
+      executor_(ExecutorWidth(config_)) {
+  if (!config_.store_path.empty() && !config_.enable_cache) {
+    // The store is tier 2 of the memoization layer; with enable_cache off
+    // no canonical keys are ever computed, so an opened store would sit
+    // dead (never probed, never written) while silently looking healthy.
+    // Refuse loudly instead.
+    store_status_ = Status::FailedPrecondition(
+        "store_path requires enable_cache: the persistent tier serves the "
+        "canonical-key lookups that enable_cache = false turns off");
+  } else if (!config_.store_path.empty()) {
+    Result<std::unique_ptr<VerdictStore>> opened =
+        VerdictStore::Open(config_.store_path);
+    if (opened.ok()) {
+      store_ = *std::move(opened);
+    } else {
+      // A store that cannot open (filesystem trouble — corruption is
+      // handled by quarantine inside Open) must not take the engine down:
+      // run without the tier and let store_status() report why.
+      store_status_ = opened.status();
+    }
+  }
+}
 
 ContainmentEngine::~ContainmentEngine() {
   // Cancel everything still in flight before the executor member's
@@ -291,16 +350,34 @@ Result<EngineOutcome> ContainmentEngine::Execute(
   // from. It still writes its verdict below for later certificate-free
   // askers.
   if (!options.want_certificate) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (const CachedVerdict* hit = verdict_cache_.Get(key)) {
-      Bump(stats_.cache_hits);
-      outcome.verdict.report = hit->report;
-      outcome.verdict.sigma_class = hit->sigma_class;
-      outcome.verdict.strategy = hit->strategy;
-      outcome.verdict.cache_hit = true;
-      return outcome;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (const CachedVerdict* hit = verdict_cache_.Get(key)) {
+        Bump(stats_.cache_hits);
+        outcome.verdict.report = hit->report;
+        outcome.verdict.sigma_class = hit->sigma_class;
+        outcome.verdict.strategy = hit->strategy;
+        outcome.verdict.cache_hit = true;
+        return outcome;
+      }
+      Bump(stats_.cache_misses);
     }
-    Bump(stats_.cache_misses);
+    // Tier 2: the persistent store. Probed off mu_ (the store has its own
+    // lock); a hit bypasses the chase entirely and is promoted into the
+    // in-memory LRU so the next re-ask stops here.
+    if (store_ != nullptr) {
+      if (std::optional<StoredVerdict> stored = store_->Lookup(key)) {
+        Bump(stats_.store_hits);
+        outcome.verdict = FromStoredVerdict(*stored);
+        CachedVerdict promoted;
+        promoted.report = outcome.verdict.report;
+        promoted.sigma_class = outcome.verdict.sigma_class;
+        promoted.strategy = outcome.verdict.strategy;
+        std::lock_guard<std::mutex> lock(mu_);
+        verdict_cache_.Put(key, std::move(promoted));
+        return outcome;
+      }
+    }
   }
 
   CQCHASE_ASSIGN_OR_RETURN(outcome.verdict,
@@ -318,7 +395,38 @@ Result<EngineOutcome> ContainmentEngine::Execute(
     std::lock_guard<std::mutex> lock(mu_);
     verdict_cache_.Put(key, std::move(cached));
   }
+  if (store_ != nullptr) {
+    // Write-behind: the insert lands in the store's memory immediately (a
+    // restart-free Lookup already sees it); durability happens on a pool
+    // worker, never on this decision path. Certificate requests skip the
+    // cache *reads*, so they use PutIfAbsent — a plain Put would re-append
+    // an identical log frame on every repeat; everyone else reached here
+    // through a store miss, making the entry new by construction.
+    const bool wrote =
+        options.want_certificate
+            ? store_->PutIfAbsent(key, ToStoredVerdict(outcome))
+            : (store_->Put(key, ToStoredVerdict(outcome)), true);
+    if (wrote) {
+      Bump(stats_.store_writes);
+      ScheduleStoreFlush();
+    }
+  }
   return outcome;
+}
+
+void ContainmentEngine::ScheduleStoreFlush() {
+  // One flush task in the queue at a time. The task clears the flag
+  // *before* flushing, so a Put that races past the clear schedules a new
+  // task while one submitted earlier still covers everything before it.
+  if (store_flush_scheduled_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  executor_.Submit([this] {
+    store_flush_scheduled_.store(false, std::memory_order_release);
+    // Failures requeue the batch inside the store and count in its
+    // write_errors; the engine keeps serving from memory either way.
+    store_->Flush();
+  });
 }
 
 Result<EngineVerdict> ContainmentEngine::DecideUncached(
@@ -804,6 +912,8 @@ EngineStats ContainmentEngine::stats() const {
   out.chase_prefix_reuses =
       stats_.chase_prefix_reuses.load(std::memory_order_relaxed);
   out.chases_built = stats_.chases_built.load(std::memory_order_relaxed);
+  out.store_hits = stats_.store_hits.load(std::memory_order_relaxed);
+  out.store_writes = stats_.store_writes.load(std::memory_order_relaxed);
   out.submits = stats_.submits.load(std::memory_order_relaxed);
   out.deadline_expirations =
       stats_.deadline_expirations.load(std::memory_order_relaxed);

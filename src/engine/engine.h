@@ -24,6 +24,11 @@
 //     Minimization's candidate-side probes are tagged non-prefix-cacheable
 //     (their exact keys never repeat, so caching them would only pin dead
 //     chases until eviction).
+//     When EngineConfig::store_path is set, a persistent verdict store
+//     (engine/store.h) sits behind the in-memory LRU as a second tier:
+//     verdicts survive process restarts, a store hit bypasses the chase
+//     entirely, and new verdicts reach disk through a write-behind log
+//     flushed on the executor — the hot path never waits on I/O.
 //  3. Async request execution (engine/request.h + engine/executor.h):
 //     Submit(ContainmentRequest) -> EngineFuture<EngineOutcome> runs every
 //     request on a persistent work-stealing thread pool shared across calls.
@@ -67,6 +72,7 @@
 #include "engine/lru_cache.h"
 #include "engine/request.h"
 #include "engine/sigma_class.h"
+#include "engine/store.h"
 #include "finite/finite_containment.h"
 
 namespace cqchase {
@@ -85,6 +91,19 @@ struct EngineConfig {
   size_t verdict_cache_capacity = 1 << 16;  // canonical-key verdicts
   size_t sigma_cache_capacity = 1 << 12;    // Σ classifications
   size_t chase_cache_capacity = 32;         // shared chase prefixes retained
+
+  // Layer 2.5: persistent verdict tier (engine/store.h). Empty = disabled —
+  // zero behavior change for existing callers. Non-empty = a directory the
+  // engine opens at construction: verdicts decided in any earlier process
+  // are served from the store without building a chase (probe order is
+  // in-memory LRU → store → decide; store hits are promoted into the LRU),
+  // and newly decided verdicts are appended through a write-behind log
+  // flushed off the hot path by the executor. A store that fails its
+  // version/fingerprint/checksum guards is quarantined and rebuilt, never
+  // trusted (see store_status()). The tier rides the memoization layer, so
+  // it requires enable_cache (store_status() reports kFailedPrecondition
+  // otherwise); a store directory has exactly one owner at a time (flock).
+  std::string store_path;
 
   // Layer 1: route IND-only single-conjunct tasks to the PSPACE streaming
   // path. Streaming verdicts carry no witness homomorphism; callers that
@@ -122,6 +141,11 @@ struct EngineStats {
   uint64_t cache_misses = 0;
   uint64_t chase_prefix_reuses = 0;
   uint64_t chases_built = 0;
+  // Persistent tier: verdicts served from / appended to the store. A
+  // store_hit is counted on top of the cache_miss that preceded it (the
+  // in-memory tier did miss); store-served decisions build no chase.
+  uint64_t store_hits = 0;
+  uint64_t store_writes = 0;
   // Async surface.
   uint64_t submits = 0;
   uint64_t deadline_expirations = 0;
@@ -267,6 +291,17 @@ class ContainmentEngine {
   CacheSizes cache_sizes() const;
 
   const EngineConfig& config() const { return config_; }
+
+  // The persistent tier, or nullptr when store_path was empty or the open
+  // failed (store_status() then says why; the engine still serves — a
+  // broken cache tier degrades to a cold one, it never takes the service
+  // down with it).
+  const VerdictStore* store() const { return store_.get(); }
+  const Status& store_status() const { return store_status_; }
+
+  // Drops the in-memory caches only; the persistent store keeps its
+  // entries (its contents are valid forever by construction — see
+  // engine/store.h).
   void ClearCaches();
 
  private:
@@ -341,6 +376,11 @@ class ContainmentEngine {
                                      const DependencySet& deps,
                                      bool cache_chase_prefix);
 
+  // Write-behind: schedules one store flush on the executor unless one is
+  // already queued. The decision path appends to the store's in-memory
+  // pending buffer and returns; the disk write happens on a pool worker.
+  void ScheduleStoreFlush();
+
   const Catalog* catalog_;
   SymbolTable* symbols_;
   EngineConfig config_;
@@ -353,6 +393,8 @@ class ContainmentEngine {
     std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> chase_prefix_reuses{0};
     std::atomic<uint64_t> chases_built{0};
+    std::atomic<uint64_t> store_hits{0};
+    std::atomic<uint64_t> store_writes{0};
     std::atomic<uint64_t> submits{0};
     std::atomic<uint64_t> deadline_expirations{0};
     std::atomic<uint64_t> cancellations{0};
@@ -374,8 +416,16 @@ class ContainmentEngine {
   std::mutex inflight_mu_;
   std::vector<std::weak_ptr<internal::FutureState<EngineOutcome>>> inflight_;
 
+  // Persistent tier. Declared above executor_ deliberately: the executor is
+  // destroyed first and drains any queued write-behind flush task while the
+  // store is still alive; the store's own destructor then does the final
+  // flush + compaction.
+  std::unique_ptr<VerdictStore> store_;
+  Status store_status_;  // why store_ is null despite a store_path, if so
+  std::atomic<bool> store_flush_scheduled_{false};
+
   // Last member: destroyed first, so queued tasks drain while the caches,
-  // stats and symbol table above are still alive.
+  // stats, store and symbol table above are still alive.
   Executor executor_;
 };
 
