@@ -26,64 +26,10 @@
 
 namespace cqchase {
 namespace {
-
-struct Workload {
-  // unique_ptrs keep the catalog and symbol-table addresses stable across
-  // moves of the Workload itself (same device as bench_engine_cache).
-  std::unique_ptr<Catalog> catalog;
-  std::unique_ptr<SymbolTable> symbols;
-  DependencySet deps;
-  std::vector<ConjunctiveQuery> lhs;
-  std::vector<ConjunctiveQuery> rhs;
-};
-
-// Deterministic (fixed seeds): both CI invocations regenerate byte-identical
-// queries, so the warm run's canonical keys equal the cold run's — the whole
-// point of the gate.
-Workload BuildWorkload(size_t classes, size_t copies) {
-  Workload w;
-  w.symbols = std::make_unique<SymbolTable>();
-  {
-    Rng rng(11);
-    RandomCatalogParams cp;
-    cp.num_relations = 4;
-    cp.min_arity = 2;
-    cp.max_arity = 3;
-    w.catalog = std::make_unique<Catalog>(RandomCatalog(rng, cp));
-    RandomIndParams ip;
-    ip.count = 4;
-    ip.width = 1;  // W = 1: every task decides within the Lemma 5 bound
-    w.deps = RandomIndOnlyDeps(rng, *w.catalog, ip);
-  }
-  w.lhs.reserve(classes * copies);
-  w.rhs.reserve(classes * copies);
-  for (size_t c = 0; c < classes; ++c) {
-    const bool planted = (c % 2) == 1;  // exercise both verdicts via the store
-    for (size_t k = 0; k < copies; ++k) {
-      Rng rng(4000 + c);
-      RandomQueryParams qp;
-      qp.num_conjuncts = 6;
-      qp.num_vars = 7;
-      qp.name_prefix = StrCat("L", c, "v", k, "_");
-      w.lhs.push_back(RandomQuery(rng, *w.catalog, *w.symbols, qp));
-      if (planted) {
-        Result<ConjunctiveQuery> q_prime = PlantedSuperQuery(
-            rng, w.lhs.back(), w.deps, *w.symbols, /*extra_conjuncts=*/2,
-            /*chase_depth=*/2);
-        if (q_prime.ok()) {
-          w.rhs.push_back(*std::move(q_prime));
-          continue;
-        }
-      }
-      qp.num_conjuncts = 2;
-      qp.num_vars = 4;
-      qp.name_prefix = StrCat("R", c, "v", k, "_");
-      w.rhs.push_back(RandomQuery(rng, *w.catalog, *w.symbols, qp));
-    }
-  }
-  return w;
-}
-
+// Workload: bench::BuildContainmentWorkload with this bench's historical
+// seeds. Deterministic, so both CI invocations regenerate byte-identical
+// queries and the warm run's canonical keys equal the cold run's — the
+// whole point of the gate.
 }  // namespace
 }  // namespace cqchase
 
@@ -101,7 +47,9 @@ int main(int argc, char** argv) {
 
   const size_t kClasses = 10;
   const size_t kCopies = 3;
-  Workload w = BuildWorkload(kClasses, kCopies);
+  bench::ContainmentWorkload w =
+      bench::BuildContainmentWorkload(kClasses, kCopies, /*catalog_seed=*/11,
+                                      /*class_seed_base=*/4000);
   std::vector<ContainmentTask> tasks;
   tasks.reserve(w.lhs.size());
   for (size_t i = 0; i < w.lhs.size(); ++i) {

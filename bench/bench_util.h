@@ -8,11 +8,15 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/rng.h"
+#include "base/string_util.h"
 #include "engine/engine.h"
+#include "gen/generators.h"
 
 namespace cqchase::bench {
 
@@ -41,7 +45,10 @@ inline void PrintHeader(const std::string& experiment,
 //   1 — implicit (records before the field existed carry no "schema" key)
 //   2 — added the schema field itself + engine cache-capacity knobs via
 //       AppendEngineConfig + store_hits/store_writes in AppendEngineCounters
-inline constexpr int kBenchRecordSchema = 2;
+//   3 — verdict tier stack: remote_hits/remote_writes in
+//       AppendEngineCounters, per-tier hit/publish counters via
+//       AppendTierCounters, tiers_configured in AppendEngineConfig
+inline constexpr int kBenchRecordSchema = 3;
 
 // One-line machine-readable record, emitted by every bench so the perf
 // trajectory can be scraped (`grep '^{"bench"'` over the run log). Integral
@@ -94,6 +101,28 @@ inline void AppendEngineCounters(
   counters.emplace_back("store_hits", static_cast<double>(stats.store_hits));
   counters.emplace_back("store_writes",
                         static_cast<double>(stats.store_writes));
+  counters.emplace_back("remote_hits",
+                        static_cast<double>(stats.remote_hits));
+  counters.emplace_back("remote_writes",
+                        static_cast<double>(stats.remote_writes));
+}
+
+// Appends one hit/publish counter pair per active verdict tier (probe
+// order), keyed "tier<i>_<kind>_hits" / "_publishes" — e.g. "tier0_lru_hits",
+// "tier2_remote_publishes" — so trajectories show *which* layer of the
+// hierarchy absorbed a workload, not just that something did.
+inline void AppendTierCounters(
+    const std::vector<VerdictTierStats>& tiers,
+    std::vector<std::pair<std::string, double>>& counters) {
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    // "store:/path" / "remote:peer" → the kind token before the colon.
+    const std::string kind = tiers[i].name.substr(0, tiers[i].name.find(':'));
+    const std::string prefix = StrCat("tier", i, "_", kind);
+    counters.emplace_back(StrCat(prefix, "_hits"),
+                          static_cast<double>(tiers[i].hits));
+    counters.emplace_back(StrCat(prefix, "_publishes"),
+                          static_cast<double>(tiers[i].publishes));
+  }
 }
 
 // Appends the engine's cache-capacity knobs (and whether the persistent
@@ -104,17 +133,100 @@ inline void AppendEngineConfig(
     const EngineConfig& config,
     std::vector<std::pair<std::string, double>>& counters) {
   const bool caches_on = config.enable_cache;
+  // With an explicit tier stack the legacy capacity knob is inert — the
+  // LRU capacity actually in effect is the first Lru spec's; report that,
+  // or the record would label itself with a configuration it never ran.
+  size_t verdict_capacity = config.verdict_cache_capacity;
+  if (!config.tiers.empty()) {
+    verdict_capacity = 0;
+    for (const TierSpec& spec : config.tiers) {
+      if (spec.kind == TierSpec::Kind::kLru) {
+        verdict_capacity = spec.capacity;
+        break;
+      }
+    }
+  }
   counters.emplace_back(
       "verdict_cache_capacity",
-      static_cast<double>(caches_on ? config.verdict_cache_capacity : 0));
+      static_cast<double>(caches_on ? verdict_capacity : 0));
   counters.emplace_back(
       "sigma_cache_capacity",
       static_cast<double>(caches_on ? config.sigma_cache_capacity : 0));
   counters.emplace_back(
       "chase_cache_capacity",
       static_cast<double>(caches_on ? config.chase_cache_capacity : 0));
-  counters.emplace_back("store_enabled",
-                        config.store_path.empty() ? 0.0 : 1.0);
+  bool has_store_tier = !config.store_path.empty();
+  for (const TierSpec& spec : config.tiers) {
+    if (spec.kind == TierSpec::Kind::kLocalStore) has_store_tier = true;
+  }
+  counters.emplace_back("store_enabled", has_store_tier ? 1.0 : 0.0);
+  counters.emplace_back("tiers_configured",
+                        static_cast<double>(config.tiers.size()));
+}
+
+// A deterministic keyed IND-only containment workload of `classes` verdict
+// classes × `copies` isomorphic copies each (odd classes planted contained),
+// shared by the cache-tier benches (bench_store_warmstart, bench_tier_stack)
+// so their enforced gates measure the *same* workload shape and a generator
+// change cannot silently diverge them. Seeds are parameters: each bench
+// keeps its historical key space, and re-invocations of one binary
+// regenerate byte-identical queries — which is what makes "the warm/remote
+// run re-asks the same canonical keys" true.
+struct ContainmentWorkload {
+  // unique_ptrs keep the catalog and symbol-table addresses stable across
+  // moves of the workload itself.
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<SymbolTable> symbols;
+  DependencySet deps;
+  std::vector<ConjunctiveQuery> lhs;
+  std::vector<ConjunctiveQuery> rhs;
+};
+
+inline ContainmentWorkload BuildContainmentWorkload(size_t classes,
+                                                    size_t copies,
+                                                    uint32_t catalog_seed,
+                                                    uint32_t class_seed_base) {
+  ContainmentWorkload w;
+  w.symbols = std::make_unique<SymbolTable>();
+  {
+    Rng rng(catalog_seed);
+    RandomCatalogParams cp;
+    cp.num_relations = 4;
+    cp.min_arity = 2;
+    cp.max_arity = 3;
+    w.catalog = std::make_unique<Catalog>(RandomCatalog(rng, cp));
+    RandomIndParams ip;
+    ip.count = 4;
+    ip.width = 1;  // W = 1: every task decides within the Lemma 5 bound
+    w.deps = RandomIndOnlyDeps(rng, *w.catalog, ip);
+  }
+  w.lhs.reserve(classes * copies);
+  w.rhs.reserve(classes * copies);
+  for (size_t c = 0; c < classes; ++c) {
+    const bool planted = (c % 2) == 1;  // exercise both verdicts per tier
+    for (size_t k = 0; k < copies; ++k) {
+      Rng rng(class_seed_base + static_cast<uint32_t>(c));
+      RandomQueryParams qp;
+      qp.num_conjuncts = 6;
+      qp.num_vars = 7;
+      qp.name_prefix = StrCat("L", c, "v", k, "_");
+      w.lhs.push_back(RandomQuery(rng, *w.catalog, *w.symbols, qp));
+      if (planted) {
+        Result<ConjunctiveQuery> q_prime = PlantedSuperQuery(
+            rng, w.lhs.back(), w.deps, *w.symbols, /*extra_conjuncts=*/2,
+            /*chase_depth=*/2);
+        if (q_prime.ok()) {
+          w.rhs.push_back(*std::move(q_prime));
+          continue;
+        }
+      }
+      qp.num_conjuncts = 2;
+      qp.num_vars = 4;
+      qp.name_prefix = StrCat("R", c, "v", k, "_");
+      w.rhs.push_back(RandomQuery(rng, *w.catalog, *w.symbols, qp));
+    }
+  }
+  return w;
 }
 
 }  // namespace cqchase::bench

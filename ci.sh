@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Canonical CI entry point, six stages (each timed; the wall-clock table at
-# the end makes slow stages visible in logs):
+# Canonical CI entry point, seven stages (each timed; the wall-clock table
+# at the end makes slow stages visible in logs):
 #
 #  1. release-build: Release configure + build. Built -O3 explicitly (not the
 #     cmake default RelWithDebInfo fallback) because stage 3's perf gates
@@ -20,14 +20,19 @@
 #     cold run populates the store and checks verdict parity against a
 #     store-less engine, the warm run additionally exits non-zero unless it
 #     answered the whole repeated workload with zero chases built.
-#  5. asan-ubsan: AddressSanitizer + UndefinedBehaviorSanitizer over the
-#     store/serialize/engine binaries. The store parses attacker-shaped bytes
-#     off disk (and its tests feed it corrupted files), so the parsing code
-#     runs under ASan+UBSan from day one; -fno-sanitize-recover turns any UB
-#     into a non-zero exit.
-#  6. tsan: ThreadSanitizer over the concurrency-bearing binaries (sharded
+#  5. tier-gate: the distributed-tier contract in-process. bench_tier_stack
+#     runs engine A cold (publishing over the loopback RemoteTier to a shared
+#     verdict authority) and then engine B with cold local caches, which must
+#     answer the whole workload over the remote tier: exit non-zero unless
+#     chases_built == 0, remote_hits > 0, and verdicts match the oracle.
+#  6. asan-ubsan: AddressSanitizer + UndefinedBehaviorSanitizer over the
+#     store/serialize/engine/tier binaries. The store and the remote-tier
+#     protocol parse attacker-shaped bytes (and their tests feed them
+#     corrupted input), so the parsing code runs under ASan+UBSan from day
+#     one; -fno-sanitize-recover turns any UB into a non-zero exit.
+#  7. tsan: ThreadSanitizer over the concurrency-bearing binaries (sharded
 #     symbol arena, shared chase prefixes, CheckMany fan-out, executor,
-#     write-behind store flush): any data race fails CI.
+#     write-behind store/tier flush): any data race fails CI.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -70,12 +75,16 @@ warmstart_gate() {
   ./build/bench_store_warmstart "${dir}" --warm   # warm: zero chases or fail
 }
 
+tier_gate() {
+  ./build/bench_tier_stack   # engine B over loopback: zero chases or fail
+}
+
 # Per-config-flags pattern shared by both sanitizer stages: Debug, not
 # RelWithDebInfo, because per-config flags append *after* CMAKE_CXX_FLAGS and
 # RelWithDebInfo's "-O2 -DNDEBUG" would override -O1 and compile out the
 # asserts guarding the arena — the exact checks these stages exist to keep
 # hot.
-ASAN_TESTS=(serialize_test store_test engine_test engine_cache_test
+ASAN_TESTS=(serialize_test store_test tier_test engine_test engine_cache_test
             engine_dispatch_test)
 asan_ubsan() {
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
@@ -90,7 +99,7 @@ asan_ubsan() {
 
 TSAN_TESTS=(symbol_table_test chase_test engine_test engine_cache_test
             engine_dispatch_test engine_concurrency_test executor_test
-            engine_submit_test store_test)
+            engine_submit_test store_test tier_test)
 tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
@@ -106,6 +115,7 @@ stage release-build   release_build
 stage ctest           run_ctest
 stage perf-gates      perf_gates
 stage warmstart-gate  warmstart_gate
+stage tier-gate       tier_gate
 stage asan-ubsan      asan_ubsan
 stage tsan            tsan
 

@@ -96,8 +96,10 @@ StoredVerdict ToStoredVerdict(const EngineOutcome& outcome) {
   return stored;
 }
 
-// Inverse of ToStoredVerdict. Enum bytes were range-validated at decode
-// time (serialize.cc), so the casts are safe here.
+// Inverse of ToStoredVerdict. Enum bytes from untrusted sources were
+// range-validated at decode time (serialize.cc), so the casts are safe
+// here. The caller sets the cache_hit/store_hit/remote_hit provenance flags
+// — this conversion serves every tier of the stack, including the LRU.
 EngineVerdict FromStoredVerdict(const StoredVerdict& stored) {
   EngineVerdict verdict;
   verdict.report.contained = stored.contained;
@@ -109,9 +111,20 @@ EngineVerdict FromStoredVerdict(const StoredVerdict& stored) {
       static_cast<ChaseOutcome>(stored.chase_outcome);
   verdict.sigma_class = static_cast<SigmaClass>(stored.sigma_class);
   verdict.strategy = static_cast<DecisionStrategy>(stored.strategy);
-  verdict.cache_hit = true;
-  verdict.store_hit = true;
   return verdict;
+}
+
+// The tier specs the engine actually assembles: the explicit stack, with
+// the legacy knobs expanded — an empty `tiers` means the classic in-memory
+// LRU, and a non-empty `store_path` appends one local-store tier (the
+// back-compat shim for the pre-stack config surface).
+std::vector<TierSpec> EffectiveTierSpecs(const EngineConfig& config) {
+  std::vector<TierSpec> specs = config.tiers;
+  if (specs.empty()) specs.push_back(TierSpec::Lru(config.verdict_cache_capacity));
+  if (!config.store_path.empty()) {
+    specs.push_back(TierSpec::LocalStore(config.store_path));
+  }
+  return specs;
 }
 
 // A summary DV must keep occurring in the body; removing the only conjunct
@@ -141,28 +154,41 @@ ContainmentEngine::ContainmentEngine(const Catalog* catalog,
     : catalog_(catalog),
       symbols_(symbols),
       config_(std::move(config)),
-      verdict_cache_(config_.verdict_cache_capacity),
       sigma_cache_(config_.sigma_cache_capacity),
       chase_cache_(config_.chase_cache_capacity),
       executor_(ExecutorWidth(config_)) {
-  if (!config_.store_path.empty() && !config_.enable_cache) {
-    // The store is tier 2 of the memoization layer; with enable_cache off
-    // no canonical keys are ever computed, so an opened store would sit
-    // dead (never probed, never written) while silently looking healthy.
-    // Refuse loudly instead.
-    store_status_ = Status::FailedPrecondition(
-        "store_path requires enable_cache: the persistent tier serves the "
-        "canonical-key lookups that enable_cache = false turns off");
-  } else if (!config_.store_path.empty()) {
-    Result<std::unique_ptr<VerdictStore>> opened =
-        VerdictStore::Open(config_.store_path);
-    if (opened.ok()) {
-      store_ = *std::move(opened);
-    } else {
-      // A store that cannot open (filesystem trouble — corruption is
-      // handled by quarantine inside Open) must not take the engine down:
-      // run without the tier and let store_status() report why.
-      store_status_ = opened.status();
+  const bool wants_tiers =
+      !config_.store_path.empty() || !config_.tiers.empty();
+  if (!config_.enable_cache) {
+    if (wants_tiers) {
+      // The tier stack rides the memoization layer; with enable_cache off
+      // no canonical keys are ever computed, so an assembled stack would
+      // sit dead (never probed, never written) while silently looking
+      // healthy. Refuse loudly instead.
+      store_status_ = Status::FailedPrecondition(
+          "tiers/store_path require enable_cache: the verdict tiers serve "
+          "the canonical-key lookups that enable_cache = false turns off");
+    }
+    return;
+  }
+  Result<std::unique_ptr<TierStack>> assembled =
+      TierStack::Assemble(EffectiveTierSpecs(config_));
+  if (!assembled.ok()) {
+    // A kRefuse spec tripped: the caller asked for loud failure, and gets
+    // it — but a broken cache hierarchy must not take the engine down, so
+    // serve with no verdict tiers at all (Σ/chase caches still work) and
+    // let store_status() carry the reason.
+    store_status_ = assembled.status();
+    return;
+  }
+  tiers_ = *std::move(assembled);
+  // Back-compat surface: a local-store tier that was quarantined (open
+  // failure, fingerprint drift) reports its reason through store_status(),
+  // exactly as the pre-stack engine did.
+  for (const TierStack::TierDescriptor& desc : tiers_->descriptors()) {
+    if (desc.kind == TierSpec::Kind::kLocalStore && !desc.active) {
+      store_status_ = desc.status;
+      break;
     }
   }
 }
@@ -235,6 +261,18 @@ EngineFuture<EngineOutcome> ContainmentEngine::Submit(
     inflight_.push_back(state);
   }
   Bump(stats_.submits);
+  Executor::TaskOptions task_options;
+  task_options.high_priority = high_priority;
+  // Shed-at-dequeue: a request whose whole budget elapsed in the queue is
+  // completed kDeadlineExceeded by the executor itself instead of occupying
+  // a worker slot to discover the same thing at Execute's first control
+  // poll (under overload, expired backlog must not starve live requests).
+  task_options.deadline = state->control.deadline;
+  task_options.on_expired = [this, state] {
+    Bump(stats_.deadline_expirations);
+    state->Set(Status::DeadlineExceeded(
+        "request deadline exceeded while queued (shed at dequeue)"));
+  };
   executor_.Submit(
       [this, state, shared_request] {
         if (shared_request->q == nullptr ||
@@ -258,7 +296,7 @@ EngineFuture<EngineOutcome> ContainmentEngine::Submit(
         }
         state->Set(std::move(result));
       },
-      high_priority);
+      std::move(task_options));
   return EngineFuture<EngineOutcome>(std::move(state));
 }
 
@@ -327,8 +365,8 @@ Result<EngineOutcome> ContainmentEngine::Execute(
   const bool foreign_catalog = &q.catalog() != catalog_;
   const SigmaAnalysis analysis =
       foreign_catalog ? AnalyzeSigma(deps, q.catalog()) : Analyze(deps);
-  const bool cacheable = config_.enable_cache && !foreign_catalog &&
-                         &q_prime.catalog() == catalog_;
+  const bool cacheable = config_.enable_cache && tiers_ != nullptr &&
+                         !foreign_catalog && &q_prime.catalog() == catalog_;
 
   ExecContext ctx;
   ctx.options = &options;
@@ -345,87 +383,67 @@ Result<EngineOutcome> ContainmentEngine::Execute(
 
   const std::string key =
       CanonicalTaskKey(q, q_prime, deps, config_.containment.variant);
-  // A certificate request skips the verdict-cache *read*: a cached verdict
+  // A certificate request skips the verdict-tier *reads*: a cached verdict
   // dropped its chase derivation, so there is nothing to extract a proof
-  // from. It still writes its verdict below for later certificate-free
+  // from. It still publishes its verdict below for later certificate-free
   // askers.
   if (!options.want_certificate) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (const CachedVerdict* hit = verdict_cache_.Get(key)) {
-        Bump(stats_.cache_hits);
-        outcome.verdict.report = hit->report;
-        outcome.verdict.sigma_class = hit->sigma_class;
-        outcome.verdict.strategy = hit->strategy;
-        outcome.verdict.cache_hit = true;
-        return outcome;
+    // Probe the tier stack cheapest-first; a hit at any tier below the LRU
+    // bypasses the chase entirely, and the stack promotes it into every
+    // cheaper tier so the next re-ask stops earlier.
+    if (std::optional<TierStack::LookupResult> hit = tiers_->Lookup(key)) {
+      outcome.verdict = FromStoredVerdict(hit->verdict);
+      outcome.verdict.cache_hit = true;
+      switch (hit->kind) {
+        case TierSpec::Kind::kLru:
+          Bump(stats_.cache_hits);
+          break;
+        case TierSpec::Kind::kLocalStore:
+          // The in-memory tier did miss before this tier answered; count
+          // that miss so hit rates read the same as the pre-stack engine.
+          Bump(stats_.cache_misses);
+          outcome.verdict.store_hit = true;
+          break;
+        case TierSpec::Kind::kRemote:
+          Bump(stats_.cache_misses);
+          outcome.verdict.remote_hit = true;
+          break;
       }
-      Bump(stats_.cache_misses);
+      // A promotion into a durable tier buffered bytes; make them move.
+      if (hit->buffered_writes) ScheduleTierFlush();
+      return outcome;
     }
-    // Tier 2: the persistent store. Probed off mu_ (the store has its own
-    // lock); a hit bypasses the chase entirely and is promoted into the
-    // in-memory LRU so the next re-ask stops here.
-    if (store_ != nullptr) {
-      if (std::optional<StoredVerdict> stored = store_->Lookup(key)) {
-        Bump(stats_.store_hits);
-        outcome.verdict = FromStoredVerdict(*stored);
-        CachedVerdict promoted;
-        promoted.report = outcome.verdict.report;
-        promoted.sigma_class = outcome.verdict.sigma_class;
-        promoted.strategy = outcome.verdict.strategy;
-        std::lock_guard<std::mutex> lock(mu_);
-        verdict_cache_.Put(key, std::move(promoted));
-        return outcome;
-      }
-    }
+    Bump(stats_.cache_misses);
   }
 
   CQCHASE_ASSIGN_OR_RETURN(outcome.verdict,
                            DecideUncached(q, q_prime, deps, analysis, ctx));
 
-  CachedVerdict cached;
-  cached.report = outcome.verdict.report;
-  // The witness homomorphism references this computation's chase facts and
-  // the asker's terms; for a future (possibly merely isomorphic) asker it
-  // would be meaningless, so only the verdict and its statistics are kept.
-  cached.report.witness.reset();
-  cached.sigma_class = outcome.verdict.sigma_class;
-  cached.strategy = outcome.verdict.strategy;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    verdict_cache_.Put(key, std::move(cached));
-  }
-  if (store_ != nullptr) {
-    // Write-behind: the insert lands in the store's memory immediately (a
-    // restart-free Lookup already sees it); durability happens on a pool
-    // worker, never on this decision path. Certificate requests skip the
-    // cache *reads*, so they use PutIfAbsent — a plain Put would re-append
-    // an identical log frame on every repeat; everyone else reached here
-    // through a store miss, making the entry new by construction.
-    const bool wrote =
-        options.want_certificate
-            ? store_->PutIfAbsent(key, ToStoredVerdict(outcome))
-            : (store_->Put(key, ToStoredVerdict(outcome)), true);
-    if (wrote) {
-      Bump(stats_.store_writes);
-      ScheduleStoreFlush();
-    }
-  }
+  // Fan the fresh verdict out to every write-through tier. The in-memory
+  // tier serves it immediately; durable/remote tiers buffer (each Publish
+  // is insert-if-absent, so certificate re-decides of an already-stored
+  // key append nothing) and the executor flush makes the bytes move —
+  // write-behind, never on this decision path. The witness homomorphism
+  // references this computation's chase facts and the asker's terms, so
+  // only the verdict and its statistics travel (ToStoredVerdict drops it).
+  TierStack::PublishReceipt receipt =
+      tiers_->Publish(key, ToStoredVerdict(outcome));
+  if (receipt.buffered_writes) ScheduleTierFlush();
   return outcome;
 }
 
-void ContainmentEngine::ScheduleStoreFlush() {
+void ContainmentEngine::ScheduleTierFlush() {
   // One flush task in the queue at a time. The task clears the flag
-  // *before* flushing, so a Put that races past the clear schedules a new
-  // task while one submitted earlier still covers everything before it.
-  if (store_flush_scheduled_.exchange(true, std::memory_order_acq_rel)) {
+  // *before* flushing, so a publish that races past the clear schedules a
+  // new task while one submitted earlier still covers everything before it.
+  if (tier_flush_scheduled_.exchange(true, std::memory_order_acq_rel)) {
     return;
   }
   executor_.Submit([this] {
-    store_flush_scheduled_.store(false, std::memory_order_release);
-    // Failures requeue the batch inside the store and count in its
-    // write_errors; the engine keeps serving from memory either way.
-    store_->Flush();
+    tier_flush_scheduled_.store(false, std::memory_order_release);
+    // Failures requeue inside each tier and count in its flush_failures;
+    // the engine keeps serving from memory either way.
+    tiers_->Flush();
   });
 }
 
@@ -912,8 +930,23 @@ EngineStats ContainmentEngine::stats() const {
   out.chase_prefix_reuses =
       stats_.chase_prefix_reuses.load(std::memory_order_relaxed);
   out.chases_built = stats_.chases_built.load(std::memory_order_relaxed);
-  out.store_hits = stats_.store_hits.load(std::memory_order_relaxed);
-  out.store_writes = stats_.store_writes.load(std::memory_order_relaxed);
+  // Store/remote rollups are sums over the stack's per-tier counters —
+  // the tiers are the source of truth for what they served and accepted.
+  if (tiers_ != nullptr) {
+    const std::vector<VerdictTierStats> tier_rows = tiers_->Stats();
+    size_t row = 0;
+    for (const TierStack::TierDescriptor& desc : tiers_->descriptors()) {
+      if (!desc.active) continue;
+      const VerdictTierStats& tier = tier_rows[row++];
+      if (desc.kind == TierSpec::Kind::kLocalStore) {
+        out.store_hits += tier.hits;
+        out.store_writes += tier.publishes;
+      } else if (desc.kind == TierSpec::Kind::kRemote) {
+        out.remote_hits += tier.hits;
+        out.remote_writes += tier.publishes;
+      }
+    }
+  }
   out.submits = stats_.submits.load(std::memory_order_relaxed);
   out.deadline_expirations =
       stats_.deadline_expirations.load(std::memory_order_relaxed);
@@ -932,14 +965,32 @@ EngineStats ContainmentEngine::stats() const {
 }
 
 ContainmentEngine::CacheSizes ContainmentEngine::cache_sizes() const {
+  CacheSizes sizes;
+  sizes.verdict_entries = tiers_ != nullptr ? tiers_->lru_entries() : 0;
   std::lock_guard<std::mutex> lock(mu_);
-  return CacheSizes{verdict_cache_.size(), sigma_cache_.size(),
-                    chase_cache_.size()};
+  sizes.sigma_entries = sigma_cache_.size();
+  sizes.chase_entries = chase_cache_.size();
+  return sizes;
+}
+
+std::vector<VerdictTierStats> ContainmentEngine::tier_stats() const {
+  if (tiers_ == nullptr) return {};
+  return tiers_->Stats();
+}
+
+std::vector<TierStack::TierDescriptor> ContainmentEngine::tier_descriptors()
+    const {
+  if (tiers_ == nullptr) return {};
+  return tiers_->descriptors();
+}
+
+const VerdictStore* ContainmentEngine::store() const {
+  return tiers_ != nullptr ? tiers_->local_store() : nullptr;
 }
 
 void ContainmentEngine::ClearCaches() {
+  if (tiers_ != nullptr) tiers_->Clear();
   std::lock_guard<std::mutex> lock(mu_);
-  verdict_cache_.Clear();
   chase_cache_.Clear();
   sigma_cache_.Clear();
 }

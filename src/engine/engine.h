@@ -24,11 +24,18 @@
 //     Minimization's candidate-side probes are tagged non-prefix-cacheable
 //     (their exact keys never repeat, so caching them would only pin dead
 //     chases until eviction).
-//     When EngineConfig::store_path is set, a persistent verdict store
-//     (engine/store.h) sits behind the in-memory LRU as a second tier:
-//     verdicts survive process restarts, a store hit bypasses the chase
-//     entirely, and new verdicts reach disk through a write-behind log
-//     flushed on the executor — the hot path never waits on I/O.
+//     The verdict side of this layer is a composable *tier stack*
+//     (engine/tier.h): EngineConfig::tiers declares a hierarchy of
+//     VerdictTier backends probed cheapest-first — by default just the
+//     in-memory LRU; optionally a persistent VerdictStore (engine/store.h)
+//     behind it, a RemoteTier sharing a verdict authority with other
+//     engines (engine/remote_tier.h), or any backend implementing the
+//     interface. A miss at tier N falls through to N+1; a hit is promoted
+//     into every cheaper tier; a hit at any non-LRU tier bypasses the chase
+//     entirely; new verdicts fan out to every write-through tier and reach
+//     disk/network through write-behind flushes on the executor — the hot
+//     path never waits on I/O. EngineConfig::store_path survives as a shim
+//     that expands to one local-store tier.
 //  3. Async request execution (engine/request.h + engine/executor.h):
 //     Submit(ContainmentRequest) -> EngineFuture<EngineOutcome> runs every
 //     request on a persistent work-stealing thread pool shared across calls.
@@ -73,6 +80,7 @@
 #include "engine/request.h"
 #include "engine/sigma_class.h"
 #include "engine/store.h"
+#include "engine/tier.h"
 #include "finite/finite_containment.h"
 
 namespace cqchase {
@@ -92,17 +100,34 @@ struct EngineConfig {
   size_t sigma_cache_capacity = 1 << 12;    // Σ classifications
   size_t chase_cache_capacity = 32;         // shared chase prefixes retained
 
-  // Layer 2.5: persistent verdict tier (engine/store.h). Empty = disabled —
-  // zero behavior change for existing callers. Non-empty = a directory the
-  // engine opens at construction: verdicts decided in any earlier process
-  // are served from the store without building a chase (probe order is
-  // in-memory LRU → store → decide; store hits are promoted into the LRU),
-  // and newly decided verdicts are appended through a write-behind log
-  // flushed off the hot path by the executor. A store that fails its
-  // version/fingerprint/checksum guards is quarantined and rebuilt, never
-  // trusted (see store_status()). The tier rides the memoization layer, so
-  // it requires enable_cache (store_status() reports kFailedPrecondition
-  // otherwise); a store directory has exactly one owner at a time (flock).
+  // Layer 2.5: the verdict tier stack (engine/tier.h), probed in order on
+  // every cacheable check — miss at tier N falls through to N+1, a hit is
+  // promoted into every cheaper tier, new verdicts fan out to every
+  // write-through tier and are flushed write-behind on the executor.
+  //
+  // Empty (the default) assembles the classic single in-memory LRU of
+  // verdict_cache_capacity entries — zero behavior change — plus, when
+  // store_path below is set, one local-store tier behind it. A non-empty
+  // vector is taken verbatim (store_path, if also set, appends one
+  // local-store tier at the end; order the stack yourself with
+  // TierSpec::LocalStore to put it elsewhere):
+  //
+  //   config.tiers = {TierSpec::Lru(1 << 16),
+  //                   TierSpec::LocalStore("/var/cq/verdicts"),
+  //                   TierSpec::Remote(transport)};
+  //
+  // Every tier's schema fingerprint is checked at assembly; a mismatched or
+  // unconstructible tier is refused or quarantined per its
+  // TierSpec::on_mismatch (see tier_descriptors()). The stack rides the
+  // memoization layer, so it requires enable_cache (store_status() reports
+  // kFailedPrecondition otherwise).
+  std::vector<TierSpec> tiers;
+
+  // Back-compat shim for the pre-stack config surface: a non-empty path
+  // expands to one TierSpec::LocalStore(store_path) tier — verdicts survive
+  // process restarts, a store hit bypasses the chase, quarantine-and-
+  // rebuild on any format guard failure (see store_status()); a store
+  // directory has exactly one owner at a time (flock).
   std::string store_path;
 
   // Layer 1: route IND-only single-conjunct tasks to the PSPACE streaming
@@ -141,11 +166,15 @@ struct EngineStats {
   uint64_t cache_misses = 0;
   uint64_t chase_prefix_reuses = 0;
   uint64_t chases_built = 0;
-  // Persistent tier: verdicts served from / appended to the store. A
-  // store_hit is counted on top of the cache_miss that preceded it (the
-  // in-memory tier did miss); store-served decisions build no chase.
+  // Tier stack: verdicts served from / published to the non-LRU tiers,
+  // split by backend kind (derived from the per-tier counters — see
+  // tier_stats() for the full per-tier breakdown). A store/remote hit is
+  // counted on top of the cache_miss that preceded it (the in-memory tier
+  // did miss); tier-served decisions build no chase.
   uint64_t store_hits = 0;
   uint64_t store_writes = 0;
+  uint64_t remote_hits = 0;
+  uint64_t remote_writes = 0;
   // Async surface.
   uint64_t submits = 0;
   uint64_t deadline_expirations = 0;
@@ -283,6 +312,7 @@ class ContainmentEngine {
 
   // Current entry counts of the three caches (gauges, not counters) —
   // introspection for capacity/eviction tests and ops dashboards.
+  // verdict_entries reads the first LRU tier of the stack.
   struct CacheSizes {
     size_t verdict_entries = 0;
     size_t sigma_entries = 0;
@@ -292,25 +322,29 @@ class ContainmentEngine {
 
   const EngineConfig& config() const { return config_; }
 
-  // The persistent tier, or nullptr when store_path was empty or the open
-  // failed (store_status() then says why; the engine still serves — a
-  // broken cache tier degrades to a cold one, it never takes the service
-  // down with it).
-  const VerdictStore* store() const { return store_.get(); }
+  // --- tier-stack introspection ---
+  // Per-tier hit/publish counters (one row per active tier, probe order)
+  // and the assembly outcome of every configured tier — a quarantined tier
+  // shows up here inactive with its reason, never silently absent.
+  std::vector<VerdictTierStats> tier_stats() const;
+  std::vector<TierStack::TierDescriptor> tier_descriptors() const;
+
+  // Back-compat accessors for the store_path era: the first local-store
+  // tier's VerdictStore, or nullptr when the stack has none — because none
+  // was configured, or because its open failed / it was quarantined
+  // (store_status() then says why; the engine still serves — a broken
+  // cache tier degrades to a cold one, it never takes the service down
+  // with it).
+  const VerdictStore* store() const;
   const Status& store_status() const { return store_status_; }
 
-  // Drops the in-memory caches only; the persistent store keeps its
-  // entries (its contents are valid forever by construction — see
+  // Drops volatile cache state only (the LRU tiers, a remote tier's
+  // negative entries, Σ/chase caches); durable tiers keep their entries
+  // (their contents are valid forever by construction — see
   // engine/store.h).
   void ClearCaches();
 
  private:
-  struct CachedVerdict {
-    ContainmentReport report;  // witness dropped; see Execute
-    SigmaClass sigma_class;
-    DecisionStrategy strategy;
-  };
-
   // A shared, resumable chase prefix. The engine hands out shared_ptrs: the
   // LRU map holds one reference and every in-flight asker holds another, so
   // eviction under load never destroys a chase mid-use — the last asker
@@ -376,10 +410,11 @@ class ContainmentEngine {
                                      const DependencySet& deps,
                                      bool cache_chase_prefix);
 
-  // Write-behind: schedules one store flush on the executor unless one is
-  // already queued. The decision path appends to the store's in-memory
-  // pending buffer and returns; the disk write happens on a pool worker.
-  void ScheduleStoreFlush();
+  // Write-behind: schedules one tier-stack flush on the executor unless one
+  // is already queued. The decision path buffers into the tiers' in-memory
+  // pending state and returns; the disk/network write happens on a pool
+  // worker.
+  void ScheduleTierFlush();
 
   const Catalog* catalog_;
   SymbolTable* symbols_;
@@ -393,8 +428,8 @@ class ContainmentEngine {
     std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> chase_prefix_reuses{0};
     std::atomic<uint64_t> chases_built{0};
-    std::atomic<uint64_t> store_hits{0};
-    std::atomic<uint64_t> store_writes{0};
+    // store/remote hit+write counts live in the tiers themselves
+    // (tier_stats()); stats() derives the EngineStats rollups from there.
     std::atomic<uint64_t> submits{0};
     std::atomic<uint64_t> deadline_expirations{0};
     std::atomic<uint64_t> cancellations{0};
@@ -403,8 +438,8 @@ class ContainmentEngine {
   };
   AtomicStats stats_;
 
-  mutable std::mutex mu_;  // guards the three caches below
-  LruCache<CachedVerdict> verdict_cache_;
+  mutable std::mutex mu_;  // guards the two caches below (the verdict tiers
+                           // synchronize themselves)
   LruCache<SigmaAnalysis> sigma_cache_;
   LruCache<std::shared_ptr<SharedChase>> chase_cache_;
 
@@ -416,13 +451,13 @@ class ContainmentEngine {
   std::mutex inflight_mu_;
   std::vector<std::weak_ptr<internal::FutureState<EngineOutcome>>> inflight_;
 
-  // Persistent tier. Declared above executor_ deliberately: the executor is
-  // destroyed first and drains any queued write-behind flush task while the
-  // store is still alive; the store's own destructor then does the final
-  // flush + compaction.
-  std::unique_ptr<VerdictStore> store_;
-  Status store_status_;  // why store_ is null despite a store_path, if so
-  std::atomic<bool> store_flush_scheduled_{false};
+  // The verdict tier stack. Declared above executor_ deliberately: the
+  // executor is destroyed first and drains any queued write-behind flush
+  // task while the tiers are still alive; each tier's own destructor then
+  // does its final flush (+ compaction for the local store).
+  std::unique_ptr<TierStack> tiers_;
+  Status store_status_;  // why the stack (or its store tier) is degraded
+  std::atomic<bool> tier_flush_scheduled_{false};
 
   // Last member: destroyed first, so queued tasks drain while the caches,
   // stats, store and symbol table above are still alive.

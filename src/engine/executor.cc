@@ -38,15 +38,25 @@ void Executor::EnsureStarted() {
 }
 
 void Executor::Submit(std::function<void()> task, bool high_priority) {
+  TaskOptions options;
+  options.high_priority = high_priority;
+  Submit(std::move(task), std::move(options));
+}
+
+void Executor::Submit(std::function<void()> task, TaskOptions options) {
   EnsureStarted();
+  Task item;
+  item.run = std::move(task);
+  item.deadline = options.deadline;
+  item.on_expired = std::move(options.on_expired);
   const size_t target =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
-    if (high_priority) {
-      queues_[target]->tasks.push_front(std::move(task));
+    if (options.high_priority) {
+      queues_[target]->tasks.push_front(std::move(item));
     } else {
-      queues_[target]->tasks.push_back(std::move(task));
+      queues_[target]->tasks.push_back(std::move(item));
     }
     // Inside the deque lock: a popper acquires this same lock before its
     // fetch_sub, so pending_ can never be decremented for a task whose
@@ -63,7 +73,7 @@ void Executor::Submit(std::function<void()> task, bool high_priority) {
   cv_.notify_one();
 }
 
-bool Executor::TryPop(size_t self, std::function<void()>& out) {
+bool Executor::TryPop(size_t self, Task& out) {
   {
     std::lock_guard<std::mutex> lock(queues_[self]->mu);
     if (!queues_[self]->tasks.empty()) {
@@ -90,12 +100,22 @@ bool Executor::TryPop(size_t self, std::function<void()>& out) {
 }
 
 void Executor::WorkerLoop(size_t self) {
-  std::function<void()> task;
+  Task task;
   while (true) {
     if (TryPop(self, task)) {
-      task();
-      task = nullptr;  // release captures before sleeping
-      executed_.fetch_add(1, std::memory_order_relaxed);
+      // Shed-at-dequeue: a task that spent its whole deadline in the queue
+      // is already kDeadlineExceeded — complete it through its (cheap)
+      // expiration handler instead of letting a corpse occupy this worker
+      // slot until its first control poll says the obvious.
+      if (task.deadline.has_value() && task.on_expired &&
+          std::chrono::steady_clock::now() >= *task.deadline) {
+        task.on_expired();
+        shed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        task.run();
+        executed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      task = Task{};  // release captures before sleeping
       continue;
     }
     std::unique_lock<std::mutex> lock(mu_);
@@ -113,6 +133,7 @@ Executor::StatsSnapshot Executor::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.executed = executed_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   s.queue_depth = pending_.load(std::memory_order_relaxed);
   s.workers = queues_.size();
   {

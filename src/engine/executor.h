@@ -17,6 +17,11 @@
 //   * high-priority submissions jump to the front of their deque (LIFO), so
 //     a latency-sensitive request overtakes queued work without a separate
 //     priority queue.
+//   * deadline shedding at dequeue: a task submitted with a deadline and an
+//     on_expired handler that is popped after its deadline passed runs the
+//     handler instead of the body — expired work is completed (the handler
+//     resolves its future kDeadlineExceeded) without ever occupying a
+//     worker slot for the body's sake.
 //   * destruction drains: remaining queued tasks run to completion before
 //     the workers join, so a future handed out for a queued task always
 //     completes (tasks observe cancellation/deadlines through their own
@@ -34,13 +39,16 @@
 #define CQCHASE_ENGINE_EXECUTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace cqchase {
@@ -61,6 +69,26 @@ class Executor {
   // before that deque's queued normal-priority work.
   void Submit(std::function<void()> task, bool high_priority = false);
 
+  // Scheduling policy for one task beyond the priority bit.
+  struct TaskOptions {
+    bool high_priority = false;
+    // When set *with* on_expired: a task still queued past this instant is
+    // shed at dequeue — the worker runs the (cheap) on_expired handler
+    // instead of the task body, so an already-dead request never occupies a
+    // worker slot just to notice its deadline at the first control poll.
+    // Under overload this is the difference between workers chewing through
+    // a backlog of corpses and workers reaching the requests that can still
+    // make their deadlines.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    // Completion path for a shed task (resolve the future, count the
+    // expiration). Without it the task always runs — the executor never
+    // silently drops work someone holds a future for.
+    std::function<void()> on_expired;
+  };
+
+  // Enqueues `task` with scheduling options (see TaskOptions).
+  void Submit(std::function<void()> task, TaskOptions options);
+
   size_t num_workers() const { return queues_.size(); }
 
   // Monotone counters plus two gauges (queue_depth, started). `steals` is
@@ -70,6 +98,7 @@ class Executor {
     uint64_t submitted = 0;
     uint64_t executed = 0;
     uint64_t steals = 0;
+    uint64_t shed = 0;         // dequeued past their deadline; on_expired ran
     uint64_t queue_depth = 0;  // queued, not yet started (gauge)
     uint64_t workers = 0;
     bool started = false;
@@ -77,18 +106,25 @@ class Executor {
   StatsSnapshot stats() const;
 
  private:
+  // One queued task: the body plus the shed-at-dequeue policy.
+  struct Task {
+    std::function<void()> run;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::function<void()> on_expired;
+  };
+
   // Cache-line-ish isolation is not worth the complexity here (tasks are
   // milliseconds, not nanoseconds); a plain mutex per deque suffices.
   struct WorkerQueue {
     std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task> tasks;
   };
 
   void EnsureStarted();
   void WorkerLoop(size_t self);
   // Own deque front first, then other deques' backs (round-robin from
   // self+1). Decrements pending_ on success.
-  bool TryPop(size_t self, std::function<void()>& out);
+  bool TryPop(size_t self, Task& out);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
 
@@ -104,6 +140,7 @@ class Executor {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> shed_{0};
 };
 
 }  // namespace cqchase

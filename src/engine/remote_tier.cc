@@ -1,0 +1,397 @@
+#include "engine/remote_tier.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+namespace {
+
+// Frames one payload as a complete protocol message.
+std::string Frame(const std::string& payload) {
+  std::string out;
+  wire::PutFramed(out, payload);
+  return out;
+}
+
+// Unframes one message; the protocol is one frame per message, so trailing
+// bytes mean a confused peer and the message is rejected wholesale.
+Status Unframe(const std::string& message, std::string* payload) {
+  wire::ByteReader reader(message);
+  CQCHASE_RETURN_IF_ERROR(wire::ReadFramed(reader, payload));
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after protocol message");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- VerdictAuthority --------------------------------------------------------
+
+VerdictAuthority::Options::Options() : fingerprint(StoreSchemaFingerprint()) {}
+
+VerdictAuthority::VerdictAuthority(Options options)
+    : options_(std::move(options)) {}
+
+Status VerdictAuthority::Handle(const std::string& request,
+                                std::string* response) {
+  std::string payload;
+  CQCHASE_RETURN_IF_ERROR(Unframe(request, &payload));
+  wire::ByteReader reader(payload);
+  uint8_t op = 0;
+  if (!reader.ReadU8(&op)) {
+    return Status::InvalidArgument("empty protocol message");
+  }
+  std::string reply;
+  switch (op) {
+    case kTierOpHello: {
+      uint32_t version = 0;
+      if (!reader.ReadU32(&version) || reader.remaining() != 0) {
+        return Status::InvalidArgument("malformed hello");
+      }
+      // Always answer with our identity, even to a version we do not speak:
+      // the client needs the numbers to report a useful mismatch.
+      wire::PutU8(reply, kTierOpHello);
+      wire::PutU32(reply, kTierProtocolVersion);
+      wire::PutU64(reply, options_.fingerprint);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hellos;
+      break;
+    }
+    case kTierOpFetch: {
+      std::string key;
+      if (!reader.ReadString(&key) || reader.remaining() != 0) {
+        return Status::InvalidArgument("malformed fetch");
+      }
+      wire::PutU8(reply, kTierOpFetch);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fetches;
+      auto it = map_.find(key);
+      if (it == map_.end()) {
+        wire::PutU8(reply, 0);
+      } else {
+        ++stats_.fetch_hits;
+        wire::PutU8(reply, 1);
+        EncodeVerdictEntry(it->first, it->second, reply);
+      }
+      break;
+    }
+    case kTierOpPublish: {
+      uint32_t count = 0;
+      if (!reader.ReadU32(&count)) {
+        return Status::InvalidArgument("malformed publish");
+      }
+      // Decode the whole batch before touching the map: a frame that turns
+      // out malformed at entry N must not have half-applied entries 1..N-1
+      // (the client treats the error as "nothing landed" and requeues the
+      // batch — the authority's state and stats must agree with that).
+      // The count is peer data: bound the reserve by what the payload could
+      // possibly hold (an entry is at least 37 bytes — same guard as the
+      // snapshot loader) so a hostile count cannot become an allocation
+      // blow-up; a lying count then simply fails the decode loop.
+      std::vector<std::pair<std::string, StoredVerdict>> batch;
+      batch.reserve(std::min<size_t>(count, reader.remaining() / 37));
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string key;
+        StoredVerdict verdict;
+        CQCHASE_RETURN_IF_ERROR(DecodeVerdictEntry(reader, &key, &verdict));
+        batch.emplace_back(std::move(key), verdict);
+      }
+      if (reader.remaining() != 0) {
+        return Status::InvalidArgument("trailing bytes after publish batch");
+      }
+      uint64_t accepted = 0;
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [key, verdict] : batch) {
+        ++stats_.publishes;
+        if (options_.max_entries > 0 && map_.size() >= options_.max_entries &&
+            map_.find(key) == map_.end()) {
+          continue;  // refused at the cap; the accepted count tells the peer
+        }
+        if (map_.emplace(std::move(key), verdict).second) ++accepted;
+      }
+      stats_.publishes_accepted += accepted;
+      wire::PutU8(reply, kTierOpPublish);
+      wire::PutU64(reply, accepted);
+      break;
+    }
+    default:
+      return Status::InvalidArgument(
+          StrCat("unknown protocol opcode ", int{op}));
+  }
+  *response = Frame(reply);
+  return Status::OK();
+}
+
+void VerdictAuthority::Put(const std::string& key,
+                           const StoredVerdict& verdict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = verdict;
+}
+
+std::optional<StoredVerdict> VerdictAuthority::Lookup(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t VerdictAuthority::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+VerdictAuthority::Stats VerdictAuthority::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// --- RemoteTier --------------------------------------------------------------
+
+RemoteTier::RemoteTier(std::shared_ptr<VerdictTransport> transport,
+                       RemoteTierOptions options, uint64_t peer_fingerprint)
+    : transport_(std::move(transport)),
+      options_(options),
+      peer_fingerprint_(peer_fingerprint),
+      name_(StrCat("remote:", std::string(transport_->Peer()))) {
+  stats_.name = name_;
+}
+
+Result<std::unique_ptr<RemoteTier>> RemoteTier::Connect(
+    std::shared_ptr<VerdictTransport> transport, RemoteTierOptions options) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("RemoteTier::Connect: null transport");
+  }
+  std::string hello;
+  wire::PutU8(hello, kTierOpHello);
+  wire::PutU32(hello, kTierProtocolVersion);
+  std::string response;
+  CQCHASE_RETURN_IF_ERROR(transport->RoundTrip(Frame(hello), &response));
+  std::string payload;
+  CQCHASE_RETURN_IF_ERROR(Unframe(response, &payload));
+  wire::ByteReader reader(payload);
+  uint8_t op = 0;
+  uint32_t peer_version = 0;
+  uint64_t peer_fingerprint = 0;
+  if (!reader.ReadU8(&op) || op != kTierOpHello ||
+      !reader.ReadU32(&peer_version) || !reader.ReadU64(&peer_fingerprint) ||
+      reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrCat("peer ", std::string(transport->Peer()),
+               " sent a malformed hello response"));
+  }
+  if (peer_version != kTierProtocolVersion) {
+    return Status::FailedPrecondition(
+        StrCat("peer ", std::string(transport->Peer()),
+               " speaks tier protocol v", peer_version, ", this build v",
+               kTierProtocolVersion));
+  }
+  // Fingerprint mismatch is NOT an error here: the tier reports the peer's
+  // value and TierStack assembly applies the spec's refuse/quarantine
+  // policy — one place owns that decision.
+  return std::unique_ptr<RemoteTier>(
+      new RemoteTier(std::move(transport), options, peer_fingerprint));
+}
+
+RemoteTier::~RemoteTier() {
+  // Best effort, mirroring VerdictStore's close-time flush: whatever the
+  // write-behind task had not shipped yet gets one last chance.
+  Flush();
+}
+
+void RemoteTier::RememberNegativeLocked(const std::string& key) {
+  if (options_.negative_ttl.count() <= 0) return;
+  const auto expiry = std::chrono::steady_clock::now() + options_.negative_ttl;
+  if (negative_.emplace(key, expiry).second) {
+    negative_order_.push_back(key);
+    // Bound on the *deque*, not the map: keys leave negative_ early (TTL
+    // expiry, Publish of a decided key) while their shed-order entry stays
+    // behind, so bounding on negative_.size() would let the deque grow
+    // without limit. Shedding a stale entry is a harmless no-op erase; a
+    // refreshed key may be shed early — conservative, never wrong.
+    while (negative_order_.size() > options_.negative_capacity) {
+      negative_.erase(negative_order_.front());
+      negative_order_.pop_front();
+    }
+  } else {
+    negative_[key] = expiry;
+  }
+}
+
+std::optional<StoredVerdict> RemoteTier::Lookup(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    // A verdict this tier buffered but has not shipped yet (peer down,
+    // flush pending) is still this tier's to serve — exactly like the local
+    // store's pending entries, and much cheaper than the recompute a
+    // transport miss would trigger.
+    auto pit = pending_.find(key);
+    if (pit != pending_.end()) {
+      ++stats_.hits;
+      return pit->second;
+    }
+    auto it = negative_.find(key);
+    if (it != negative_.end()) {
+      if (std::chrono::steady_clock::now() < it->second) {
+        // Known-unknown, still fresh: spare the transport. The TTL bounds how
+        // long this answer can lag the authority learning the verdict.
+        ++stats_.negative_hits;
+        return std::nullopt;
+      }
+      negative_.erase(it);
+      ++stats_.negatives_expired;
+    }
+  }
+
+  // The round trip runs outside mu_: a slow peer must not serialize every
+  // other lookup (or the flush) behind this one.
+  std::string request_payload;
+  wire::PutU8(request_payload, kTierOpFetch);
+  wire::PutString(request_payload, key);
+  std::string response;
+  Status sent = transport_->RoundTrip(Frame(request_payload), &response);
+
+  std::string payload;
+  uint8_t op = 0;
+  uint8_t found = 0;
+  std::string peer_key;
+  StoredVerdict verdict;
+  bool hit = false;
+  bool malformed = false;
+  if (sent.ok()) {
+    if (!Unframe(response, &payload).ok()) {
+      malformed = true;
+    } else {
+      wire::ByteReader r(payload);
+      if (!r.ReadU8(&op) || op != kTierOpFetch || !r.ReadU8(&found) ||
+          found > 1) {
+        malformed = true;
+      } else if (found == 1) {
+        // The entry decode range-validates every enum; additionally the key
+        // must be the one we asked about — a confused peer's answer for a
+        // different key would be a *wrong* verdict, the one failure a cache
+        // may never have.
+        if (!DecodeVerdictEntry(r, &peer_key, &verdict).ok() ||
+            r.remaining() != 0 || peer_key != key) {
+          malformed = true;
+        } else {
+          hit = true;
+        }
+      } else if (r.remaining() != 0) {
+        malformed = true;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fetches;
+  if (!sent.ok() || malformed) {
+    // Unreachable or confused peer: degrade to a miss and back off via the
+    // negative cache — cold, never wrong, and not hammering a dead link.
+    ++stats_.transport_errors;
+    RememberNegativeLocked(key);
+    return std::nullopt;
+  }
+  if (!hit) {
+    RememberNegativeLocked(key);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return verdict;
+}
+
+bool RemoteTier::Publish(const std::string& key, const StoredVerdict& verdict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The key is decided now; a stale "unknown" must not outlive that.
+  auto neg = negative_.find(key);
+  if (neg != negative_.end()) negative_.erase(neg);
+  if (pending_.size() >= options_.max_pending) {
+    ++stats_.publishes_dropped;
+    return false;
+  }
+  if (!pending_.emplace(key, verdict).second) return false;
+  ++stats_.publishes;
+  return true;
+}
+
+Status RemoteTier::Flush() {
+  std::vector<std::pair<std::string, StoredVerdict>> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return Status::OK();
+    batch.reserve(pending_.size());
+    for (auto& [key, verdict] : pending_) batch.emplace_back(key, verdict);
+    pending_.clear();
+  }
+
+  std::string payload;
+  wire::PutU8(payload, kTierOpPublish);
+  wire::PutU32(payload, static_cast<uint32_t>(batch.size()));
+  for (const auto& [key, verdict] : batch) {
+    EncodeVerdictEntry(key, verdict, payload);
+  }
+  std::string response;
+  Status sent = transport_->RoundTrip(Frame(payload), &response);
+  std::string reply;
+  uint8_t op = 0;
+  uint64_t accepted = 0;
+  if (sent.ok()) {
+    Status unframed = Unframe(response, &reply);
+    if (unframed.ok()) {
+      wire::ByteReader r(reply);
+      if (!r.ReadU8(&op) || op != kTierOpPublish || !r.ReadU64(&accepted) ||
+          r.remaining() != 0) {
+        sent = Status::InvalidArgument("malformed publish response");
+      }
+    } else {
+      sent = unframed;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sent.ok()) {
+    ++stats_.flush_failures;
+    ++stats_.transport_errors;
+    // Requeue for a later flush — but inside the max_pending bound:
+    // publishers may have refilled the buffer while the round trip failed,
+    // and the cap is a memory contract, not a best wish. Entries that no
+    // longer fit are shed (counted; a remote tier is a cache, not a
+    // ledger); entries published meanwhile win the emplace (they are
+    // identical by the purity argument anyway).
+    for (auto& [key, verdict] : batch) {
+      if (pending_.size() >= options_.max_pending &&
+          pending_.find(key) == pending_.end()) {
+        ++stats_.publishes_dropped;
+        continue;
+      }
+      pending_.emplace(key, verdict);
+    }
+    return sent;
+  }
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+VerdictTierStats RemoteTier::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VerdictTierStats s = stats_;
+  s.entries = pending_.size();  // locally resident = awaiting ship-out
+  return s;
+}
+
+void RemoteTier::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  negative_.clear();
+  negative_order_.clear();
+}
+
+bool RemoteTier::HasPendingWrites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !pending_.empty();
+}
+
+}  // namespace cqchase

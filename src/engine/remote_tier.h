@@ -1,0 +1,209 @@
+// RemoteTier: a verdict tier whose backing map lives on another party — "the
+// log, shipped" (ROADMAP). Canonical task keys are location-independent and
+// StoredVerdict is already a versioned wire format, so sharing verdicts
+// between engines is a small fetch/publish protocol, not a new subsystem.
+//
+// The pieces:
+//
+//   VerdictTransport   — one round trip of length-prefixed bytes. The
+//                        protocol lives entirely above this seam, so a TCP
+//                        (or UDS, or RDMA) transport is a drop-in: implement
+//                        RoundTrip, keep everything else.
+//   InProcessTransport — the loopback shipped today: calls a
+//                        VerdictAuthority in the same process directly. Two
+//                        engines in one process (or one test) share a
+//                        verdict authority with zero sockets.
+//   VerdictAuthority   — the server half: an in-memory canonical-key →
+//                        verdict map answering hello/fetch/publish. Its
+//                        fingerprint is configurable so tests (and future
+//                        proxies for older peers) can exercise the mismatch
+//                        path.
+//   RemoteTier         — the client half, implementing VerdictTier:
+//                        Lookup fetches over the transport, Publish buffers
+//                        and Flush ships the batch (write-behind, like the
+//                        local store's append log).
+//
+// Protocol: every message is one wire::PutFramed record (u32 length + u64
+// FNV-1a checksum + payload); the payload starts with a u8 opcode. A hello
+// exchange runs at connect: the peer reports its protocol version and its
+// StoreSchemaFingerprint, and TierStack assembly refuses or quarantines the
+// tier on mismatch (engine/tier.h) — verdicts never flow between parties
+// that disagree on the key scheme.
+//
+// Negative entries: a fetch miss ("authority does not know this key") is
+// remembered locally for RemoteTierOptions::negative_ttl, so a hot unknown
+// key does not hammer the transport — but only for the TTL, so a peer can
+// never pin "unknown" forever once the authority learns the verdict.
+// Transport errors degrade to misses the same way: a tier that cannot
+// answer is cold, never wrong.
+#ifndef CQCHASE_ENGINE_REMOTE_TIER_H_
+#define CQCHASE_ENGINE_REMOTE_TIER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "engine/serialize.h"
+#include "engine/tier.h"
+
+namespace cqchase {
+
+// Version of the fetch/publish message layer. Bump on any change to the
+// opcodes or their bodies; peers with different versions refuse at hello.
+inline constexpr uint32_t kTierProtocolVersion = 1;
+
+// Opcodes (first payload byte; responses echo their request's opcode).
+inline constexpr uint8_t kTierOpHello = 1;
+inline constexpr uint8_t kTierOpFetch = 2;
+inline constexpr uint8_t kTierOpPublish = 3;
+
+// One request/response round trip of framed bytes. Implementations must be
+// thread-safe (lookups and the write-behind flush run on different executor
+// workers) and must either deliver the peer's complete response or return a
+// non-OK status — a short read is an error, never a truncated answer.
+class VerdictTransport {
+ public:
+  virtual ~VerdictTransport() = default;
+
+  // Sends one framed message, receives one framed reply into `*response`
+  // (overwritten, not appended).
+  virtual Status RoundTrip(const std::string& request,
+                           std::string* response) = 0;
+
+  // Stable label for tier names and diagnostics ("loopback", "tcp:host").
+  virtual std::string_view Peer() const = 0;
+};
+
+// The authority half of the protocol: holds the shared verdict map and
+// answers hello/fetch/publish. Thread-safe; one authority typically serves
+// many transports/engines.
+class VerdictAuthority {
+ public:
+  struct Options {
+    // Reported at hello. Overridable so tests can stand in for a peer built
+    // against a different canonical-key scheme; production authorities keep
+    // the default (this build's fingerprint).
+    uint64_t fingerprint;
+    // Map bound; publishes past it are refused (accepted count in the
+    // response says how many landed). 0 = unbounded.
+    uint64_t max_entries = 0;
+    Options();
+  };
+
+  explicit VerdictAuthority(Options options = Options());
+
+  // Decodes one framed request, dispatches, encodes the framed response.
+  // Non-OK only for bytes that do not decode as a protocol message — a
+  // well-formed fetch of an unknown key is a successful "not found".
+  Status Handle(const std::string& request, std::string* response);
+
+  // Direct server-side access (seeding, inspection; bypasses the protocol).
+  void Put(const std::string& key, const StoredVerdict& verdict);
+  std::optional<StoredVerdict> Lookup(const std::string& key) const;
+  size_t size() const;
+
+  struct Stats {
+    uint64_t hellos = 0;
+    uint64_t fetches = 0;
+    uint64_t fetch_hits = 0;
+    uint64_t publishes = 0;          // entries offered by publish requests
+    uint64_t publishes_accepted = 0; // newly inserted (dedup + cap refusals
+                                     // excluded)
+  };
+  Stats stats() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, StoredVerdict> map_;
+  Stats stats_;
+};
+
+// The loopback transport: RoundTrip calls the authority synchronously in
+// this process. What a TCP transport will do with a socket, this does with
+// a function call — the tier above cannot tell the difference.
+class InProcessTransport final : public VerdictTransport {
+ public:
+  explicit InProcessTransport(std::shared_ptr<VerdictAuthority> authority)
+      : authority_(std::move(authority)) {}
+
+  Status RoundTrip(const std::string& request, std::string* response) override {
+    return authority_->Handle(request, response);
+  }
+  std::string_view Peer() const override { return "loopback"; }
+
+ private:
+  std::shared_ptr<VerdictAuthority> authority_;
+};
+
+struct RemoteTierOptions {
+  // How long a fetch miss (or transport error) is served from the local
+  // negative cache before the key is fetched again. 0 = every lookup goes to
+  // the transport.
+  std::chrono::milliseconds negative_ttl{250};
+  // Bound on remembered negative entries (oldest shed first).
+  size_t negative_capacity = 4096;
+  // Bound on buffered publishes awaiting Flush (newest refused past it,
+  // counted in publishes_dropped — the authority just misses those entries;
+  // a remote tier is a cache, not a ledger).
+  size_t max_pending = 1 << 16;
+};
+
+class RemoteTier final : public VerdictTier {
+ public:
+  // Runs the hello handshake on `transport`. Fails on transport errors and
+  // protocol-version mismatches; a *fingerprint* mismatch succeeds here and
+  // is judged at TierStack assembly (Fingerprint() reports what the peer
+  // said), so the stack's refuse/quarantine policy owns that decision.
+  static Result<std::unique_ptr<RemoteTier>> Connect(
+      std::shared_ptr<VerdictTransport> transport,
+      RemoteTierOptions options = {});
+
+  // Best-effort final flush (matches the local store's close behavior).
+  ~RemoteTier() override;
+
+  std::string_view Name() const override { return name_; }
+  std::optional<StoredVerdict> Lookup(const std::string& key) override;
+  bool Publish(const std::string& key, const StoredVerdict& verdict) override;
+  Status Flush() override;
+  VerdictTierStats Stats() const override;
+  uint64_t Fingerprint() const override { return peer_fingerprint_; }
+  void Clear() override;  // forgets negative entries; pending publishes stay
+  bool HasPendingWrites() const override;
+
+ private:
+  RemoteTier(std::shared_ptr<VerdictTransport> transport,
+             RemoteTierOptions options, uint64_t peer_fingerprint);
+
+  // Inserts `key` into the negative cache (expiry now + TTL), shedding the
+  // oldest entry past the capacity bound. Caller holds mu_.
+  void RememberNegativeLocked(const std::string& key);
+
+  const std::shared_ptr<VerdictTransport> transport_;
+  const RemoteTierOptions options_;
+  const uint64_t peer_fingerprint_;
+  const std::string name_;
+
+  mutable std::mutex mu_;
+  // key → expiry. negative_order_ is the shed order (insertion FIFO; a
+  // refreshed key may be shed early — conservative, never wrong).
+  std::unordered_map<std::string, std::chrono::steady_clock::time_point>
+      negative_;
+  std::deque<std::string> negative_order_;
+  // Publishes buffered for the next Flush, deduplicated by key.
+  std::unordered_map<std::string, StoredVerdict> pending_;
+  VerdictTierStats stats_;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_ENGINE_REMOTE_TIER_H_

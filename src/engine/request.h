@@ -128,11 +128,12 @@ struct EngineVerdict {
   SigmaClass sigma_class = SigmaClass::kEmpty;
   DecisionStrategy strategy = DecisionStrategy::kHomomorphism;
   bool cache_hit = false;
-  // True when the answer came from the persistent verdict store (tier 2):
-  // the in-memory LRU missed, the store hit, and no chase was built.
-  // cache_hit is also true then — the question was answered from cache,
-  // just the durable one.
+  // Which non-LRU tier of the verdict stack answered, if any: the in-memory
+  // tier missed, the named tier hit, and no chase was built. cache_hit is
+  // also true then — the question was answered from cache, just a deeper
+  // one (the persistent store / a remote verdict authority).
   bool store_hit = false;
+  bool remote_hit = false;
 };
 
 // What a submitted request resolves to. Subsumes EngineVerdict; the

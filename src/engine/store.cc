@@ -326,6 +326,17 @@ std::optional<StoredVerdict> VerdictStore::Lookup(
 
 void VerdictStore::Put(const std::string& key, const StoredVerdict& verdict) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_entries > 0 &&
+      map_.size() >= options_.max_entries &&
+      map_.find(key) == map_.end()) {
+    // At the bound a new key is refused outright (overwrites still land):
+    // the entry is simply recomputed by whoever asks next, which is the
+    // correct degradation for a cache — bounded memory, never a wrong
+    // answer. An LRU-style eviction would also need log rewriting to stay
+    // durable-consistent; refusal keeps the on-disk format untouched.
+    ++counters_.records_capped;
+    return;
+  }
   map_[key] = verdict;
   pending_.emplace_back(key, verdict);
   ++counters_.appends;
@@ -345,6 +356,12 @@ void VerdictStore::Put(const std::string& key, const StoredVerdict& verdict) {
 bool VerdictStore::PutIfAbsent(const std::string& key,
                                const StoredVerdict& verdict) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_entries > 0 &&
+      map_.size() >= options_.max_entries &&
+      map_.find(key) == map_.end()) {
+    ++counters_.records_capped;
+    return false;
+  }
   if (!map_.emplace(key, verdict).second) return false;
   pending_.emplace_back(key, verdict);
   ++counters_.appends;
@@ -455,6 +472,7 @@ VerdictStoreStats VerdictStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   VerdictStoreStats out = counters_;
   out.entries = map_.size();
+  out.max_entries = options_.max_entries;
   return out;
 }
 

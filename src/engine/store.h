@@ -33,8 +33,10 @@
 // key + fixed fields), which is what makes Lookup a mutex-and-hash-probe
 // instead of disk I/O; the pending buffer is bounded (oldest entries shed
 // their durability claim under sustained flush failure, see
-// records_dropped), but the map itself has no capacity knob yet — bounding
-// or spilling it is the distributed-tier follow-on's problem (ROADMAP).
+// records_dropped), and the map itself takes an optional
+// VerdictStoreOptions::max_entries bound — past it, new keys are refused
+// (records_capped) rather than grown into an OOM. Spilling / mmap'd
+// snapshot serving for billion-entry stores stays future work (ROADMAP).
 #ifndef CQCHASE_ENGINE_STORE_H_
 #define CQCHASE_ENGINE_STORE_H_
 
@@ -57,6 +59,15 @@ struct VerdictStoreOptions {
   // crash-shaped tests and read-mostly consumers that should not pay the
   // rewrite; pending appends are still flushed to the log either way.
   bool compact_on_close = true;
+
+  // Capacity knob for the memory-resident map: once it holds this many
+  // entries, further Puts of *new* keys are refused (counted in
+  // records_capped) instead of growing without bound — the single-node
+  // answer to "memory-resident in full" (ROADMAP). Overwrites of existing
+  // keys always land. Open-time restore is exempt: entries already durable
+  // are never dropped for a cap that shrank after they were written. 0 =
+  // unbounded (the historical behavior).
+  uint64_t max_entries = 0;
 };
 
 // Monotone counters plus the `entries` gauge; read via stats().
@@ -74,6 +85,10 @@ struct VerdictStoreStats {
   uint64_t records_dropped = 0;          // pending entries shed under the
                                          // backpressure cap (still served
                                          // from memory, not durable)
+  uint64_t max_entries = 0;              // configured map bound (0 = none)
+  uint64_t records_capped = 0;           // Puts refused at the max_entries
+                                         // bound (recomputed next time, not
+                                         // stored)
 };
 
 class VerdictStore {

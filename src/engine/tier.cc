@@ -1,0 +1,290 @@
+#include "engine/tier.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "engine/remote_tier.h"
+
+namespace cqchase {
+
+// --- LruTier -----------------------------------------------------------------
+
+std::optional<StoredVerdict> LruTier::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  if (StoredVerdict* hit = cache_.Get(key)) {
+    ++hits_;
+    return *hit;
+  }
+  return std::nullopt;
+}
+
+bool LruTier::Publish(const std::string& key, const StoredVerdict& verdict) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_.capacity() == 0) return false;  // knob-off tier accepts nothing
+  // The interface contract counts *new* entries only (an overwrite of a
+  // resident key is a re-statement: refresh recency, report nothing), so
+  // per-tier publish counters mean the same thing across backends.
+  const bool is_new = cache_.Get(key) == nullptr;
+  cache_.Put(key, verdict);
+  if (is_new) ++publishes_;
+  return is_new;
+}
+
+VerdictTierStats LruTier::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VerdictTierStats s;
+  s.name = "lru";
+  s.entries = cache_.size();
+  s.lookups = lookups_;
+  s.hits = hits_;
+  s.publishes = publishes_;
+  return s;
+}
+
+void LruTier::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Clear();
+}
+
+// --- LocalStoreTier ----------------------------------------------------------
+
+LocalStoreTier::LocalStoreTier(std::unique_ptr<VerdictStore> store)
+    : store_(std::move(store)), name_(StrCat("store:", store_->dir())) {}
+
+std::optional<StoredVerdict> LocalStoreTier::Lookup(const std::string& key) {
+  std::optional<StoredVerdict> hit = store_->Lookup(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  if (hit.has_value()) ++hits_;
+  return hit;
+}
+
+bool LocalStoreTier::Publish(const std::string& key,
+                             const StoredVerdict& verdict) {
+  // Insert-if-absent: a verdict is a pure function of its key, so a repeat
+  // publish (a promotion from a remote hit, a certificate re-decide) must
+  // not append a duplicate log frame.
+  if (!store_->PutIfAbsent(key, verdict)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++publishes_;
+  return true;
+}
+
+Status LocalStoreTier::Flush() {
+  const bool had_pending = store_->has_pending();
+  Status status = store_->Flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status.ok()) {
+    ++flush_failures_;
+  } else if (had_pending) {
+    ++flushes_;
+  }
+  return status;
+}
+
+VerdictTierStats LocalStoreTier::Stats() const {
+  const VerdictStoreStats store_stats = store_->stats();
+  std::lock_guard<std::mutex> lock(mu_);
+  VerdictTierStats s;
+  s.name = name_;
+  s.entries = store_stats.entries;
+  s.lookups = lookups_;
+  s.hits = hits_;
+  s.publishes = publishes_;
+  s.flushes = flushes_;
+  s.flush_failures = flush_failures_;
+  return s;
+}
+
+// --- TierStack ---------------------------------------------------------------
+
+namespace {
+
+// Builds the backend a spec describes; any error flows through the spec's
+// mismatch policy at the Assemble call site.
+Result<std::unique_ptr<VerdictTier>> BuildTier(const TierSpec& spec) {
+  switch (spec.kind) {
+    case TierSpec::Kind::kLru:
+      return std::unique_ptr<VerdictTier>(
+          std::make_unique<LruTier>(spec.capacity));
+    case TierSpec::Kind::kLocalStore: {
+      if (spec.path.empty()) {
+        return Status::InvalidArgument("local-store tier has an empty path");
+      }
+      VerdictStoreOptions options;
+      options.max_entries = spec.store_max_entries;
+      CQCHASE_ASSIGN_OR_RETURN(std::unique_ptr<VerdictStore> store,
+                               VerdictStore::Open(spec.path, options));
+      return std::unique_ptr<VerdictTier>(
+          std::make_unique<LocalStoreTier>(std::move(store)));
+    }
+    case TierSpec::Kind::kRemote: {
+      if (spec.transport == nullptr) {
+        return Status::InvalidArgument("remote tier has a null transport");
+      }
+      RemoteTierOptions options;
+      options.negative_ttl = spec.remote_negative_ttl;
+      CQCHASE_ASSIGN_OR_RETURN(
+          std::unique_ptr<RemoteTier> tier,
+          RemoteTier::Connect(spec.transport, options));
+      return std::unique_ptr<VerdictTier>(std::move(tier));
+    }
+  }
+  return Status::InvalidArgument("unknown tier kind");
+}
+
+std::string SpecName(const TierSpec& spec) {
+  switch (spec.kind) {
+    case TierSpec::Kind::kLru:
+      return "lru";
+    case TierSpec::Kind::kLocalStore:
+      return StrCat("store:", spec.path);
+    case TierSpec::Kind::kRemote:
+      return spec.transport == nullptr
+                 ? std::string("remote:<null>")
+                 : StrCat("remote:", std::string(spec.transport->Peer()));
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TierStack>> TierStack::Assemble(
+    const std::vector<TierSpec>& specs) {
+  std::unique_ptr<TierStack> stack(new TierStack());
+  stack->specs_ = specs;
+  stack->descriptors_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const TierSpec& spec = specs[i];
+    TierDescriptor desc;
+    desc.kind = spec.kind;
+    desc.name = SpecName(spec);
+
+    Result<std::unique_ptr<VerdictTier>> built = BuildTier(spec);
+    Status problem = built.ok() ? Status::OK() : built.status();
+    if (problem.ok()) {
+      // The handshake proper: a tier whose fingerprint disagrees with this
+      // build speaks a different canonical-key scheme or entry layout, and
+      // serving it would let keys of *different* tasks collide. Refuse or
+      // quarantine — never serve.
+      const uint64_t theirs = (*built)->Fingerprint();
+      const uint64_t ours = StoreSchemaFingerprint();
+      if (theirs != ours) {
+        problem = Status::FailedPrecondition(StrCat(
+            "tier ", desc.name, " schema fingerprint ", theirs,
+            " does not match this build's ", ours,
+            " (canonical-key scheme or verdict layout drift); tier disabled"));
+      }
+    }
+    if (!problem.ok()) {
+      if (spec.on_mismatch == TierSpec::MismatchPolicy::kRefuse) {
+        return Status::FailedPrecondition(
+            StrCat("tier stack assembly refused at tier ", i, " (",
+                   desc.name, "): ", problem.message()));
+      }
+      desc.active = false;
+      desc.status = problem;
+      stack->descriptors_.push_back(std::move(desc));
+      continue;
+    }
+    desc.active = true;
+    stack->actives_.emplace_back(*std::move(built), stack->descriptors_.size());
+    stack->descriptors_.push_back(std::move(desc));
+  }
+  return stack;
+}
+
+std::optional<TierStack::LookupResult> TierStack::Lookup(
+    const std::string& key) {
+  for (size_t a = 0; a < actives_.size(); ++a) {
+    const size_t di = actives_[a].second;
+    if (!specs_[di].read_through) continue;
+    std::optional<StoredVerdict> hit = actives_[a].first->Lookup(key);
+    if (!hit.has_value()) continue;
+
+    LookupResult result;
+    result.verdict = *hit;
+    result.tier_index = di;
+    result.kind = specs_[di].kind;
+    // Promote into every cheaper write-through tier so the next asker stops
+    // earlier. Durable tiers buffer the promotion; the caller schedules the
+    // write-behind flush when we report buffered bytes.
+    for (size_t b = 0; b < a; ++b) {
+      const size_t bdi = actives_[b].second;
+      if (!specs_[bdi].write_through) continue;
+      if (actives_[b].first->Publish(key, *hit) &&
+          actives_[b].first->HasPendingWrites()) {
+        result.buffered_writes = true;
+      }
+    }
+    return result;
+  }
+  return std::nullopt;
+}
+
+TierStack::PublishReceipt TierStack::Publish(const std::string& key,
+                                             const StoredVerdict& verdict) {
+  PublishReceipt receipt;
+  for (auto& [tier, di] : actives_) {
+    if (!specs_[di].write_through) continue;
+    if (tier->Publish(key, verdict)) {
+      ++receipt.accepted;
+      if (tier->HasPendingWrites()) receipt.buffered_writes = true;
+    }
+  }
+  return receipt;
+}
+
+Status TierStack::Flush() {
+  Status first_failure;
+  for (auto& [tier, di] : actives_) {
+    (void)di;
+    Status s = tier->Flush();
+    if (!s.ok() && first_failure.ok()) first_failure = s;
+  }
+  return first_failure;
+}
+
+void TierStack::Clear() {
+  for (auto& [tier, di] : actives_) {
+    (void)di;
+    tier->Clear();
+  }
+}
+
+std::vector<VerdictTierStats> TierStack::Stats() const {
+  std::vector<VerdictTierStats> out;
+  out.reserve(actives_.size());
+  for (const auto& [tier, di] : actives_) {
+    (void)di;
+    out.push_back(tier->Stats());
+  }
+  return out;
+}
+
+VerdictStore* TierStack::local_store() const {
+  for (const auto& [tier, di] : actives_) {
+    if (specs_[di].kind == TierSpec::Kind::kLocalStore) {
+      return static_cast<LocalStoreTier*>(tier.get())->store();
+    }
+  }
+  return nullptr;
+}
+
+size_t TierStack::lru_entries() const {
+  for (const auto& [tier, di] : actives_) {
+    if (specs_[di].kind == TierSpec::Kind::kLru) return tier->Stats().entries;
+  }
+  return 0;
+}
+
+bool TierStack::HasPendingWrites() const {
+  for (const auto& [tier, di] : actives_) {
+    (void)di;
+    if (tier->HasPendingWrites()) return true;
+  }
+  return false;
+}
+
+}  // namespace cqchase

@@ -1,0 +1,312 @@
+// VerdictTier: the engine's pluggable verdict-cache hierarchy.
+//
+// Johnson–Klug verdicts are pure functions of their canonical task key
+// (engine/canonical.h folds Q, Q', Σ and the chase variant into it), so
+// verdict caches can be stacked arbitrarily deep without soundness risk: a
+// tier can only be *cold*, never *stale*. This header turns that property
+// into a first-class seam — one probe interface, many storage engines behind
+// it (the same move VLog makes with its pluggable column-store backends):
+//
+//   VerdictTier  — the interface every backend implements: Lookup / Publish
+//                  / Flush / Stats, plus a Fingerprint() handshake.
+//   TierSpec     — declarative description of one tier (kind, policy flags,
+//                  backend knobs); EngineConfig carries a vector of these.
+//   TierStack    — the assembled hierarchy. Probes tiers in order (cheapest
+//                  first); a miss at tier N falls through to N+1; a hit at
+//                  tier N is promoted into every cheaper tier, so hot keys
+//                  migrate toward memory. Publishes fan out to every
+//                  write-through tier; durable/remote tiers buffer and make
+//                  the bytes move on Flush(), which the engine runs
+//                  write-behind on its executor.
+//
+// Fingerprint handshake: verdicts are only exchangeable between parties that
+// agree on the canonical-key scheme and the StoredVerdict layout — both are
+// folded into StoreSchemaFingerprint() (engine/serialize.h). TierStack
+// assembly checks every tier's Fingerprint() against this build's; a
+// mismatched tier is *refused* (assembly fails loudly) or *quarantined*
+// (tier disabled, reason recorded in its descriptor, the rest of the stack
+// serves) per TierSpec::on_mismatch. A disabled tier is never silently
+// served — a wrong key scheme would collide keys of *different* tasks.
+//
+// Ships with three backends: LruTier (the in-memory verdict LRU), a
+// LocalStoreTier adapting the persistent VerdictStore (engine/store.h), and
+// RemoteTier (engine/remote_tier.h) speaking a fetch/publish protocol over a
+// transport. The recipe for a fourth backend is in README.md.
+#ifndef CQCHASE_ENGINE_TIER_H_
+#define CQCHASE_ENGINE_TIER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "engine/lru_cache.h"
+#include "engine/serialize.h"
+#include "engine/store.h"
+
+namespace cqchase {
+
+class VerdictTransport;  // engine/remote_tier.h
+
+// Monotone per-tier counters plus the `entries` gauge; every backend fills
+// the generic ones, RemoteTier additionally fills the negative-cache and
+// transport rows. Surfaced per tier in EngineStats and bench JSON records.
+struct VerdictTierStats {
+  std::string name;                // e.g. "lru", "store:/path", "remote:peer"
+  uint64_t entries = 0;            // resident entries (gauge)
+  uint64_t lookups = 0;            // probes reaching this tier
+  uint64_t hits = 0;
+  uint64_t publishes = 0;          // publishes *accepted* (dedup/cap refusals
+                                   // are not counted here)
+  uint64_t flushes = 0;            // Flush() calls that moved records
+  uint64_t flush_failures = 0;
+  // RemoteTier only.
+  uint64_t fetches = 0;            // transport round trips for Lookup
+  uint64_t negative_hits = 0;      // misses served by the local negative cache
+  uint64_t negatives_expired = 0;  // negative entries aged out by their TTL
+  uint64_t transport_errors = 0;
+  uint64_t publishes_dropped = 0;  // pending entries shed at the buffer cap
+};
+
+// One layer of the verdict-cache hierarchy. Implementations must be
+// thread-safe: the engine probes and publishes from every executor worker
+// and flushes from a write-behind task concurrently.
+class VerdictTier {
+ public:
+  virtual ~VerdictTier() = default;
+
+  virtual std::string_view Name() const = 0;
+
+  // Point probe. nullopt is a miss — including "backend unreachable": a tier
+  // that cannot answer must degrade to cold, never guess.
+  virtual std::optional<StoredVerdict> Lookup(const std::string& key) = 0;
+
+  // Inserts `verdict` under `key`. Verdicts are pure functions of the key,
+  // so an overwrite is always a no-op re-statement: backends may (and the
+  // durable ones do) treat Publish as insert-if-absent to avoid duplicate
+  // bytes. Must be cheap — durable/remote tiers buffer here and move bytes
+  // in Flush(). Returns whether the tier accepted a *new* entry.
+  virtual bool Publish(const std::string& key, const StoredVerdict& verdict) = 0;
+
+  // Drains whatever Publish buffered (append log write, transport batch).
+  // The engine schedules this on its executor so the decision path never
+  // waits on I/O or a network.
+  virtual Status Flush() = 0;
+
+  virtual VerdictTierStats Stats() const = 0;
+
+  // Schema handshake value, checked once at stack assembly against this
+  // build's StoreSchemaFingerprint(). Local backends return it verbatim;
+  // RemoteTier returns whatever its *peer* reported at connect.
+  virtual uint64_t Fingerprint() const = 0;
+
+  // Drops volatile state only (ClearCaches semantics): an LRU empties, a
+  // remote tier forgets its negative entries; durable entries and pending
+  // publishes survive.
+  virtual void Clear() {}
+
+  // True when Publish/promotion buffered bytes that a Flush() still needs to
+  // move. The engine uses this to schedule exactly the flushes it needs.
+  virtual bool HasPendingWrites() const { return false; }
+};
+
+// Declarative description of one tier; EngineConfig::tiers holds the stack
+// cheapest-first. Use the factory helpers — they read as the probe order:
+//   config.tiers = {TierSpec::Lru(1 << 16),
+//                   TierSpec::LocalStore("/var/cq/verdicts"),
+//                   TierSpec::Remote(transport)};
+struct TierSpec {
+  enum class Kind { kLru, kLocalStore, kRemote };
+
+  // What stack assembly does with a tier whose Fingerprint() disagrees with
+  // this build's, or whose backend fails to construct (store unopenable,
+  // remote handshake failed).
+  enum class MismatchPolicy {
+    kQuarantine,  // disable the tier, record the reason, serve the rest
+    kRefuse,      // fail the whole stack assembly loudly
+  };
+
+  Kind kind = Kind::kLru;
+  // Probed during lookup descent. false = write-only layer (e.g. publish to
+  // a remote authority you never read back from).
+  bool read_through = true;
+  // Receives publishes and hit promotions. false = read-only layer (e.g. a
+  // pre-warmed snapshot replica).
+  bool write_through = true;
+  MismatchPolicy on_mismatch = MismatchPolicy::kQuarantine;
+
+  // kLru: entry bound (0 disables storage, the knob-off idiom).
+  size_t capacity = 1 << 16;
+
+  // kLocalStore: the store directory plus its map bound (0 = unbounded; see
+  // VerdictStoreOptions::max_entries).
+  std::string path;
+  uint64_t store_max_entries = 0;
+
+  // kRemote: the connected transport plus the negative-entry TTL — a fetch
+  // miss is remembered locally for this long, so a peer cannot pin "unknown"
+  // forever once the authority learns the verdict (0 = never cache misses).
+  std::shared_ptr<VerdictTransport> transport;
+  std::chrono::milliseconds remote_negative_ttl{250};
+
+  static TierSpec Lru(size_t capacity) {
+    TierSpec s;
+    s.kind = Kind::kLru;
+    s.capacity = capacity;
+    return s;
+  }
+  static TierSpec LocalStore(std::string path, uint64_t max_entries = 0) {
+    TierSpec s;
+    s.kind = Kind::kLocalStore;
+    s.path = std::move(path);
+    s.store_max_entries = max_entries;
+    return s;
+  }
+  static TierSpec Remote(std::shared_ptr<VerdictTransport> transport) {
+    TierSpec s;
+    s.kind = Kind::kRemote;
+    s.transport = std::move(transport);
+    return s;
+  }
+};
+
+// --- local backends ----------------------------------------------------------
+
+// Tier 0 in every default stack: the in-memory verdict LRU the engine always
+// had, now behind the common interface (and its own mutex, off the engine's
+// cache lock). Nothing to flush; never mismatches (same build, same scheme).
+class LruTier final : public VerdictTier {
+ public:
+  explicit LruTier(size_t capacity) : cache_(capacity) {}
+
+  std::string_view Name() const override { return "lru"; }
+  std::optional<StoredVerdict> Lookup(const std::string& key) override;
+  bool Publish(const std::string& key, const StoredVerdict& verdict) override;
+  Status Flush() override { return Status::OK(); }
+  VerdictTierStats Stats() const override;
+  uint64_t Fingerprint() const override { return StoreSchemaFingerprint(); }
+  void Clear() override;
+
+ private:
+  mutable std::mutex mu_;
+  LruCache<StoredVerdict> cache_;
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t publishes_ = 0;
+};
+
+// The persistent VerdictStore (engine/store.h) behind the tier interface.
+// Publish is insert-if-absent straight into the store's memory map + pending
+// buffer; Flush appends the write-behind log. The store's own guards
+// (version/fingerprint/checksum quarantine, flock single-owner) are
+// unchanged — this adapter adds nothing between the engine and them.
+class LocalStoreTier final : public VerdictTier {
+ public:
+  // Takes ownership of an already-opened store (TierStack::Assemble opens it
+  // so open failures flow through the spec's mismatch policy).
+  explicit LocalStoreTier(std::unique_ptr<VerdictStore> store);
+
+  std::string_view Name() const override { return name_; }
+  std::optional<StoredVerdict> Lookup(const std::string& key) override;
+  bool Publish(const std::string& key, const StoredVerdict& verdict) override;
+  Status Flush() override;
+  VerdictTierStats Stats() const override;
+  uint64_t Fingerprint() const override { return StoreSchemaFingerprint(); }
+  bool HasPendingWrites() const override { return store_->has_pending(); }
+
+  VerdictStore* store() const { return store_.get(); }
+
+ private:
+  std::unique_ptr<VerdictStore> store_;
+  std::string name_;
+
+  mutable std::mutex mu_;
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t publishes_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t flush_failures_ = 0;
+};
+
+// --- the assembled hierarchy -------------------------------------------------
+
+class TierStack {
+ public:
+  // One row per spec, in spec order — including tiers that did not make it
+  // (active = false, status says why). This is the introspection surface
+  // tests and ops read; a quarantined tier is visible here, never silently
+  // absent.
+  struct TierDescriptor {
+    std::string name;
+    TierSpec::Kind kind = TierSpec::Kind::kLru;
+    bool active = false;
+    Status status;  // OK when active; the quarantine reason otherwise
+  };
+
+  // Builds every tier, runs the fingerprint handshake, applies each spec's
+  // mismatch policy. Fails only when a kRefuse tier mismatches or fails to
+  // construct (or a spec is malformed); kQuarantine problems leave a
+  // descriptor with the reason and the rest of the stack serving.
+  static Result<std::unique_ptr<TierStack>> Assemble(
+      const std::vector<TierSpec>& specs);
+
+  struct LookupResult {
+    StoredVerdict verdict;
+    size_t tier_index = 0;       // which stack position answered
+    TierSpec::Kind kind = TierSpec::Kind::kLru;
+    bool buffered_writes = false;  // promotion left bytes for a Flush()
+  };
+
+  // Probes read-through tiers in order; on a hit at tier N, publishes the
+  // verdict into every cheaper write-through tier (the promotion that keeps
+  // hot keys near memory) and reports whether that buffered durable bytes.
+  std::optional<LookupResult> Lookup(const std::string& key);
+
+  struct PublishReceipt {
+    uint64_t accepted = 0;         // tiers that took a new entry
+    bool buffered_writes = false;  // some tier needs a Flush()
+  };
+
+  // Fans the verdict out to every write-through tier.
+  PublishReceipt Publish(const std::string& key, const StoredVerdict& verdict);
+
+  // Flushes every active tier; returns the first failure (all tiers are
+  // still attempted — one full disk must not strand the remote batch).
+  Status Flush();
+
+  // ClearCaches semantics: volatile state only.
+  void Clear();
+
+  std::vector<VerdictTierStats> Stats() const;
+  const std::vector<TierDescriptor>& descriptors() const {
+    return descriptors_;
+  }
+
+  // Back-compat accessors for the store_path era: the first local-store
+  // tier's VerdictStore (nullptr when the stack has none) and the first
+  // LRU tier's entry count (the old cache_sizes().verdict_entries gauge).
+  VerdictStore* local_store() const;
+  size_t lru_entries() const;
+
+  // True when any tier still has buffered publishes (used by teardown and
+  // tests; the per-call receipts drive steady-state flush scheduling).
+  bool HasPendingWrites() const;
+
+ private:
+  TierStack() = default;
+
+  // Active tiers, probe order. descriptors_ covers these AND the
+  // quarantined ones; actives_[i].second is the index into descriptors_.
+  std::vector<std::pair<std::unique_ptr<VerdictTier>, size_t>> actives_;
+  std::vector<TierDescriptor> descriptors_;
+  std::vector<TierSpec> specs_;  // aligned with descriptors_
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_ENGINE_TIER_H_

@@ -162,5 +162,57 @@ TEST(ExecutorTest, DestructionWithoutStartIsClean) {
   Executor executor(8);  // never submitted to; no threads to join
 }
 
+TEST(ExecutorTest, ShedsExpiredDeadlineTasksAtDequeue) {
+  // One worker, occupied by a gate task while three deadline tasks expire in
+  // the queue behind it. At dequeue each must be completed through its
+  // on_expired handler — the body never runs, the worker slot is never
+  // spent on a corpse — while a live-deadline task and a no-deadline task
+  // run normally.
+  Executor executor(1);
+  std::atomic<bool> gate_open{false};
+  std::atomic<int> bodies_ran{0};
+  std::atomic<int> expired_ran{0};
+  executor.Submit([&] {
+    while (!gate_open.load()) std::this_thread::yield();
+  });
+
+  constexpr int kExpired = 3;
+  for (int i = 0; i < kExpired; ++i) {
+    Executor::TaskOptions options;
+    options.deadline = std::chrono::steady_clock::now() - milliseconds(1);
+    options.on_expired = [&] { expired_ran.fetch_add(1); };
+    executor.Submit([&] { bodies_ran.fetch_add(1); }, std::move(options));
+  }
+  Executor::TaskOptions live;
+  live.deadline = std::chrono::steady_clock::now() + milliseconds(60000);
+  live.on_expired = [&] { expired_ran.fetch_add(1); };
+  executor.Submit([&] { bodies_ran.fetch_add(1); }, std::move(live));
+  executor.Submit([&] { bodies_ran.fetch_add(1); });  // no deadline at all
+
+  gate_open.store(true);
+  EXPECT_TRUE(WaitUntil([&] {
+    return executor.stats().shed == kExpired && bodies_ran.load() == 2;
+  }));
+  EXPECT_EQ(expired_ran.load(), kExpired);
+  const Executor::StatsSnapshot s = executor.stats();
+  EXPECT_EQ(s.shed, static_cast<uint64_t>(kExpired));
+  // Shed tasks are completed, not executed: the gate + 2 live bodies.
+  EXPECT_EQ(s.executed, 3u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
+TEST(ExecutorTest, ExpiredDeadlineWithoutHandlerStillRuns) {
+  // Without an on_expired completion path the executor may not drop the
+  // task — someone holds a future for it; the body itself owns noticing
+  // the deadline (the engine's first control poll).
+  Executor executor(1);
+  std::atomic<int> ran{0};
+  Executor::TaskOptions options;
+  options.deadline = std::chrono::steady_clock::now() - milliseconds(1);
+  executor.Submit([&] { ran.fetch_add(1); }, std::move(options));
+  EXPECT_TRUE(WaitUntil([&] { return ran.load() == 1; }));
+  EXPECT_EQ(executor.stats().shed, 0u);
+}
+
 }  // namespace
 }  // namespace cqchase

@@ -449,6 +449,55 @@ TEST(StoreTest, TornLogTailSalvagesPrefix) {
   ASSERT_TRUE(reopened->Lookup("after-salvage").has_value());
 }
 
+// --- capacity bound ----------------------------------------------------------
+
+TEST(StoreTest, MaxEntriesRefusesNewKeysPastTheCap) {
+  const std::string dir = NewStoreDir("capped");
+  VerdictStoreOptions options;
+  options.max_entries = 3;
+  std::unique_ptr<VerdictStore> store = MustOpen(dir, options);
+  for (uint32_t i = 0; i < 3; ++i) {
+    store->Put(StrCat("k", i), MakeVerdict(i));
+  }
+  EXPECT_EQ(store->size(), 3u);
+
+  // At the bound: new keys are refused and counted; the cache stays
+  // bounded, the asker just recomputes.
+  store->Put("k3", MakeVerdict(3));
+  EXPECT_FALSE(store->PutIfAbsent("k4", MakeVerdict(4)));
+  EXPECT_EQ(store->size(), 3u);
+  EXPECT_FALSE(store->Lookup("k3").has_value());
+  VerdictStoreStats stats = store->stats();
+  EXPECT_EQ(stats.records_capped, 2u);
+  EXPECT_EQ(stats.max_entries, 3u);
+  EXPECT_EQ(stats.appends, 3u);  // refused Puts never reach the log
+
+  // Overwrites of resident keys still land (they grow nothing).
+  store->Put("k1", MakeVerdict(42));
+  ASSERT_TRUE(store->Lookup("k1").has_value());
+  EXPECT_EQ(store->Lookup("k1")->witness_max_level, 42u);
+  EXPECT_EQ(store->size(), 3u);
+}
+
+TEST(StoreTest, MaxEntriesExemptsOpenTimeRestore) {
+  const std::string dir = NewStoreDir("capped_restore");
+  {
+    std::unique_ptr<VerdictStore> store = MustOpen(dir);
+    for (uint32_t i = 0; i < 5; ++i) {
+      store->Put(StrCat("k", i), MakeVerdict(i));
+    }
+  }
+  // A cap smaller than the durable population must not drop entries that
+  // are already paid for — it only gates growth.
+  VerdictStoreOptions options;
+  options.max_entries = 2;
+  std::unique_ptr<VerdictStore> store = MustOpen(dir, options);
+  EXPECT_EQ(store->size(), 5u);
+  store->Put("k9", MakeVerdict(9));
+  EXPECT_EQ(store->size(), 5u);
+  EXPECT_EQ(store->stats().records_capped, 1u);
+}
+
 // --- concurrency (TSan CI stage) ---------------------------------------------
 
 TEST(StoreTest, ConcurrentReadersDuringWriteBehindFlush) {
