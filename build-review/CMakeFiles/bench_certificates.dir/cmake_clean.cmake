@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_certificates.dir/bench/bench_certificates.cc.o"
+  "CMakeFiles/bench_certificates.dir/bench/bench_certificates.cc.o.d"
+  "bench_certificates"
+  "bench_certificates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_certificates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

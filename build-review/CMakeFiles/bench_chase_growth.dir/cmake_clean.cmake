@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chase_growth.dir/bench/bench_chase_growth.cc.o"
+  "CMakeFiles/bench_chase_growth.dir/bench/bench_chase_growth.cc.o.d"
+  "bench_chase_growth"
+  "bench_chase_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chase_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkmany_scaling.dir/bench/bench_checkmany_scaling.cc.o"
+  "CMakeFiles/bench_checkmany_scaling.dir/bench/bench_checkmany_scaling.cc.o.d"
+  "bench_checkmany_scaling"
+  "bench_checkmany_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkmany_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

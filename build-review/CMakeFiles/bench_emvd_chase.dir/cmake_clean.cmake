@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emvd_chase.dir/bench/bench_emvd_chase.cc.o"
+  "CMakeFiles/bench_emvd_chase.dir/bench/bench_emvd_chase.cc.o.d"
+  "bench_emvd_chase"
+  "bench_emvd_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emvd_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

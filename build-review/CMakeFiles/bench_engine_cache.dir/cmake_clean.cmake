@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_cache.dir/bench/bench_engine_cache.cc.o"
+  "CMakeFiles/bench_engine_cache.dir/bench/bench_engine_cache.cc.o.d"
+  "bench_engine_cache"
+  "bench_engine_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_chase_graphs.dir/bench/bench_fig1_chase_graphs.cc.o"
+  "CMakeFiles/bench_fig1_chase_graphs.dir/bench/bench_fig1_chase_graphs.cc.o.d"
+  "bench_fig1_chase_graphs"
+  "bench_fig1_chase_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_chase_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

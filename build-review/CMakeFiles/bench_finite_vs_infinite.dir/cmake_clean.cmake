@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_finite_vs_infinite.dir/bench/bench_finite_vs_infinite.cc.o"
+  "CMakeFiles/bench_finite_vs_infinite.dir/bench/bench_finite_vs_infinite.cc.o.d"
+  "bench_finite_vs_infinite"
+  "bench_finite_vs_infinite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finite_vs_infinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

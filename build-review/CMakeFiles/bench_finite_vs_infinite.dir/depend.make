@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_finite_vs_infinite.
+# This may be replaced when dependencies are built.

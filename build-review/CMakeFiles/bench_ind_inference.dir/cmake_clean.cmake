@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ind_inference.dir/bench/bench_ind_inference.cc.o"
+  "CMakeFiles/bench_ind_inference.dir/bench/bench_ind_inference.cc.o.d"
+  "bench_ind_inference"
+  "bench_ind_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ind_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_example.dir/bench/bench_intro_example.cc.o"
+  "CMakeFiles/bench_intro_example.dir/bench/bench_intro_example.cc.o.d"
+  "bench_intro_example"
+  "bench_intro_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma2_factorization.dir/bench/bench_lemma2_factorization.cc.o"
+  "CMakeFiles/bench_lemma2_factorization.dir/bench/bench_lemma2_factorization.cc.o.d"
+  "bench_lemma2_factorization"
+  "bench_lemma2_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma2_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

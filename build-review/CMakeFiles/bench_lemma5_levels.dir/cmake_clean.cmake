@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma5_levels.dir/bench/bench_lemma5_levels.cc.o"
+  "CMakeFiles/bench_lemma5_levels.dir/bench/bench_lemma5_levels.cc.o.d"
+  "bench_lemma5_levels"
+  "bench_lemma5_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma5_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

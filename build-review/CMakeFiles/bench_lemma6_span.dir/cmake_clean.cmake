@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma6_span.dir/bench/bench_lemma6_span.cc.o"
+  "CMakeFiles/bench_lemma6_span.dir/bench/bench_lemma6_span.cc.o.d"
+  "bench_lemma6_span"
+  "bench_lemma6_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma6_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_lemma6_span.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimization.dir/bench/bench_minimization.cc.o"
+  "CMakeFiles/bench_minimization.dir/bench/bench_minimization.cc.o.d"
+  "bench_minimization"
+  "bench_minimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

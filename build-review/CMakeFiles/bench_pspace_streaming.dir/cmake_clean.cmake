@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pspace_streaming.dir/bench/bench_pspace_streaming.cc.o"
+  "CMakeFiles/bench_pspace_streaming.dir/bench/bench_pspace_streaming.cc.o.d"
+  "bench_pspace_streaming"
+  "bench_pspace_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pspace_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

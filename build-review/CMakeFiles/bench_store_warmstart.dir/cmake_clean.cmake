@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_store_warmstart.dir/bench/bench_store_warmstart.cc.o"
+  "CMakeFiles/bench_store_warmstart.dir/bench/bench_store_warmstart.cc.o.d"
+  "bench_store_warmstart"
+  "bench_store_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_store_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

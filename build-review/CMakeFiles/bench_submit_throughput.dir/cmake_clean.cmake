@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_submit_throughput.dir/bench/bench_submit_throughput.cc.o"
+  "CMakeFiles/bench_submit_throughput.dir/bench/bench_submit_throughput.cc.o.d"
+  "bench_submit_throughput"
+  "bench_submit_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_submit_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

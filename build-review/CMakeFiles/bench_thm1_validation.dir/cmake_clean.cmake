@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_validation.dir/bench/bench_thm1_validation.cc.o"
+  "CMakeFiles/bench_thm1_validation.dir/bench/bench_thm1_validation.cc.o.d"
+  "bench_thm1_validation"
+  "bench_thm1_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_scaling.dir/bench/bench_thm2_scaling.cc.o"
+  "CMakeFiles/bench_thm2_scaling.dir/bench/bench_thm2_scaling.cc.o.d"
+  "bench_thm2_scaling"
+  "bench_thm2_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_controllability.dir/bench/bench_thm3_controllability.cc.o"
+  "CMakeFiles/bench_thm3_controllability.dir/bench/bench_thm3_controllability.cc.o.d"
+  "bench_thm3_controllability"
+  "bench_thm3_controllability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_controllability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

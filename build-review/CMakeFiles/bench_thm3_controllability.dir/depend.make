@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm3_controllability.
+# This may be replaced when dependencies are built.

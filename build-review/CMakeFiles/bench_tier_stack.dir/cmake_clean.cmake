@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tier_stack.dir/bench/bench_tier_stack.cc.o"
+  "CMakeFiles/bench_tier_stack.dir/bench/bench_tier_stack.cc.o.d"
+  "bench_tier_stack"
+  "bench_tier_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tier_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

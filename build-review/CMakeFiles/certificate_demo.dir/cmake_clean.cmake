@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certificate_demo.dir/examples/certificate_demo.cc.o"
+  "CMakeFiles/certificate_demo.dir/examples/certificate_demo.cc.o.d"
+  "certificate_demo"
+  "certificate_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certificate_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_explorer.dir/examples/chase_explorer.cc.o"
+  "CMakeFiles/chase_explorer.dir/examples/chase_explorer.cc.o.d"
+  "chase_explorer"
+  "chase_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_parser_test.dir/tests/cq_parser_test.cc.o"
+  "CMakeFiles/cq_parser_test.dir/tests/cq_parser_test.cc.o.d"
+  "cq_parser_test"
+  "cq_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

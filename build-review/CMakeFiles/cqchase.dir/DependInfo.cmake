@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/status.cc" "CMakeFiles/cqchase.dir/src/base/status.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "CMakeFiles/cqchase.dir/src/base/string_util.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/base/string_util.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "CMakeFiles/cqchase.dir/src/chase/chase.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/chase/chase.cc.o.d"
+  "/root/repo/src/chase/chase_graph.cc" "CMakeFiles/cqchase.dir/src/chase/chase_graph.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/chase/chase_graph.cc.o.d"
+  "/root/repo/src/core/certificate.cc" "CMakeFiles/cqchase.dir/src/core/certificate.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/core/certificate.cc.o.d"
+  "/root/repo/src/core/containment.cc" "CMakeFiles/cqchase.dir/src/core/containment.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/core/containment.cc.o.d"
+  "/root/repo/src/core/homomorphism.cc" "CMakeFiles/cqchase.dir/src/core/homomorphism.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/core/homomorphism.cc.o.d"
+  "/root/repo/src/core/minimize.cc" "CMakeFiles/cqchase.dir/src/core/minimize.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/core/minimize.cc.o.d"
+  "/root/repo/src/core/pspace.cc" "CMakeFiles/cqchase.dir/src/core/pspace.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/core/pspace.cc.o.d"
+  "/root/repo/src/cq/cq_parser.cc" "CMakeFiles/cqchase.dir/src/cq/cq_parser.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/cq/cq_parser.cc.o.d"
+  "/root/repo/src/cq/fact.cc" "CMakeFiles/cqchase.dir/src/cq/fact.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/cq/fact.cc.o.d"
+  "/root/repo/src/cq/query.cc" "CMakeFiles/cqchase.dir/src/cq/query.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/cq/query.cc.o.d"
+  "/root/repo/src/data/instance.cc" "CMakeFiles/cqchase.dir/src/data/instance.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/data/instance.cc.o.d"
+  "/root/repo/src/deps/dependency.cc" "CMakeFiles/cqchase.dir/src/deps/dependency.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/deps/dependency.cc.o.d"
+  "/root/repo/src/deps/dependency_set.cc" "CMakeFiles/cqchase.dir/src/deps/dependency_set.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/deps/dependency_set.cc.o.d"
+  "/root/repo/src/deps/deps_parser.cc" "CMakeFiles/cqchase.dir/src/deps/deps_parser.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/deps/deps_parser.cc.o.d"
+  "/root/repo/src/emvd/emvd.cc" "CMakeFiles/cqchase.dir/src/emvd/emvd.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/emvd/emvd.cc.o.d"
+  "/root/repo/src/emvd/emvd_chase.cc" "CMakeFiles/cqchase.dir/src/emvd/emvd_chase.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/emvd/emvd_chase.cc.o.d"
+  "/root/repo/src/engine/canonical.cc" "CMakeFiles/cqchase.dir/src/engine/canonical.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/engine/canonical.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/cqchase.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "CMakeFiles/cqchase.dir/src/engine/executor.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/engine/executor.cc.o.d"
+  "/root/repo/src/engine/remote_tier.cc" "CMakeFiles/cqchase.dir/src/engine/remote_tier.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/engine/remote_tier.cc.o.d"
+  "/root/repo/src/engine/serialize.cc" "CMakeFiles/cqchase.dir/src/engine/serialize.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/engine/serialize.cc.o.d"
+  "/root/repo/src/engine/sigma_class.cc" "CMakeFiles/cqchase.dir/src/engine/sigma_class.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/engine/sigma_class.cc.o.d"
+  "/root/repo/src/engine/store.cc" "CMakeFiles/cqchase.dir/src/engine/store.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/engine/store.cc.o.d"
+  "/root/repo/src/engine/tier.cc" "CMakeFiles/cqchase.dir/src/engine/tier.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/engine/tier.cc.o.d"
+  "/root/repo/src/finite/finite_containment.cc" "CMakeFiles/cqchase.dir/src/finite/finite_containment.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/finite/finite_containment.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "CMakeFiles/cqchase.dir/src/gen/generators.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/gen/generators.cc.o.d"
+  "/root/repo/src/gen/scenarios.cc" "CMakeFiles/cqchase.dir/src/gen/scenarios.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/gen/scenarios.cc.o.d"
+  "/root/repo/src/inference/fd_inference.cc" "CMakeFiles/cqchase.dir/src/inference/fd_inference.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/inference/fd_inference.cc.o.d"
+  "/root/repo/src/inference/ind_inference.cc" "CMakeFiles/cqchase.dir/src/inference/ind_inference.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/inference/ind_inference.cc.o.d"
+  "/root/repo/src/opt/cost.cc" "CMakeFiles/cqchase.dir/src/opt/cost.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/opt/cost.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "CMakeFiles/cqchase.dir/src/opt/optimizer.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/opt/optimizer.cc.o.d"
+  "/root/repo/src/schema/catalog.cc" "CMakeFiles/cqchase.dir/src/schema/catalog.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/schema/catalog.cc.o.d"
+  "/root/repo/src/symbols/symbol_table.cc" "CMakeFiles/cqchase.dir/src/symbols/symbol_table.cc.o" "gcc" "CMakeFiles/cqchase.dir/src/symbols/symbol_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

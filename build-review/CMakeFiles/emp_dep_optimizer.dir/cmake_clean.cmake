@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emp_dep_optimizer.dir/examples/emp_dep_optimizer.cc.o"
+  "CMakeFiles/emp_dep_optimizer.dir/examples/emp_dep_optimizer.cc.o.d"
+  "emp_dep_optimizer"
+  "emp_dep_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emp_dep_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emvd_test.dir/tests/emvd_test.cc.o"
+  "CMakeFiles/emvd_test.dir/tests/emvd_test.cc.o.d"
+  "emvd_test"
+  "emvd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emvd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

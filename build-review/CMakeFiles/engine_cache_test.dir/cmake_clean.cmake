@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_cache_test.dir/tests/engine_cache_test.cc.o"
+  "CMakeFiles/engine_cache_test.dir/tests/engine_cache_test.cc.o.d"
+  "engine_cache_test"
+  "engine_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

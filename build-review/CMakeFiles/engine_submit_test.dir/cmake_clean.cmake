@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_submit_test.dir/tests/engine_submit_test.cc.o"
+  "CMakeFiles/engine_submit_test.dir/tests/engine_submit_test.cc.o.d"
+  "engine_submit_test"
+  "engine_submit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_submit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_test.dir/tests/finite_test.cc.o"
+  "CMakeFiles/finite_test.dir/tests/finite_test.cc.o.d"
+  "finite_test"
+  "finite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_vs_infinite.dir/examples/finite_vs_infinite.cc.o"
+  "CMakeFiles/finite_vs_infinite.dir/examples/finite_vs_infinite.cc.o.d"
+  "finite_vs_infinite"
+  "finite_vs_infinite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_vs_infinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for finite_vs_infinite.
+# This may be replaced when dependencies are built.

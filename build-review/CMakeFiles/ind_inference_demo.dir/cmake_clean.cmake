@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ind_inference_demo.dir/examples/ind_inference_demo.cc.o"
+  "CMakeFiles/ind_inference_demo.dir/examples/ind_inference_demo.cc.o.d"
+  "ind_inference_demo"
+  "ind_inference_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ind_inference_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

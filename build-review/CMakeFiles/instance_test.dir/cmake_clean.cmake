@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_test.dir/tests/instance_test.cc.o"
+  "CMakeFiles/instance_test.dir/tests/instance_test.cc.o.d"
+  "instance_test"
+  "instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimize_test.dir/tests/minimize_test.cc.o"
+  "CMakeFiles/minimize_test.dir/tests/minimize_test.cc.o.d"
+  "minimize_test"
+  "minimize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

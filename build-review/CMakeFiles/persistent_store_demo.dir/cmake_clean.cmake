@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_store_demo.dir/examples/persistent_store_demo.cc.o"
+  "CMakeFiles/persistent_store_demo.dir/examples/persistent_store_demo.cc.o.d"
+  "persistent_store_demo"
+  "persistent_store_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_store_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pspace_test.dir/tests/pspace_test.cc.o"
+  "CMakeFiles/pspace_test.dir/tests/pspace_test.cc.o.d"
+  "pspace_test"
+  "pspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

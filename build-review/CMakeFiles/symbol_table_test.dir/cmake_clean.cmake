@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_table_test.dir/tests/symbol_table_test.cc.o"
+  "CMakeFiles/symbol_table_test.dir/tests/symbol_table_test.cc.o.d"
+  "symbol_table_test"
+  "symbol_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_stack_demo.dir/examples/tier_stack_demo.cc.o"
+  "CMakeFiles/tier_stack_demo.dir/examples/tier_stack_demo.cc.o.d"
+  "tier_stack_demo"
+  "tier_stack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_stack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_test.dir/tests/tier_test.cc.o"
+  "CMakeFiles/tier_test.dir/tests/tier_test.cc.o.d"
+  "tier_test"
+  "tier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
