@@ -48,7 +48,10 @@ inline void PrintHeader(const std::string& experiment,
 //   3 — verdict tier stack: remote_hits/remote_writes in
 //       AppendEngineCounters, per-tier hit/publish counters via
 //       AppendTierCounters, tiers_configured in AppendEngineConfig
-inline constexpr int kBenchRecordSchema = 3;
+//   4 — set-at-a-time chase core: chase_steps/chase_index_rebuilds/
+//       segments_built/bulk_ind_applications in AppendEngineCounters,
+//       chase_core_bulk in AppendEngineConfig
+inline constexpr int kBenchRecordSchema = 4;
 
 // One-line machine-readable record, emitted by every bench so the perf
 // trajectory can be scraped (`grep '^{"bench"'` over the run log). Integral
@@ -105,6 +108,14 @@ inline void AppendEngineCounters(
                         static_cast<double>(stats.remote_hits));
   counters.emplace_back("remote_writes",
                         static_cast<double>(stats.remote_writes));
+  counters.emplace_back("chase_steps",
+                        static_cast<double>(stats.chase_steps));
+  counters.emplace_back("chase_index_rebuilds",
+                        static_cast<double>(stats.chase_index_rebuilds));
+  counters.emplace_back("segments_built",
+                        static_cast<double>(stats.segments_built));
+  counters.emplace_back("bulk_ind_applications",
+                        static_cast<double>(stats.bulk_ind_applications));
 }
 
 // Appends one hit/publish counter pair per active verdict tier (probe
@@ -162,6 +173,9 @@ inline void AppendEngineConfig(
   counters.emplace_back("store_enabled", has_store_tier ? 1.0 : 0.0);
   counters.emplace_back("tiers_configured",
                         static_cast<double>(config.tiers.size()));
+  counters.emplace_back(
+      "chase_core_bulk",
+      config.containment.limits.core == ChaseCoreMode::kBulk ? 1.0 : 0.0);
 }
 
 // A deterministic keyed IND-only containment workload of `classes` verdict

@@ -7,14 +7,17 @@
 #     measure this tree; gating an unoptimized build would enforce the claim
 #     on a configuration nobody ships.
 #  2. ctest: the full suite. Tests carry LABELS (unit / engine / concurrency
-#     / store) and per-test TIMEOUT properties, so a hang is a named per-test
-#     failure, not a stuck job.
+#     / store / chase) and per-test TIMEOUT properties, so a hang is a named
+#     per-test failure, not a stuck job.
 #  3. perf-gates: enforced perf smokes. bench_engine_cache exits non-zero if
 #     cached and uncached verdicts diverge or the >= 2x cache speedup is
 #     missed; bench_checkmany_scaling if worker fan-out verdicts diverge or
 #     8-worker throughput misses the target for the host's core count;
 #     bench_submit_throughput if pooled async submission loses to the legacy
-#     per-call thread fan-out or verdicts diverge between the two modes.
+#     per-call thread fan-out or verdicts diverge between the two modes;
+#     bench_chase_bulk if the set-at-a-time chase core diverges from the
+#     scalar oracle (prefix, steps, or terminal status) or misses the >= 2x
+#     speedup bound on the wide-Σ workload.
 #  4. warmstart-gate: the persistent-tier restart contract. Runs
 #     bench_store_warmstart twice against the same fresh store directory; the
 #     cold run populates the store and checks verdict parity against a
@@ -38,18 +41,38 @@ cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
 
+# Peak-RSS per stage: /usr/bin/time is not guaranteed on the CI hosts, so a
+# tiny wait4-based wrapper (tools/rsswrap.c) measures each stage's subtree.
+# Stages run through `$0 --run-stage <fn>` so the wrapper has a real process
+# to exec (bash functions aren't execvp-able); if the wrapper fails to
+# compile the stage runs unwrapped and the table prints n/a.
+RSSWRAP="build/rsswrap"
+mkdir -p build
+cc -O2 -o "${RSSWRAP}" tools/rsswrap.c 2>/dev/null || true
+
 STAGE_NAMES=()
 STAGE_SECS=()
+STAGE_RSS_KB=()
 stage() {
   local name="$1"
   shift
   echo ""
   echo "=== stage: ${name} ==="
   local t0=${SECONDS}
-  "$@"
+  local rss="n/a"
+  if [[ -x "${RSSWRAP}" ]]; then
+    local rss_file="build/.rsswrap.${name}.kb"
+    rm -f "${rss_file}"
+    "${RSSWRAP}" "${rss_file}" "$0" --run-stage "$@"
+    rss="$(tail -n 1 "${rss_file}" 2>/dev/null || echo n/a)"
+    rm -f "${rss_file}"
+  else
+    "$@"
+  fi
   local dt=$(( SECONDS - t0 ))
   STAGE_NAMES+=("${name}")
   STAGE_SECS+=("${dt}")
+  STAGE_RSS_KB+=("${rss}")
   echo "=== stage: ${name} ok (${dt}s) ==="
 }
 
@@ -66,6 +89,7 @@ perf_gates() {
   ./build/bench_engine_cache
   ./build/bench_checkmany_scaling
   ./build/bench_submit_throughput
+  ./build/bench_chase_bulk
 }
 
 warmstart_gate() {
@@ -85,7 +109,7 @@ tier_gate() {
 # asserts guarding the arena — the exact checks these stages exist to keep
 # hot.
 ASAN_TESTS=(serialize_test store_test tier_test engine_test engine_cache_test
-            engine_dispatch_test)
+            engine_dispatch_test chase_core_parity_test)
 asan_ubsan() {
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
@@ -97,9 +121,9 @@ asan_ubsan() {
   done
 }
 
-TSAN_TESTS=(symbol_table_test chase_test engine_test engine_cache_test
-            engine_dispatch_test engine_concurrency_test executor_test
-            engine_submit_test store_test tier_test)
+TSAN_TESTS=(symbol_table_test chase_test chase_core_parity_test engine_test
+            engine_cache_test engine_dispatch_test engine_concurrency_test
+            executor_test engine_submit_test store_test tier_test)
 tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
@@ -110,6 +134,14 @@ tsan() {
     ./build-tsan/"${t}"
   done
 }
+
+# Re-entrant stage dispatch for the rsswrap wrapper (see above). Must sit
+# after every stage function is defined and before any stage runs.
+if [[ "${1:-}" == "--run-stage" ]]; then
+  shift
+  "$@"
+  exit $?
+fi
 
 stage release-build   release_build
 stage ctest           run_ctest
@@ -122,6 +154,13 @@ stage tsan            tsan
 echo ""
 echo "=== stage timings ==="
 for i in "${!STAGE_NAMES[@]}"; do
-  printf '  %-16s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+  rss="${STAGE_RSS_KB[$i]}"
+  if [[ "${rss}" =~ ^[0-9]+$ ]]; then
+    printf '  %-16s %4ss  peak-rss %5d MB\n' \
+      "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" $(( rss / 1024 ))
+  else
+    printf '  %-16s %4ss  peak-rss    n/a\n' \
+      "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+  fi
 done
 echo "CI OK"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <map>
 
 #include "base/string_util.h"
+#include "chase/bulk.h"
 
 namespace cqchase {
 
@@ -17,7 +19,14 @@ Chase::Chase(const Catalog* catalog, SymbolTable* symbols,
       deps_(deps),
       variant_(variant),
       limits_(limits),
-      ndv_shard_(symbols->CreateShard()) {}
+      ndv_shard_(symbols->CreateShard()) {
+  considered_.Reset(deps_->inds().size());
+}
+
+// Out of line: BulkState is incomplete in chase.h.
+Chase::~Chase() = default;
+Chase::Chase(Chase&&) noexcept = default;
+Chase& Chase::operator=(Chase&&) noexcept = default;
 
 Status Chase::Init(const ConjunctiveQuery& query) {
   if (initialized_) {
@@ -69,6 +78,7 @@ void Chase::SubstituteTerm(Term winner, Term loser) {
     if (t == loser) t = winner;
   }
   index_dirty_ = true;  // facts changed; pending_/witness_index_ are stale
+  if (bulk_ != nullptr) bulk_->witness_dirty = true;
   DedupeConjuncts();
 }
 
@@ -87,13 +97,7 @@ void Chase::DedupeConjuncts() {
     redirect[c.id] = survivor.id;
     // The survivor inherits the dead conjunct's considered INDs: an IND
     // applied to either copy has been applied to the merged conjunct.
-    std::vector<uint32_t> inds_considered;
-    for (const auto& [ind, cid] : considered_) {
-      if (cid == c.id) inds_considered.push_back(ind);
-    }
-    for (uint32_t ind : inds_considered) {
-      considered_.emplace(ind, survivor.id);
-    }
+    considered_.Inherit(c.id, survivor.id);
   }
   if (redirect.empty()) return;
   auto target = [&](uint64_t id) {
@@ -121,6 +125,7 @@ bool Chase::ApplyFd(const FunctionalDependency& fd, size_t a, size_t b) {
   }
   Term winner = std::min(u, v);  // constant < DV < NDV, then creation order
   Term loser = std::max(u, v);
+  ++stats_.fd_merges;
   SubstituteTerm(winner, loser);
   return true;
 }
@@ -154,8 +159,8 @@ Status Chase::RunIncrementalFdPhase() {
         continue;
       }
       if (other.fact.terms[fd.rhs] == c.fact.terms[fd.rhs]) continue;
-      ++steps_;
-      if (steps_ > limits_.max_steps) {
+      ++stats_.steps;
+      if (stats_.steps > limits_.max_steps) {
         return Status::ResourceExhausted(
             StrCat("chase exceeded max_steps=", limits_.max_steps));
       }
@@ -180,6 +185,18 @@ Status Chase::PollControl() {
 }
 
 Status Chase::RunFullFdPhase() {
+  // One clock read per full phase, not per merge: saturation cascades are
+  // the unit the fd_ms timer meters.
+  const auto fd_phase_start = std::chrono::steady_clock::now();
+  struct FdPhaseTimer {
+    std::chrono::steady_clock::time_point start;
+    ChaseStats* stats;
+    ~FdPhaseTimer() {
+      stats->fd_ms += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    }
+  } fd_phase_timer{fd_phase_start, &stats_};
   // Repeatedly find a pair of conjuncts with an applicable FD and apply it.
   // The pair is located with one pass per FD over a (lhs-values -> conjunct)
   // map rather than the paper's all-pairs scan; since the FD chase is
@@ -217,8 +234,8 @@ Status Chase::RunFullFdPhase() {
         if (inserted) continue;
         const Fact& g = conjuncts_[it->second].fact;
         if (g.terms[fd.rhs] == f.terms[fd.rhs]) continue;
-        ++steps_;
-        if (steps_ > limits_.max_steps) {
+        ++stats_.steps;
+        if (stats_.steps > limits_.max_steps) {
           return Status::ResourceExhausted(
               StrCat("chase exceeded max_steps=", limits_.max_steps));
         }
@@ -250,6 +267,7 @@ Status Chase::RunFullFdPhase() {
 }
 
 void Chase::RebuildIndices() {
+  ++stats_.index_rebuilds;
   pending_.clear();
   witness_index_.assign(
       deps_->inds().size(),
@@ -264,7 +282,7 @@ void Chase::IndexNewConjunct(const ChaseConjunct& conjunct) {
   for (uint32_t k = 0; k < deps_->inds().size(); ++k) {
     const InclusionDependency& ind = deps_->inds()[k];
     if (ind.lhs_relation == conjunct.fact.relation &&
-        considered_.count({k, conjunct.id}) == 0) {
+        !considered_.Test(k, conjunct.id)) {
       pending_.insert(
           PendingStep{conjunct.level, conjunct.fact, conjunct.id, k});
     }
@@ -304,8 +322,8 @@ Result<bool> Chase::OneIndStep(uint32_t level) {
   const PendingStep step = *pending_.begin();
   pending_.erase(pending_.begin());
 
-  ++steps_;
-  if (steps_ > limits_.max_steps) {
+  ++stats_.steps;
+  if (stats_.steps > limits_.max_steps) {
     return Status::ResourceExhausted(
         StrCat("chase exceeded max_steps=", limits_.max_steps));
   }
@@ -313,7 +331,7 @@ Result<bool> Chase::OneIndStep(uint32_t level) {
   ChaseConjunct& source = conjuncts_[IndexOfId(step.id)];
   const uint32_t chosen_ind = step.ind;
   const InclusionDependency& ind = deps_->inds()[chosen_ind];
-  considered_.emplace(chosen_ind, source.id);
+  considered_.Set(chosen_ind, source.id);
 
   std::vector<Term> x_values;
   x_values.reserve(ind.lhs_columns.size());
@@ -369,6 +387,9 @@ Result<ChaseOutcome> Chase::ExpandToLevel(uint32_t level) {
   }
   if (outcome_ == ChaseOutcome::kEmptyQuery) return outcome_;
   const uint32_t effective = std::min(level, limits_.max_level);
+  if (limits_.core == ChaseCoreMode::kBulk) {
+    return BulkExpandToLevel(effective);
+  }
   while (true) {
     CQCHASE_RETURN_IF_ERROR(PollControl());
     CQCHASE_RETURN_IF_ERROR(RunFdPhase());

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -37,6 +38,7 @@
 
 #include "base/status.h"
 #include "chase/control.h"
+#include "chase/segment.h"
 #include "cq/fact.h"
 #include "cq/query.h"
 #include "data/instance.h"
@@ -51,12 +53,23 @@ enum class ChaseVariant {
   kRequired,   // R-chase
 };
 
+// Which executor drives the IND phase. Both cores produce bit-identical
+// chase prefixes (same conjunct ids, levels, facts, arcs, outcome, and step
+// counts) — the scalar core is the paper-literal oracle, the bulk core the
+// set-at-a-time columnar engine (see chase/bulk.h). Equivalence is enforced
+// differentially by tests/chase_core_parity_test.cc.
+enum class ChaseCoreMode {
+  kScalar,  // one PendingStep at a time (reference/oracle)
+  kBulk,    // level-frontier batches over columnar segments (default)
+};
+
 // Resource budgets for one chase. Limits make truncation explicit: hitting
 // one never yields a wrong chase, only an incomplete prefix.
 struct ChaseLimits {
   uint32_t max_level = 64;
   size_t max_conjuncts = 200000;
   size_t max_steps = 2000000;
+  ChaseCoreMode core = ChaseCoreMode::kBulk;
 };
 
 enum class ChaseOutcome {
@@ -93,12 +106,17 @@ struct ChaseArc {
   bool cross = false;
 };
 
+struct BulkState;  // chase/bulk.h
+
 class Chase {
  public:
   // The engine creates fresh NDVs in `symbols` as it runs; `symbols` must
   // outlive the Chase and be the table `query` was built against.
   Chase(const Catalog* catalog, SymbolTable* symbols,
         const DependencySet* deps, ChaseVariant variant, ChaseLimits limits);
+  ~Chase();
+  Chase(Chase&&) noexcept;
+  Chase& operator=(Chase&&) noexcept;
 
   // Loads Q's conjuncts at level 0 and runs the initial FD phase.
   // Must be called exactly once, before any Expand call.
@@ -158,7 +176,20 @@ class Chase {
   Term ResolveTerm(Term t) const;
 
   // Total chase-rule applications so far (FD + IND steps).
-  size_t steps() const { return steps_; }
+  size_t steps() const { return static_cast<size_t>(stats_.steps); }
+
+  // Counters and phase timers (see chase/segment.h). Monotone across
+  // ExpandToLevel calls; the engine snapshots deltas per asker turn.
+  const ChaseStats& chase_stats() const { return stats_; }
+
+  // Columnar provenance built by the bulk core; empty under kScalar.
+  const SegmentStore& segments() const { return segments_; }
+
+  // O(1) lookup by conjunct id (ids are dense creation indices), nullptr if
+  // out of range. The returned conjunct may be dead (merged away).
+  const ChaseConjunct* ConjunctById(uint64_t id) const {
+    return id < conjuncts_.size() ? &conjuncts_[id] : nullptr;
+  }
 
   std::string ToString() const;
 
@@ -236,6 +267,22 @@ class Chase {
   // escalates to the full phase when a merge fires.
   Status RunIncrementalFdPhase();
 
+  // --- Bulk (set-at-a-time) core; implemented in chase/bulk.cc ------------
+  // Level-frontier loop replacing the scalar OneIndStep loop under
+  // ChaseCoreMode::kBulk. Produces a prefix identical to the scalar core.
+  Result<ChaseOutcome> BulkExpandToLevel(uint32_t effective);
+  // One frontier sweep: collects the minimum-level pending frontier below
+  // `effective`, applies every unconsidered applicable IND across it, and
+  // flushes one columnar segment per (level, IND). Returns true if any
+  // (conjunct, IND) pair was processed.
+  Result<bool> RunLevelBatch(uint32_t effective);
+  // Pending-work probe without the scalar pending_ set: scans conjuncts
+  // against per-relation applicable-IND masks minus considered_ rows.
+  bool BulkHasPendingWork(uint32_t level) const;
+  void PrepareBulk();           // static Σ shape (masks, witness groups)
+  void RebuildWitnessGroups();  // from-scratch witness rebuild (post-merge)
+  void AddToWitnessGroups(const ChaseConjunct& conjunct);
+
   const Catalog* catalog_;
   SymbolTable* symbols_;
   const DependencySet* deps_;
@@ -249,8 +296,9 @@ class Chase {
   std::vector<ChaseConjunct> conjuncts_;
   std::vector<ChaseArc> arcs_;
   std::vector<Term> summary_;
-  // (ind_index, conjunct_id) pairs already considered by the IND discipline.
-  std::set<std::pair<uint32_t, uint64_t>> considered_;
+  // (ind_index, conjunct_id) pairs already considered by the IND discipline,
+  // as a dense bitmap (one row of |inds| bits per conjunct).
+  ConsideredSet considered_;
   // Accumulated FD substitution, applied lazily via ResolveTerm.
   std::unordered_map<Term, Term> substitution_;
 
@@ -274,7 +322,11 @@ class Chase {
   ChaseOutcome outcome_ = ChaseOutcome::kTruncated;
   bool initialized_ = false;
   uint64_t next_id_ = 0;
-  size_t steps_ = 0;
+  ChaseStats stats_;
+  // Columnar provenance (bulk core only; stays empty under kScalar).
+  SegmentStore segments_;
+  // Lazily allocated bulk-core working state (chase/bulk.h).
+  std::unique_ptr<BulkState> bulk_;
   const ChaseControl* control_ = nullptr;
   uint32_t control_polls_ = 0;
 };

@@ -1,0 +1,87 @@
+#include "chase/segment.h"
+
+#include <cassert>
+
+namespace cqchase {
+
+void ColumnSegment::AppendRow(const Fact& fact, uint64_t minted_id,
+                              uint64_t source_id) {
+  assert(fact.relation == relation);
+  if (columns.empty()) columns.resize(fact.terms.size());
+  assert(columns.size() == fact.terms.size());
+  for (size_t c = 0; c < fact.terms.size(); ++c) {
+    columns[c].push_back(fact.terms[c]);
+  }
+  minted_ids.push_back(minted_id);
+  source_ids.push_back(source_id);
+}
+
+Fact ColumnSegment::RowFact(size_t r) const {
+  Fact f;
+  f.relation = relation;
+  f.terms.reserve(columns.size());
+  for (const std::vector<Term>& col : columns) f.terms.push_back(col[r]);
+  return f;
+}
+
+std::optional<SegmentEdge> SegmentStore::EdgeOf(uint64_t id) const {
+  if (id >= edge_of_id_.size() || edge_of_id_[id] == kNoEdge) {
+    return std::nullopt;
+  }
+  const uint64_t packed = edge_of_id_[id];
+  SegmentEdge edge;
+  edge.segment = static_cast<uint32_t>(packed >> 32);
+  edge.row = static_cast<uint32_t>(packed & 0xffffffffu);
+  const ColumnSegment& seg = segments_[edge.segment];
+  edge.source_id = seg.source_ids[edge.row];
+  edge.ind_index = seg.ind_index;
+  return edge;
+}
+
+void SegmentStore::Add(ColumnSegment segment) {
+  if (segment.rows() == 0) return;
+  const uint32_t seg_index = static_cast<uint32_t>(segments_.size());
+  for (uint32_t r = 0; r < segment.rows(); ++r) {
+    const uint64_t id = segment.minted_ids[r];
+    if (id >= edge_of_id_.size()) edge_of_id_.resize(id + 1, kNoEdge);
+    edge_of_id_[id] = (uint64_t{seg_index} << 32) | r;
+  }
+  total_rows_ += segment.rows();
+  segments_.push_back(std::move(segment));
+}
+
+void ConsideredSet::Reset(size_t num_inds) {
+  words_ = (num_inds + 63) / 64;
+  bits_.clear();
+}
+
+bool ConsideredSet::Test(uint32_t ind, uint64_t id) const {
+  const size_t word = id * words_ + ind / 64;
+  if (word >= bits_.size()) return false;
+  return (bits_[word] >> (ind % 64)) & 1;
+}
+
+void ConsideredSet::EnsureRow(uint64_t id) {
+  const size_t need = (id + 1) * words_;
+  if (bits_.size() < need) bits_.resize(need, 0);
+}
+
+void ConsideredSet::Set(uint32_t ind, uint64_t id) {
+  EnsureRow(id);
+  bits_[id * words_ + ind / 64] |= uint64_t{1} << (ind % 64);
+}
+
+void ConsideredSet::Inherit(uint64_t from, uint64_t to) {
+  if ((from + 1) * words_ > bits_.size()) return;  // `from` row is all-zero
+  EnsureRow(to);
+  for (size_t w = 0; w < words_; ++w) {
+    bits_[to * words_ + w] |= bits_[from * words_ + w];
+  }
+}
+
+const uint64_t* ConsideredSet::Row(uint64_t id) const {
+  if (words_ == 0 || (id + 1) * words_ > bits_.size()) return nullptr;
+  return &bits_[id * words_];
+}
+
+}  // namespace cqchase

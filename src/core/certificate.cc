@@ -81,25 +81,24 @@ bool CertifiableSigma(const DependencySet& deps, const Catalog& catalog) {
 
 ContainmentCertificate ExtractCertificateFromChase(const Chase& chase,
                                                    const Homomorphism& hom) {
-  // Extract the image conjuncts and their ordinary-arc ancestors. One id
-  // index up front: the engine calls this while holding a shared chase
-  // entry's lock against a prefix other askers may have driven far deeper
-  // than this witness needs, so the ancestor walk must be O(prefix + cone),
-  // not O(cone x prefix).
+  // Extract the image conjuncts and their ordinary-arc ancestors. The walk
+  // is O(cone): ids are dense creation indices, so each parent hop is one
+  // Chase::ConjunctById array lookup — no id map over the whole prefix,
+  // which matters because the engine calls this while holding a shared
+  // chase entry's lock against a prefix other askers may have driven far
+  // deeper than this witness needs. Parent pointers are merge-redirected by
+  // the chase, so they resolve to the live ancestor; the columnar
+  // SegmentStore (bulk core) supplies the dependency label per hop below.
   std::vector<const ChaseConjunct*> alive = chase.AliveConjuncts();
-  std::unordered_map<uint64_t, const ChaseConjunct*> by_id;
-  by_id.reserve(alive.size());
-  for (const ChaseConjunct* c : alive) by_id.emplace(c->id, c);
   std::set<uint64_t> needed;
   for (size_t fact_index : hom.conjunct_images) {
     const ChaseConjunct* c = alive[fact_index];
     while (true) {
       if (!needed.insert(c->id).second) break;
       if (!c->parent.has_value()) break;
-      // Ids are creation-ordered and stable; parent lookup by id.
-      auto it = by_id.find(*c->parent);
-      if (it == by_id.end()) break;  // parent merged away (FD-only chases)
-      c = it->second;
+      const ChaseConjunct* parent = chase.ConjunctById(*c->parent);
+      if (parent == nullptr || !parent->alive) break;  // defensively stop
+      c = parent;
     }
   }
 
@@ -118,7 +117,12 @@ ContainmentCertificate ExtractCertificateFromChase(const Chase& chase,
   for (const ChaseConjunct* c : alive) {
     if (c->level == 0 || needed.count(c->id) == 0) continue;
     DerivationStep step;
-    step.ind_index = c->parent_ind.value_or(0);
+    // Dependency label: the segment edge that minted this conjunct (bulk
+    // core), falling back to the per-conjunct record (scalar core). The two
+    // agree whenever both exist — segments are the columnar mint history.
+    std::optional<SegmentEdge> edge = chase.segments().EdgeOf(c->id);
+    step.ind_index =
+        edge.has_value() ? edge->ind_index : c->parent_ind.value_or(0);
     step.parent = index_of_id.at(*c->parent);
     step.fact = c->fact;
     index_of_id[c->id] = cert.roots.size() + cert.steps.size();

@@ -20,6 +20,10 @@ inline void Bump(std::atomic<uint64_t>& counter) {
   counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+inline void BumpBy(std::atomic<uint64_t>& counter, uint64_t n) {
+  if (n != 0) counter.fetch_add(n, std::memory_order_relaxed);
+}
+
 // Width of the shared executor: the explicit knob wins; otherwise a
 // num_threads > 1 legacy config keeps sizing the pool its CheckMany batches
 // now run on; otherwise whatever the hardware offers.
@@ -586,6 +590,11 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
   // only drops the map's reference, not ours.
   std::unique_lock<std::mutex> shared_lock;
   uint32_t start_level = 0;
+  // Turn-start snapshot for the ChaseStats harvest below. Stays
+  // zero-initialized when this call builds the chase (Init's FD work is this
+  // turn's work); a resumed shared prefix snapshots its monotone counters so
+  // only the delta this asker drives is attributed here.
+  ChaseStats chase_stats_before;
   if (cacheable) {
     const std::string chase_key =
         StrCat("V", static_cast<int>(options.variant), "|",
@@ -613,6 +622,7 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
       if (shared->init_status.ok()) Bump(stats_.chases_built);
     } else if (shared->init_status.ok()) {
       Bump(stats_.chase_prefix_reuses);
+      chase_stats_before = shared->chase->chase_stats();
       // Resume where the shared prefix already is: the first homomorphism
       // search sees the whole prefix anyway, so the per-level searches
       // below this depth would be identical repeats.
@@ -749,6 +759,18 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
     }
     if (ctx.cert_out->has_value()) Bump(stats_.certificates_built);
   }
+
+  // Harvest this turn's chase work into the engine counters — under the
+  // shared entry's lock (the chase is still ours), as monotone deltas
+  // against the turn-start snapshot.
+  const ChaseStats& cs = chase.chase_stats();
+  BumpBy(stats_.chase_steps, cs.steps - chase_stats_before.steps);
+  BumpBy(stats_.chase_index_rebuilds,
+         cs.index_rebuilds - chase_stats_before.index_rebuilds);
+  BumpBy(stats_.segments_built,
+         cs.segments_built - chase_stats_before.segments_built);
+  BumpBy(stats_.bulk_ind_applications,
+         cs.bulk_ind_applications - chase_stats_before.bulk_ind_applications);
 
   chase.set_control(nullptr);
   // No release step: the shared entry stayed in the cache the whole time
@@ -890,6 +912,7 @@ Result<ContainmentEngine::FdUnifyResult> ContainmentEngine::FdUnify(
               config_.containment.limits);
   CQCHASE_RETURN_IF_ERROR(chase.Init(q));
   CQCHASE_ASSIGN_OR_RETURN(ChaseOutcome outcome, chase.Run());
+  BumpBy(stats_.chase_steps, chase.chase_stats().steps);
   if (outcome == ChaseOutcome::kEmptyQuery) {
     ConjunctiveQuery empty(&q.catalog(), &q.symbols());
     empty.SetSummary(q.summary());
@@ -953,6 +976,12 @@ EngineStats ContainmentEngine::stats() const {
   out.cancellations = stats_.cancellations.load(std::memory_order_relaxed);
   out.certificates_built =
       stats_.certificates_built.load(std::memory_order_relaxed);
+  out.chase_steps = stats_.chase_steps.load(std::memory_order_relaxed);
+  out.chase_index_rebuilds =
+      stats_.chase_index_rebuilds.load(std::memory_order_relaxed);
+  out.segments_built = stats_.segments_built.load(std::memory_order_relaxed);
+  out.bulk_ind_applications =
+      stats_.bulk_ind_applications.load(std::memory_order_relaxed);
   const Executor::StatsSnapshot exec = executor_.stats();
   out.executor_tasks = exec.executed;
   out.executor_steals = exec.steals;

@@ -180,6 +180,15 @@ struct EngineStats {
   uint64_t deadline_expirations = 0;
   uint64_t cancellations = 0;
   uint64_t certificates_built = 0;
+  // Chase-core rollups (ChaseStats deltas harvested per asker turn —
+  // shared-prefix chases attribute work to the turn that drove it).
+  // segments_built / bulk_ind_applications stay zero under
+  // ChaseCoreMode::kScalar; index_rebuilds counts scalar pending/witness
+  // rebuilds and bulk witness-group rebuilds alike.
+  uint64_t chase_steps = 0;
+  uint64_t chase_index_rebuilds = 0;
+  uint64_t segments_built = 0;
+  uint64_t bulk_ind_applications = 0;
   // Executor health (Executor::stats passthrough): tasks/steals are
   // monotone, queue_depth (queued, not yet started) and workers are gauges.
   uint64_t executor_tasks = 0;
@@ -434,6 +443,10 @@ class ContainmentEngine {
     std::atomic<uint64_t> deadline_expirations{0};
     std::atomic<uint64_t> cancellations{0};
     std::atomic<uint64_t> certificates_built{0};
+    std::atomic<uint64_t> chase_steps{0};
+    std::atomic<uint64_t> chase_index_rebuilds{0};
+    std::atomic<uint64_t> segments_built{0};
+    std::atomic<uint64_t> bulk_ind_applications{0};
     std::array<std::atomic<uint64_t>, kNumStrategies> by_strategy{};
   };
   AtomicStats stats_;

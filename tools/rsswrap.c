@@ -1,0 +1,46 @@
+/* Peak-RSS wrapper for CI stages on hosts without /usr/bin/time.
+ *
+ * Usage: rsswrap <outfile> <cmd> [args...]
+ *
+ * Runs <cmd>, appends the subtree's peak resident set size in KB (wait4's
+ * ru_maxrss: the max over the child and every descendant it reaped) to
+ * <outfile>, and propagates the child's exit status — so wrapping a stage
+ * never changes CI semantics, only adds the measurement.
+ */
+#include <stdio.h>
+#include <string.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    fprintf(stderr, "usage: rsswrap <outfile> <cmd> [args...]\n");
+    return 2;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    perror("rsswrap: fork");
+    return 2;
+  }
+  if (pid == 0) {
+    execvp(argv[2], argv + 2);
+    perror("rsswrap: execvp");
+    _exit(127);
+  }
+  int status = 0;
+  struct rusage ru;
+  memset(&ru, 0, sizeof(ru));
+  if (wait4(pid, &status, 0, &ru) < 0) {
+    perror("rsswrap: wait4");
+    return 2;
+  }
+  FILE* f = fopen(argv[1], "a");
+  if (f != NULL) {
+    fprintf(f, "%ld\n", (long)ru.ru_maxrss);
+    fclose(f);
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 2;
+}
