@@ -51,7 +51,10 @@ inline void PrintHeader(const std::string& experiment,
 //   4 — set-at-a-time chase core: chase_steps/chase_index_rebuilds/
 //       segments_built/bulk_ind_applications in AppendEngineCounters,
 //       chase_core_bulk in AppendEngineConfig
-inline constexpr int kBenchRecordSchema = 4;
+//   5 — Σ reliance analysis: inds_pruned in AppendEngineCounters (bulk-core
+//       static pruning), and bench_reliance reports the SigmaGraph
+//       fingerprint per workload
+inline constexpr int kBenchRecordSchema = 5;
 
 // One-line machine-readable record, emitted by every bench so the perf
 // trajectory can be scraped (`grep '^{"bench"'` over the run log). Integral
@@ -116,6 +119,8 @@ inline void AppendEngineCounters(
                         static_cast<double>(stats.segments_built));
   counters.emplace_back("bulk_ind_applications",
                         static_cast<double>(stats.bulk_ind_applications));
+  counters.emplace_back("inds_pruned",
+                        static_cast<double>(stats.inds_pruned));
 }
 
 // Appends one hit/publish counter pair per active verdict tier (probe

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Canonical CI entry point, seven stages (each timed; the wall-clock table
+# Canonical CI entry point, eight stages (each timed; the wall-clock table
 # at the end makes slow stages visible in logs):
 #
 #  1. release-build: Release configure + build. Built -O3 explicitly (not the
@@ -17,7 +17,10 @@
 #     per-call thread fan-out or verdicts diverge between the two modes;
 #     bench_chase_bulk if the set-at-a-time chase core diverges from the
 #     scalar oracle (prefix, steps, or terminal status) or misses the >= 2x
-#     speedup bound on the wide-Σ workload.
+#     speedup bound on the wide-Σ workload; bench_reliance if any acyclic
+#     FD+IND task fails to decide with allow_semidecision=false (the
+#     reliance analyzer's kAcyclicInd fragment must stay a real decision
+#     procedure, not a semi-decision in disguise).
 #  4. warmstart-gate: the persistent-tier restart contract. Runs
 #     bench_store_warmstart twice against the same fresh store directory; the
 #     cold run populates the store and checks verdict parity against a
@@ -36,6 +39,13 @@
 #  7. tsan: ThreadSanitizer over the concurrency-bearing binaries (sharded
 #     symbol arena, shared chase prefixes, CheckMany fan-out, executor,
 #     write-behind store/tier flush): any data race fails CI.
+#  8. static-analysis: clang-tidy (profile in .clang-tidy: bugprone-*,
+#     performance-*, concurrency-*, plus two zero-cost style checks) over
+#     every translation unit in compile_commands.json, warnings-as-errors.
+#     Hosts without clang-tidy fall back to a strict-warning syntax-only
+#     sweep (g++ -fsyntax-only -Wall -Wextra -Werror) over the same
+#     compilation database, so the stage never silently no-ops: either the
+#     full profile runs or the warning floor does.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -77,7 +87,10 @@ stage() {
 }
 
 release_build() {
-  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  # Compile commands exported for stage 8: the static analysis must see the
+  # exact flags the shipped configuration compiles with.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build build -j "${JOBS}"
 }
 
@@ -90,6 +103,7 @@ perf_gates() {
   ./build/bench_checkmany_scaling
   ./build/bench_submit_throughput
   ./build/bench_chase_bulk
+  ./build/bench_reliance
 }
 
 warmstart_gate() {
@@ -109,7 +123,7 @@ tier_gate() {
 # asserts guarding the arena — the exact checks these stages exist to keep
 # hot.
 ASAN_TESTS=(serialize_test store_test tier_test engine_test engine_cache_test
-            engine_dispatch_test chase_core_parity_test)
+            engine_dispatch_test chase_core_parity_test reliance_test)
 asan_ubsan() {
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
@@ -121,9 +135,10 @@ asan_ubsan() {
   done
 }
 
-TSAN_TESTS=(symbol_table_test chase_test chase_core_parity_test engine_test
-            engine_cache_test engine_dispatch_test engine_concurrency_test
-            executor_test engine_submit_test store_test tier_test)
+TSAN_TESTS=(symbol_table_test chase_test chase_core_parity_test reliance_test
+            engine_test engine_cache_test engine_dispatch_test
+            engine_concurrency_test executor_test engine_submit_test
+            store_test tier_test)
 tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
@@ -133,6 +148,36 @@ tsan() {
     echo "=== tsan: ${t} ==="
     ./build-tsan/"${t}"
   done
+}
+
+# clang-tidy over the exact flags of the shipped build (stage 1 exports
+# compile_commands.json for this). On hosts without clang-tidy the stage
+# degrades to a strict-warning syntax-only sweep with the same compilation
+# database: weaker than the .clang-tidy profile, but it keeps a warning
+# floor (-Wall -Wextra -Werror) enforced everywhere the stage runs, and the
+# log says loudly which mode ran. The sed extraction relies on CMake's
+# stable one-key-per-line JSON layout — jq is not guaranteed on CI hosts.
+static_analysis() {
+  local db="build/compile_commands.json"
+  if [[ ! -f "${db}" ]]; then
+    echo "FATAL: ${db} missing (release-build must run first)" >&2
+    return 1
+  fi
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "mode: clang-tidy ($(clang-tidy --version | head -n 1))"
+    local files
+    mapfile -t files < <(sed -n 's/^ *"file": "\(.*\)",*$/\1/p' "${db}")
+    clang-tidy -p build --quiet "${files[@]}"
+  else
+    echo "mode: fallback strict-warning sweep (clang-tidy not on this host)"
+    local cmd n=0
+    while IFS= read -r cmd; do
+      # shellcheck disable=SC2086  # the recorded command is word-splittable
+      ${cmd} -fsyntax-only -Wall -Wextra -Werror
+      n=$(( n + 1 ))
+    done < <(sed -n 's/^ *"command": "\(.*\)",*$/\1/p' "${db}")
+    echo "swept ${n} translation units clean"
+  fi
 }
 
 # Re-entrant stage dispatch for the rsswrap wrapper (see above). Must sit
@@ -150,6 +195,7 @@ stage warmstart-gate  warmstart_gate
 stage tier-gate       tier_gate
 stage asan-ubsan      asan_ubsan
 stage tsan            tsan
+stage static-analysis static_analysis
 
 echo ""
 echo "=== stage timings ==="

@@ -1,0 +1,278 @@
+#include "analysis/reliance.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+namespace {
+
+// FNV-1a over 64-bit lanes; the graph fingerprint must be stable across
+// runs and platforms, so it avoids std::hash.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (byte * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SigmaGraph::SigmaGraph(const DependencySet& deps, const Catalog& catalog) {
+  num_inds_ = deps.inds().size();
+  num_fds_ = deps.fds().size();
+  num_relations_ = catalog.num_relations();
+  ind_lhs_rel_.reserve(num_inds_);
+  ind_rhs_rel_.reserve(num_inds_);
+  for (const InclusionDependency& ind : deps.inds()) {
+    ind_lhs_rel_.push_back(ind.lhs_relation);
+    ind_rhs_rel_.push_back(ind.rhs_relation);
+  }
+  BuildEdges(deps);
+  adj_.assign(num_nodes(), {});
+  for (const RelianceEdge& e : edges_) adj_[e.from].push_back(e.to);
+  for (std::vector<uint32_t>& succ : adj_) {
+    std::sort(succ.begin(), succ.end());
+    succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+  }
+  ComputeIndCriticalPath();
+  Condense();
+  fingerprint_ = ComputeFingerprint();
+}
+
+void SigmaGraph::BuildEdges(const DependencySet& deps) {
+  // Bucket consumers by relation once, so edge construction is
+  // O(|Σ| · consumers-per-relation) rather than all-pairs.
+  std::vector<std::vector<uint32_t>> inds_by_lhs(num_relations_);
+  for (uint32_t k = 0; k < num_inds_; ++k) {
+    inds_by_lhs[ind_lhs_rel_[k]].push_back(k);
+  }
+  std::vector<std::vector<uint32_t>> fds_by_rel(num_relations_);
+  for (uint32_t i = 0; i < num_fds_; ++i) {
+    fds_by_rel[deps.fds()[i].relation].push_back(
+        static_cast<uint32_t>(num_inds_) + i);
+  }
+
+  for (uint32_t a = 0; a < num_inds_; ++a) {
+    const RelationId produced = ind_rhs_rel_[a];
+    // IND a -> IND b: a mints facts of b's input relation.
+    for (uint32_t b : inds_by_lhs[produced]) {
+      edges_.push_back(RelianceEdge{a, b, RelianceKind::kPositive});
+    }
+    // IND a -> FD f: a minted fact can complete an FD-applicable pair.
+    for (uint32_t f : fds_by_rel[produced]) {
+      edges_.push_back(RelianceEdge{a, f, RelianceKind::kPositive});
+    }
+  }
+  for (uint32_t i = 0; i < num_fds_; ++i) {
+    const uint32_t f = static_cast<uint32_t>(num_inds_) + i;
+    const RelationId rel = deps.fds()[i].relation;
+    // FD f -> IND b: a merge rewrites facts of `rel` in place, disturbing
+    // b's inputs (lhs) or its witness pool (rhs). One edge per IND even
+    // when both sides match.
+    for (uint32_t b = 0; b < num_inds_; ++b) {
+      if (ind_lhs_rel_[b] == rel || ind_rhs_rel_[b] == rel) {
+        edges_.push_back(RelianceEdge{f, b, RelianceKind::kInterference});
+      }
+    }
+    // FD f -> FD g on the same relation (including f itself): a merge can
+    // make further pairs agree on g's lhs.
+    for (uint32_t g : fds_by_rel[rel]) {
+      edges_.push_back(RelianceEdge{f, g, RelianceKind::kInterference});
+    }
+  }
+}
+
+bool SigmaGraph::HasEdge(uint32_t from, uint32_t to, RelianceKind kind) const {
+  for (const RelianceEdge& e : edges_) {
+    if (e.from == from && e.to == to && e.kind == kind) return true;
+  }
+  return false;
+}
+
+void SigmaGraph::ComputeIndCriticalPath() {
+  // Kahn longest-path over the IND positive subgraph only — the exact,
+  // correctness-bearing part of the graph (see header).
+  std::vector<uint32_t> indegree(num_inds_, 0);
+  for (const RelianceEdge& e : edges_) {
+    if (e.kind == RelianceKind::kPositive && e.to < num_inds_ &&
+        e.from < num_inds_) {
+      ++indegree[e.to];
+    }
+  }
+  std::vector<uint32_t> depth(num_inds_, 1);  // path length in nodes
+  std::vector<uint32_t> queue;
+  for (uint32_t k = 0; k < num_inds_; ++k) {
+    if (indegree[k] == 0) queue.push_back(k);
+  }
+  size_t processed = 0;
+  uint32_t best = 0;
+  while (!queue.empty()) {
+    const uint32_t a = queue.back();
+    queue.pop_back();
+    ++processed;
+    best = std::max(best, depth[a]);
+    for (uint32_t b : adj_[a]) {
+      if (b >= num_inds_) continue;
+      depth[b] = std::max(depth[b], depth[a] + 1);
+      if (--indegree[b] == 0) queue.push_back(b);
+    }
+  }
+  if (processed < num_inds_) {
+    ind_depth_ = std::nullopt;  // an IND cycle survived — chase may diverge
+  } else {
+    ind_depth_ = best;  // 0 when Σ has no INDs
+  }
+}
+
+void SigmaGraph::Condense() {
+  // Iterative Tarjan over all nodes and all edge kinds. Emits SCCs in
+  // reverse topological order; we reverse at the end so components_ is
+  // topologically sorted (every cross edge goes low -> high).
+  const uint32_t n = static_cast<uint32_t>(num_nodes());
+  constexpr uint32_t kUnvisited = ~uint32_t{0};
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  component_of_.assign(n, 0);
+  std::vector<std::vector<uint32_t>> sccs;
+
+  struct Frame {
+    uint32_t node;
+    size_t next_succ;
+  };
+  uint32_t next_index = 0;
+  std::vector<Frame> frames;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const uint32_t v = frame.node;
+      if (frame.next_succ < adj_[v].size()) {
+        const uint32_t w = adj_[v][frame.next_succ++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<uint32_t> members;
+        while (true) {
+          const uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          members.push_back(w);
+          if (w == v) break;
+        }
+        sccs.push_back(std::move(members));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[v]);
+      }
+    }
+  }
+
+  std::reverse(sccs.begin(), sccs.end());
+  components_.resize(sccs.size());
+  for (uint32_t c = 0; c < sccs.size(); ++c) {
+    std::sort(sccs[c].begin(), sccs[c].end());
+    for (uint32_t node : sccs[c]) component_of_[node] = c;
+    components_[c].members = std::move(sccs[c]);
+  }
+  for (const RelianceEdge& e : edges_) {
+    const uint32_t cf = component_of_[e.from];
+    const uint32_t ct = component_of_[e.to];
+    if (cf == ct) {
+      // Any intra-component edge (self-loop included) marks it cyclic.
+      components_[cf].cyclic = true;
+    } else {
+      components_[cf].successors.push_back(ct);
+    }
+  }
+  for (Component& c : components_) {
+    c.cyclic = c.cyclic || c.members.size() > 1;
+    std::sort(c.successors.begin(), c.successors.end());
+    c.successors.erase(std::unique(c.successors.begin(), c.successors.end()),
+                       c.successors.end());
+  }
+  // Longest path from sources, in topological order; layering by depth
+  // gives the independent frontier sets (all predecessors strictly below).
+  uint32_t max_depth = 0;
+  for (uint32_t c = 0; c < components_.size(); ++c) {
+    for (uint32_t succ : components_[c].successors) {
+      components_[succ].depth =
+          std::max(components_[succ].depth, components_[c].depth + 1);
+    }
+    max_depth = std::max(max_depth, components_[c].depth);
+  }
+  frontiers_.assign(components_.empty() ? 0 : max_depth + 1, {});
+  for (uint32_t c = 0; c < components_.size(); ++c) {
+    frontiers_[components_[c].depth].push_back(c);
+  }
+}
+
+std::vector<bool> SigmaGraph::ReachableInds(
+    const std::vector<bool>& relations_present) const {
+  std::vector<bool> present(num_relations_, false);
+  for (size_t r = 0; r < relations_present.size() && r < num_relations_; ++r) {
+    present[r] = relations_present[r];
+  }
+  std::vector<bool> reachable(num_inds_, false);
+  // Fixpoint of lhs-present => fires => rhs-present. Each pass either
+  // marks a new IND or stops; <= num_inds_ + 1 passes.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t k = 0; k < num_inds_; ++k) {
+      if (reachable[k] || !present[ind_lhs_rel_[k]]) continue;
+      reachable[k] = true;
+      changed = true;
+      present[ind_rhs_rel_[k]] = true;
+    }
+  }
+  return reachable;
+}
+
+uint64_t SigmaGraph::ComputeFingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Mix(h, num_inds_);
+  h = Mix(h, num_fds_);
+  for (const RelianceEdge& e : edges_) {
+    h = Mix(h, (uint64_t{e.from} << 33) | (uint64_t{e.to} << 2) |
+                   static_cast<uint64_t>(e.kind));
+  }
+  h = Mix(h, ind_depth_.has_value() ? uint64_t{*ind_depth_} + 1 : 0);
+  return h;
+}
+
+std::string SigmaGraph::ToString() const {
+  auto node_name = [&](uint32_t node) {
+    return node < num_inds_ ? StrCat("ind", node)
+                            : StrCat("fd", node - num_inds_);
+  };
+  std::string out;
+  for (const RelianceEdge& e : edges_) {
+    if (!out.empty()) out += ' ';
+    out += node_name(e.from);
+    out += e.kind == RelianceKind::kPositive ? "->" : "~>";
+    out += node_name(e.to);
+  }
+  if (out.empty()) out = "(no edges)";
+  return out;
+}
+
+}  // namespace cqchase

@@ -9,7 +9,11 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <set>
+#include <utility>
+#include <vector>
 
+#include "analysis/reliance.h"
 #include "base/string_util.h"
 #include "chase/bulk.h"
 #include "chase/chase.h"
@@ -33,11 +37,34 @@ void Chase::PrepareBulk() {
   const auto& inds = deps_->inds();
   const size_t words = considered_.words_per_row();
   b.applicable_mask.assign(catalog_->num_relations(), {});
-  b.group_of_ind.resize(inds.size());
+  b.group_of_ind.assign(inds.size(), BulkState::kPrunedGroup);
   b.ind_has_fresh_columns.resize(inds.size());
+
+  // Reliance pruning: an IND fires only on a fact of its lhs relation, and
+  // relations gain facts only from the initial conjuncts or as some fired
+  // IND's rhs (FD merges never introduce a relation). So the reliance
+  // closure from the relations present now — PrepareBulk runs before the
+  // first IND application, when only level-0 conjuncts exist — is exactly
+  // the set of INDs that can ever fire, in either core. Pruned INDs get no
+  // mask bit and no witness group: the scalar oracle never steps them
+  // either, so the bit-identical parity contract is preserved (differential
+  // proof in tests/reliance_test.cc).
+  std::vector<bool> present(catalog_->num_relations(), false);
+  for (const ChaseConjunct& c : conjuncts_) {
+    if (c.alive) present[c.fact.relation] = true;
+  }
+  const SigmaGraph graph(*deps_, *catalog_);
+  const std::vector<bool> reachable = graph.ReachableInds(present);
+
+  std::set<std::pair<RelationId, std::vector<uint32_t>>> all_projections;
   std::map<std::pair<RelationId, std::vector<uint32_t>>, uint32_t> group_index;
   for (uint32_t k = 0; k < inds.size(); ++k) {
     const InclusionDependency& ind = inds[k];
+    all_projections.emplace(ind.rhs_relation, ind.rhs_columns);
+    if (!reachable[k]) {
+      ++stats_.inds_pruned;
+      continue;
+    }
     std::vector<uint64_t>& mask = b.applicable_mask[ind.lhs_relation];
     if (mask.empty()) mask.assign(words, 0);
     mask[k / 64] |= uint64_t{1} << (k % 64);
@@ -52,6 +79,7 @@ void Chase::PrepareBulk() {
     b.ind_has_fresh_columns[k] =
         ind.width() < catalog_->arity(ind.rhs_relation);
   }
+  stats_.witness_groups_pruned = all_projections.size() - b.groups.size();
   b.groups_of_relation.assign(catalog_->num_relations(), {});
   for (uint32_t g = 0; g < b.groups.size(); ++g) {
     b.groups_of_relation[b.groups[g].relation].push_back(g);

@@ -39,9 +39,16 @@
 namespace cqchase {
 
 struct BulkState {
+  // group_of_ind value for INDs pruned at PrepareBulk time: statically
+  // unreachable from the initial relations per the Σ reliance analysis
+  // (analysis/reliance.h), so they get no mask bit and no witness group.
+  // Never dereferenced — a pruned IND's lhs relation never holds a fact, so
+  // no sweep ever selects it.
+  static constexpr uint32_t kPrunedGroup = ~uint32_t{0};
+
   // Per-relation bitmask over IND indices (ConsideredSet row layout): bit k
-  // set iff inds()[k].lhs_relation is that relation. Empty vector = no
-  // applicable INDs for the relation.
+  // set iff inds()[k].lhs_relation is that relation AND the IND survived
+  // reliance pruning. Empty vector = no applicable INDs for the relation.
   std::vector<std::vector<uint64_t>> applicable_mask;
 
   // One witness index per distinct (rhs_relation, rhs_columns). The inner

@@ -43,6 +43,12 @@ struct ChaseStats {
   uint64_t bulk_ind_applications = 0;  // (conjunct, IND) pairs processed
                                        // inside sweeps
   uint64_t max_batch_rows = 0;   // widest frontier swept in one batch
+  uint64_t inds_pruned = 0;      // bulk: INDs statically unreachable from the
+                                 // initial relations (reliance analysis) —
+                                 // no mask bit, no witness group, no work
+  uint64_t witness_groups_pruned = 0;  // bulk: distinct rhs projections whose
+                                       // witness index was never built because
+                                       // every IND sharing it was pruned
   double join_ms = 0.0;    // bulk: witness probes + NDV minting sweeps
   double retain_ms = 0.0;  // bulk: frontier collection/sort + witness-group
                            // (re)builds

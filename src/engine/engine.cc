@@ -663,8 +663,19 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
     ContainmentReport report;
     report.level_bound = Theorem2LevelBound(q_prime.conjuncts().size(),
                                             deps.size(), deps.MaxIndWidth());
-    const uint64_t bound = report.level_bound;
+    uint64_t bound = report.level_bound;
     const bool bound_is_complete = analysis.decidable;  // Lemma 5 applies
+    if (analysis.sigma_class == SigmaClass::kAcyclicInd &&
+        analysis.acyclic_ind_depth.has_value()) {
+      // Lemma 5's completeness argument covers the paper's classes only;
+      // for the acyclic-IND fragment the complete bound is the reliance
+      // critical path (analysis/reliance.h): no conjunct can sit deeper
+      // than the longest IND reliance chain, so a chase expanded to that
+      // level holds every fact the chase will ever have. Usually far
+      // tighter than Lemma 5's |Q'|·|Σ|·(W+1)^W as well.
+      bound = *analysis.acyclic_ind_depth;
+      report.level_bound = bound;
+    }
 
     // Searches the current alive prefix for a witness; on success fills the
     // report's witness fields and returns true. Shared by the per-level
@@ -771,6 +782,8 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
          cs.segments_built - chase_stats_before.segments_built);
   BumpBy(stats_.bulk_ind_applications,
          cs.bulk_ind_applications - chase_stats_before.bulk_ind_applications);
+  BumpBy(stats_.inds_pruned,
+         cs.inds_pruned - chase_stats_before.inds_pruned);
 
   chase.set_control(nullptr);
   // No release step: the shared entry stayed in the cache the whole time
@@ -982,6 +995,7 @@ EngineStats ContainmentEngine::stats() const {
   out.segments_built = stats_.segments_built.load(std::memory_order_relaxed);
   out.bulk_ind_applications =
       stats_.bulk_ind_applications.load(std::memory_order_relaxed);
+  out.inds_pruned = stats_.inds_pruned.load(std::memory_order_relaxed);
   const Executor::StatsSnapshot exec = executor_.stats();
   out.executor_tasks = exec.executed;
   out.executor_steals = exec.steals;

@@ -189,6 +189,9 @@ struct EngineStats {
   uint64_t chase_index_rebuilds = 0;
   uint64_t segments_built = 0;
   uint64_t bulk_ind_applications = 0;
+  // INDs the bulk core pruned as statically unreachable (Σ reliance
+  // analysis); zero under kScalar and when every IND is reachable.
+  uint64_t inds_pruned = 0;
   // Executor health (Executor::stats passthrough): tasks/steals are
   // monotone, queue_depth (queued, not yet started) and workers are gauges.
   uint64_t executor_tasks = 0;
@@ -447,6 +450,7 @@ class ContainmentEngine {
     std::atomic<uint64_t> chase_index_rebuilds{0};
     std::atomic<uint64_t> segments_built{0};
     std::atomic<uint64_t> bulk_ind_applications{0};
+    std::atomic<uint64_t> inds_pruned{0};
     std::array<std::atomic<uint64_t>, kNumStrategies> by_strategy{};
   };
   AtomicStats stats_;

@@ -155,7 +155,7 @@ Status DecodeVerdictEntry(wire::ByteReader& reader, std::string* key,
     return Status::InvalidArgument(StrCat(
         "verdict entry has unknown chase outcome ", int{v.chase_outcome}));
   }
-  if (v.sigma_class > static_cast<uint8_t>(SigmaClass::kGeneral)) {
+  if (v.sigma_class > static_cast<uint8_t>(kMaxSigmaClass)) {
     return Status::InvalidArgument(
         StrCat("verdict entry has unknown sigma class ", int{v.sigma_class}));
   }

@@ -35,6 +35,8 @@ std::optional<uint32_t> ComputeKSigma(const DependencySet& deps,
 SigmaAnalysis AnalyzeSigma(const DependencySet& deps, const Catalog& catalog) {
   SigmaAnalysis a;
   a.max_ind_width = deps.MaxIndWidth();
+  a.graph = std::make_shared<const SigmaGraph>(deps, catalog);
+  a.acyclic_ind_depth = a.graph->IndCriticalPath();
   if (deps.empty()) {
     a.sigma_class = SigmaClass::kEmpty;
   } else if (deps.ContainsOnlyFds()) {
@@ -44,16 +46,24 @@ SigmaAnalysis AnalyzeSigma(const DependencySet& deps, const Catalog& catalog) {
                                            : SigmaClass::kIndOnly;
   } else if (deps.IsKeyBased(catalog)) {
     a.sigma_class = SigmaClass::kKeyBased;
+  } else if (a.acyclic_ind_depth.has_value()) {
+    // FD+IND mix outside the paper's cases, but the IND reliance graph is
+    // acyclic: every chase terminates within the critical-path depth, so
+    // the bounded chase is a decision procedure (analysis/reliance.h).
+    a.sigma_class = SigmaClass::kAcyclicInd;
   } else {
     a.sigma_class = SigmaClass::kGeneral;
   }
   a.decidable = a.sigma_class != SigmaClass::kGeneral;
   // Theorem 3 coverage: trivially Σ-free and FD-only sets (finite chase),
-  // width-1 IND sets and key-based sets.
+  // width-1 IND sets and key-based sets. The acyclic-IND fragment is also
+  // finitely controllable: its chase saturates at a finite instance, which
+  // is itself the finite Σ-database counterexample when containment fails.
   a.finitely_controllable = a.sigma_class == SigmaClass::kEmpty ||
                             a.sigma_class == SigmaClass::kFdOnly ||
                             a.sigma_class == SigmaClass::kIndOnlyW1 ||
-                            a.sigma_class == SigmaClass::kKeyBased;
+                            a.sigma_class == SigmaClass::kKeyBased ||
+                            a.sigma_class == SigmaClass::kAcyclicInd;
   a.k_sigma = ComputeKSigma(deps, catalog);
   return a;
 }
@@ -76,6 +86,11 @@ std::optional<DecisionStrategy> ChooseStrategy(const SigmaAnalysis& analysis,
       return DecisionStrategy::kIterativeDeepening;
     case SigmaClass::kKeyBased:
       return DecisionStrategy::kIterativeDeepening;
+    case SigmaClass::kAcyclicInd:
+      // Same deepening loop as the paper's decidable classes; engine.cc
+      // swaps the Lemma 5 bound for the reliance critical path, which is
+      // the complete one for this fragment.
+      return DecisionStrategy::kIterativeDeepening;
     case SigmaClass::kGeneral:
       if (allow_semidecision) return DecisionStrategy::kSemiDecision;
       return std::nullopt;
@@ -91,6 +106,7 @@ std::string_view ToString(SigmaClass c) {
     case SigmaClass::kIndOnly: return "ind-only";
     case SigmaClass::kKeyBased: return "key-based";
     case SigmaClass::kGeneral: return "general";
+    case SigmaClass::kAcyclicInd: return "acyclic-ind";
   }
   return "unknown";
 }

@@ -11,8 +11,14 @@
 //   * kIndOnly    — IND-only, some IND wider than 1 (Theorem 2 case (i)).
 //   * kKeyBased   — Section 2's key-based sets (Theorem 2 case (ii),
 //                   finitely controllable by Theorem 3 case (ii)).
-//   * kGeneral    — arbitrary FD+IND mix; containment is open (Section 5)
-//                   and only a sound semi-decision is available.
+//   * kAcyclicInd — FD+IND mix, not key-based, but the IND reliance graph
+//                   (analysis/reliance.h) is acyclic: every chase level is
+//                   bounded by the reliance critical path, so the bounded
+//                   chase decides. A fragment beyond the paper's case split;
+//                   without it these Σ fall to kGeneral's semi-decision.
+//   * kGeneral    — arbitrary FD+IND mix with a cyclic IND reliance graph;
+//                   containment is open (Section 5) and only a sound
+//                   semi-decision is available.
 //
 // AnalyzeSigma computes the class once; callers (the ContainmentEngine, the
 // finite-containment tools, benches) reuse the analysis instead of
@@ -21,9 +27,11 @@
 #define CQCHASE_ENGINE_SIGMA_CLASS_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 
+#include "analysis/reliance.h"
 #include "cq/query.h"
 #include "deps/dependency_set.h"
 #include "schema/catalog.h"
@@ -37,7 +45,14 @@ enum class SigmaClass {
   kIndOnly = 3,
   kKeyBased = 4,
   kGeneral = 5,
+  kAcyclicInd = 6,
 };
+
+// Highest valid SigmaClass value. Persisted bytes are range-validated
+// against this sentinel (engine/serialize.cc), so adding a class is a
+// two-line change here instead of a silent widening of what a decoder
+// accepts from disk. Keep in sync with the last enumerator above.
+inline constexpr SigmaClass kMaxSigmaClass = SigmaClass::kAcyclicInd;
 
 // How the engine answers one containment question. kNumStrategies is a
 // counter sentinel for per-strategy stats arrays.
@@ -67,6 +82,16 @@ struct SigmaAnalysis {
   // key-based Σ, the summed rhs-relation arities for width-1 IND sets,
   // nullopt where the theorem does not apply.
   std::optional<uint32_t> k_sigma;
+  // The Σ reliance graph (analysis/reliance.h): dependency-level positive
+  // reliances + FD interference, SCC-condensed with frontier layers. Always
+  // populated by AnalyzeSigma; shared because SigmaAnalysis is cached by
+  // value in the engine's sigma LRU and the graph is immutable.
+  std::shared_ptr<const SigmaGraph> graph;
+  // When the IND reliance subgraph is acyclic: the critical-path chase-depth
+  // bound (no conjunct can sit deeper than the longest IND reliance chain).
+  // Engaged for every acyclic Σ, not just kAcyclicInd — kIndOnly/kKeyBased
+  // keep their Lemma 5 bound for dispatch, this one is informational there.
+  std::optional<uint32_t> acyclic_ind_depth;
 };
 
 // Classifies Σ once. Pure; does not mutate its arguments.

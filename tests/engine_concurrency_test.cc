@@ -52,7 +52,9 @@ TEST(ShardConcurrencyTest, ParallelShardsMintDistinctReadableNdvs) {
     for (size_t i = 0; i < minted[w].size(); ++i) {
       Term t = minted[w][i];
       EXPECT_TRUE(ids.insert(t.id()).second) << "duplicate id " << t.id();
-      if (i > 0) EXPECT_GT(t.id(), prev) << "shard ids must increase";
+      if (i > 0) {
+        EXPECT_GT(t.id(), prev) << "shard ids must increase";
+      }
       prev = t.id();
     }
     // Spot-check a cross-thread read of an entry written lock-free.

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "engine/serialize.h"
+#include "engine/sigma_class.h"
 
 namespace cqchase {
 namespace {
@@ -186,10 +187,14 @@ TEST(VerdictEntryTest, OutOfRangeEnumsRejected) {
     StoredVerdict v;
     return DecodeVerdictEntry(r, &key, &v).ok();
   };
-  EXPECT_TRUE(decodes(encode_with(2, 5, 4)));    // maxima of each enum
-  EXPECT_FALSE(decodes(encode_with(3, 0, 0)));   // ChaseOutcome past end
-  EXPECT_FALSE(decodes(encode_with(0, 6, 0)));   // SigmaClass past end
-  EXPECT_FALSE(decodes(encode_with(0, 0, 5)));   // DecisionStrategy past end
+  // The SigmaClass boundary tracks the kMaxSigmaClass sentinel: adding an
+  // enumerator moves both sides of this check automatically instead of
+  // silently widening (or failing to widen) what the decoder accepts.
+  const uint8_t max_sigma = static_cast<uint8_t>(kMaxSigmaClass);
+  EXPECT_TRUE(decodes(encode_with(2, max_sigma, 4)));  // maxima of each enum
+  EXPECT_FALSE(decodes(encode_with(3, 0, 0)));  // ChaseOutcome past end
+  EXPECT_FALSE(decodes(encode_with(0, max_sigma + 1, 0)));  // SigmaClass past
+  EXPECT_FALSE(decodes(encode_with(0, 0, 5)));  // DecisionStrategy past end
   EXPECT_FALSE(decodes(encode_with(255, 255, 255)));
 }
 

@@ -523,7 +523,9 @@ TEST(StoreTest, ConcurrentReadersDuringWriteBehindFlush) {
   // file I/O.
   for (int i = 0; i < kWrites; ++i) {
     store->Put(StrCat("k", i), MakeVerdict(i));
-    if (i % 16 == 0) ASSERT_TRUE(store->Flush().ok());
+    if (i % 16 == 0) {
+      ASSERT_TRUE(store->Flush().ok());
+    }
   }
   ASSERT_TRUE(store->Flush().ok());
   done.store(true, std::memory_order_release);
