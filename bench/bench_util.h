@@ -54,7 +54,10 @@ inline void PrintHeader(const std::string& experiment,
 //   5 — Σ reliance analysis: inds_pruned in AppendEngineCounters (bulk-core
 //       static pruning), and bench_reliance reports the SigmaGraph
 //       fingerprint per workload
-inline constexpr int kBenchRecordSchema = 5;
+//   6 — networked verdict authority: remote tiers additionally report
+//       tier<i>_remote_fetch_rtts / _batched_fetches / _reconnects /
+//       _transport_errors via AppendTierCounters (wire behavior per tier)
+inline constexpr int kBenchRecordSchema = 6;
 
 // One-line machine-readable record, emitted by every bench so the perf
 // trajectory can be scraped (`grep '^{"bench"'` over the run log). Integral
@@ -126,7 +129,11 @@ inline void AppendEngineCounters(
 // Appends one hit/publish counter pair per active verdict tier (probe
 // order), keyed "tier<i>_<kind>_hits" / "_publishes" — e.g. "tier0_lru_hits",
 // "tier2_remote_publishes" — so trajectories show *which* layer of the
-// hierarchy absorbed a workload, not just that something did.
+// hierarchy absorbed a workload, not just that something did. Remote tiers
+// additionally report their wire behavior: fetch round trips, batched
+// fetches, reconnects and transport errors (schema 6) — the counters that
+// distinguish "one RTT per key" from "one batched RTT per burst" and a
+// stable link from reconnect churn.
 inline void AppendTierCounters(
     const std::vector<VerdictTierStats>& tiers,
     std::vector<std::pair<std::string, double>>& counters) {
@@ -138,6 +145,16 @@ inline void AppendTierCounters(
                           static_cast<double>(tiers[i].hits));
     counters.emplace_back(StrCat(prefix, "_publishes"),
                           static_cast<double>(tiers[i].publishes));
+    if (kind == "remote") {
+      counters.emplace_back(StrCat(prefix, "_fetch_rtts"),
+                            static_cast<double>(tiers[i].fetches));
+      counters.emplace_back(StrCat(prefix, "_batched_fetches"),
+                            static_cast<double>(tiers[i].batched_fetches));
+      counters.emplace_back(StrCat(prefix, "_reconnects"),
+                            static_cast<double>(tiers[i].reconnects));
+      counters.emplace_back(StrCat(prefix, "_transport_errors"),
+                            static_cast<double>(tiers[i].transport_errors));
+    }
   }
 }
 

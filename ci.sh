@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Canonical CI entry point, eight stages (each timed; the wall-clock table
+# Canonical CI entry point, nine stages (each timed; the wall-clock table
 # at the end makes slow stages visible in logs):
 #
 #  1. release-build: Release configure + build. Built -O3 explicitly (not the
@@ -7,8 +7,8 @@
 #     measure this tree; gating an unoptimized build would enforce the claim
 #     on a configuration nobody ships.
 #  2. ctest: the full suite. Tests carry LABELS (unit / engine / concurrency
-#     / store / chase) and per-test TIMEOUT properties, so a hang is a named
-#     per-test failure, not a stuck job.
+#     / store / chase / net) and per-test TIMEOUT properties, so a hang is a
+#     named per-test failure, not a stuck job.
 #  3. perf-gates: enforced perf smokes. bench_engine_cache exits non-zero if
 #     cached and uncached verdicts diverge or the >= 2x cache speedup is
 #     missed; bench_checkmany_scaling if worker fan-out verdicts diverge or
@@ -31,15 +31,27 @@
 #     verdict authority) and then engine B with cold local caches, which must
 #     answer the whole workload over the remote tier: exit non-zero unless
 #     chases_built == 0, remote_hits > 0, and verdicts match the oracle.
-#  6. asan-ubsan: AddressSanitizer + UndefinedBehaviorSanitizer over the
-#     store/serialize/engine/tier binaries. The store and the remote-tier
+#  6. tcp-gate: the distributed-tier contract over real sockets. Starts the
+#     standalone verdict_authorityd (store-backed, ephemeral port scraped
+#     from its "listening HOST:PORT" line) and runs bench_remote_tcp against
+#     it: engine A publishes over TCP, engine B with cold caches must answer
+#     the whole workload over the wire — exit non-zero unless chases_built
+#     == 0, remote_hits > 0, verdicts match a tier-less oracle, AND the
+#     64-task burst took strictly fewer round trips than tasks (the batched
+#     kTierOpFetchMany opcode, not 64 per-key fetches). Then SIGTERMs the
+#     daemon (graceful drain must exit 0 with a shutdown summary) and
+#     restarts it on the same store to prove the published verdicts
+#     survived. The daemon is always torn down via trap, pass or fail.
+#  7. asan-ubsan: AddressSanitizer + UndefinedBehaviorSanitizer over the
+#     store/serialize/engine/tier/net binaries. The store and the tier wire
 #     protocol parse attacker-shaped bytes (and their tests feed them
 #     corrupted input), so the parsing code runs under ASan+UBSan from day
 #     one; -fno-sanitize-recover turns any UB into a non-zero exit.
-#  7. tsan: ThreadSanitizer over the concurrency-bearing binaries (sharded
+#  8. tsan: ThreadSanitizer over the concurrency-bearing binaries (sharded
 #     symbol arena, shared chase prefixes, CheckMany fan-out, executor,
-#     write-behind store/tier flush): any data race fails CI.
-#  8. static-analysis: clang-tidy (profile in .clang-tidy: bugprone-*,
+#     write-behind store/tier flush, thread-per-connection authority
+#     server): any data race fails CI.
+#  9. static-analysis: clang-tidy (profile in .clang-tidy: bugprone-*,
 #     performance-*, concurrency-*, plus two zero-cost style checks) over
 #     every translation unit in compile_commands.json, warnings-as-errors.
 #     Hosts without clang-tidy fall back to a strict-warning syntax-only
@@ -117,13 +129,74 @@ tier_gate() {
   ./build/bench_tier_stack   # engine B over loopback: zero chases or fail
 }
 
+tcp_gate() {
+  local store="build/tcp-gate-store"
+  local log="build/tcp-gate-daemon.log"
+  local daemon_pid=""
+  rm -rf "${store}"
+  # Pass or fail, the daemon never outlives the stage.
+  trap '[[ -n "${daemon_pid}" ]] && kill "${daemon_pid}" 2>/dev/null;
+        [[ -n "${daemon_pid}" ]] && wait "${daemon_pid}" 2>/dev/null;
+        true' RETURN
+
+  ./build/verdict_authorityd --listen 127.0.0.1:0 \
+    --store-path "${store}" > "${log}" &
+  daemon_pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening //p' "${log}" | head -n 1)"
+    [[ -n "${addr}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${addr}" ]]; then
+    echo "FATAL: verdict_authorityd never reported its address" >&2
+    cat "${log}" >&2
+    return 1
+  fi
+  echo "daemon up at ${addr} (pid ${daemon_pid})"
+
+  # The enforced gate: cold engine over real TCP, zero chases, batched RTTs.
+  ./build/bench_remote_tcp --connect "${addr}"
+
+  # Graceful shutdown: SIGTERM must drain, print the summary, and exit 0.
+  kill -TERM "${daemon_pid}"
+  wait "${daemon_pid}"
+  daemon_pid=""
+  grep -q '^shutdown:' "${log}" || {
+    echo "FATAL: daemon exited without its shutdown summary" >&2
+    cat "${log}" >&2
+    return 1
+  }
+
+  # Restart on the same store: engine A's published verdicts must survive.
+  ./build/verdict_authorityd --listen 127.0.0.1:0 \
+    --store-path "${store}" > "${log}.restart" &
+  daemon_pid=$!
+  local seeded=""
+  for _ in $(seq 1 100); do
+    seeded="$(grep -Eo 'seeded [0-9]+ entries' "${log}.restart" || true)"
+    [[ -n "${seeded}" ]] && break
+    sleep 0.1
+  done
+  kill -TERM "${daemon_pid}"
+  wait "${daemon_pid}"
+  daemon_pid=""
+  if ! [[ "${seeded}" =~ seeded\ [1-9][0-9]*\ entries ]]; then
+    echo "FATAL: restarted daemon seeded nothing (got: '${seeded}')" >&2
+    cat "${log}.restart" >&2
+    return 1
+  fi
+  echo "restart ${seeded} from the store"
+}
+
 # Per-config-flags pattern shared by both sanitizer stages: Debug, not
 # RelWithDebInfo, because per-config flags append *after* CMAKE_CXX_FLAGS and
 # RelWithDebInfo's "-O2 -DNDEBUG" would override -O1 and compile out the
 # asserts guarding the arena — the exact checks these stages exist to keep
 # hot.
-ASAN_TESTS=(serialize_test store_test tier_test engine_test engine_cache_test
-            engine_dispatch_test chase_core_parity_test reliance_test)
+ASAN_TESTS=(serialize_test store_test tier_test net_test engine_test
+            engine_cache_test engine_dispatch_test chase_core_parity_test
+            reliance_test)
 asan_ubsan() {
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
@@ -138,7 +211,7 @@ asan_ubsan() {
 TSAN_TESTS=(symbol_table_test chase_test chase_core_parity_test reliance_test
             engine_test engine_cache_test engine_dispatch_test
             engine_concurrency_test executor_test engine_submit_test
-            store_test tier_test)
+            store_test tier_test net_test)
 tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
@@ -193,6 +266,7 @@ stage ctest           run_ctest
 stage perf-gates      perf_gates
 stage warmstart-gate  warmstart_gate
 stage tier-gate       tier_gate
+stage tcp-gate        tcp_gate
 stage asan-ubsan      asan_ubsan
 stage tsan            tsan
 stage static-analysis static_analysis

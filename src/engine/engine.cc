@@ -306,6 +306,20 @@ EngineFuture<EngineOutcome> ContainmentEngine::Submit(
 
 std::vector<EngineFuture<EngineOutcome>> ContainmentEngine::SubmitAll(
     std::vector<ContainmentRequest> requests) {
+  // Warm the tier stack for the whole burst before fanning out: one batched
+  // round trip per network tier instead of one RTT per worker-side Lookup.
+  // Certificate requests skip tier reads entirely, so their keys stay out.
+  if (requests.size() > 1) {
+    std::vector<std::string> keys;
+    keys.reserve(requests.size());
+    for (const ContainmentRequest& r : requests) {
+      if (r.q == nullptr || r.q_prime == nullptr || r.deps == nullptr) continue;
+      if (r.options.want_certificate) continue;
+      keys.push_back(TierKeyForPrefetch(*r.q, *r.q_prime, *r.deps));
+      if (keys.back().empty()) keys.pop_back();
+    }
+    PrefetchTierKeys(keys);
+  }
   std::vector<EngineFuture<EngineOutcome>> futures;
   futures.reserve(requests.size());
   for (ContainmentRequest& r : requests) futures.push_back(Submit(std::move(r)));
@@ -434,6 +448,24 @@ Result<EngineOutcome> ContainmentEngine::Execute(
       tiers_->Publish(key, ToStoredVerdict(outcome));
   if (receipt.buffered_writes) ScheduleTierFlush();
   return outcome;
+}
+
+std::string ContainmentEngine::TierKeyForPrefetch(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime,
+    const DependencySet& deps) const {
+  // Mirrors Execute's cacheable conditions: foreign-catalog (or
+  // foreign-symbol) tasks are served uncached there, so prefetching their
+  // keys would probe the tiers for entries Execute will never read.
+  if (tiers_ == nullptr || !config_.enable_cache) return {};
+  if (&q.catalog() != catalog_ || &q_prime.catalog() != catalog_) return {};
+  if (&q.symbols() != symbols_ || &q_prime.symbols() != symbols_) return {};
+  return CanonicalTaskKey(q, q_prime, deps, config_.containment.variant);
+}
+
+void ContainmentEngine::PrefetchTierKeys(const std::vector<std::string>& keys) {
+  if (keys.empty() || tiers_ == nullptr || !config_.enable_cache) return;
+  TierStack::PrefetchReceipt receipt = tiers_->Prefetch(keys);
+  if (receipt.buffered_writes) ScheduleTierFlush();
 }
 
 void ContainmentEngine::ScheduleTierFlush() {
@@ -831,6 +863,21 @@ std::vector<Result<EngineVerdict>> ContainmentEngine::CheckMany(
     return Status::InvalidArgument(
         StrCat("CheckMany task ", i, " has a null pointer"));
   };
+
+  // Warm the tier stack for the whole batch first (both paths — the
+  // sequential shim pays per-key RTTs to a network tier just as surely as
+  // the fan-out does). Misses enter the remote tier's negative cache here,
+  // so the per-task Lookups below cost zero further round trips either way.
+  if (tasks.size() > 1) {
+    std::vector<std::string> keys;
+    keys.reserve(tasks.size());
+    for (const ContainmentTask& t : tasks) {
+      if (t.q == nullptr || t.q_prime == nullptr || t.deps == nullptr) continue;
+      keys.push_back(TierKeyForPrefetch(*t.q, *t.q_prime, *t.deps));
+      if (keys.back().empty()) keys.pop_back();
+    }
+    PrefetchTierKeys(keys);
+  }
 
   if (config_.num_threads <= 1 || tasks.size() <= 1) {
     // Sequential fast path: exact historical behavior, no executor hop.

@@ -428,6 +428,19 @@ class ContainmentEngine {
   // worker.
   void ScheduleTierFlush();
 
+  // The canonical tier key for a task this engine may serve from its tiers,
+  // or "" when the task is not cacheable here (foreign catalog or symbol
+  // table — the same conditions Execute applies before probing).
+  std::string TierKeyForPrefetch(const ConjunctiveQuery& q,
+                                 const ConjunctiveQuery& q_prime,
+                                 const DependencySet& deps) const;
+
+  // Batched tier warm-up for a CheckMany/SubmitAll burst: one
+  // TierStack::Prefetch over the burst's keys, so a network tier pays one
+  // kTierOpFetchMany round trip instead of one RTT per key. Schedules the
+  // write-behind flush when promotions buffered durable bytes.
+  void PrefetchTierKeys(const std::vector<std::string>& keys);
+
   const Catalog* catalog_;
   SymbolTable* symbols_;
   EngineConfig config_;

@@ -6,24 +6,60 @@
 
 namespace cqchase {
 
-namespace {
+// --- protocol helpers --------------------------------------------------------
 
-// Frames one payload as a complete protocol message.
-std::string Frame(const std::string& payload) {
+std::string FrameTierMessage(const std::string& payload) {
   std::string out;
   wire::PutFramed(out, payload);
   return out;
 }
 
-// Unframes one message; the protocol is one frame per message, so trailing
-// bytes mean a confused peer and the message is rejected wholesale.
-Status Unframe(const std::string& message, std::string* payload) {
+Status UnframeTierMessage(const std::string& message, std::string* payload) {
   wire::ByteReader reader(message);
   CQCHASE_RETURN_IF_ERROR(wire::ReadFramed(reader, payload));
   if (reader.remaining() != 0) {
     return Status::InvalidArgument("trailing bytes after protocol message");
   }
   return Status::OK();
+}
+
+std::string BuildTierHello() {
+  std::string hello;
+  wire::PutU8(hello, kTierOpHello);
+  wire::PutU32(hello, kTierProtocolVersion);
+  return FrameTierMessage(hello);
+}
+
+Status ParseTierHelloResponse(const std::string& framed_response,
+                              std::string_view peer, uint32_t* peer_version,
+                              uint64_t* peer_fingerprint) {
+  std::string payload;
+  CQCHASE_RETURN_IF_ERROR(UnframeTierMessage(framed_response, &payload));
+  wire::ByteReader reader(payload);
+  uint8_t op = 0;
+  if (!reader.ReadU8(&op) || op != kTierOpHello ||
+      !reader.ReadU32(peer_version) || !reader.ReadU64(peer_fingerprint) ||
+      reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrCat("peer ", std::string(peer), " sent a malformed hello response"));
+  }
+  if (*peer_version < kTierMinProtocolVersion) {
+    return Status::FailedPrecondition(
+        StrCat("peer ", std::string(peer), " speaks tier protocol v",
+               *peer_version, ", below this build's minimum v",
+               kTierMinProtocolVersion));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Short aliases inside this translation unit.
+std::string Frame(const std::string& payload) {
+  return FrameTierMessage(payload);
+}
+Status Unframe(const std::string& message, std::string* payload) {
+  return UnframeTierMessage(message, payload);
 }
 
 }  // namespace
@@ -52,9 +88,10 @@ Status VerdictAuthority::Handle(const std::string& request,
         return Status::InvalidArgument("malformed hello");
       }
       // Always answer with our identity, even to a version we do not speak:
-      // the client needs the numbers to report a useful mismatch.
+      // the client needs the numbers to report a useful mismatch. The client
+      // picks min(its version, ours) — the authority just states its own.
       wire::PutU8(reply, kTierOpHello);
-      wire::PutU32(reply, kTierProtocolVersion);
+      wire::PutU32(reply, options_.protocol_version);
       wire::PutU64(reply, options_.fingerprint);
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.hellos;
@@ -75,6 +112,55 @@ Status VerdictAuthority::Handle(const std::string& request,
         ++stats_.fetch_hits;
         wire::PutU8(reply, 1);
         EncodeVerdictEntry(it->first, it->second, reply);
+      }
+      break;
+    }
+    case kTierOpFetchMany: {
+      if (options_.protocol_version < 2) {
+        // A v1 authority predates this opcode; answering it would claim a
+        // capability the negotiated session does not have.
+        return Status::InvalidArgument(
+            StrCat("unknown protocol opcode ", int{op}));
+      }
+      uint32_t count = 0;
+      if (!reader.ReadU32(&count)) {
+        return Status::InvalidArgument("malformed fetch-many");
+      }
+      // The count is peer data: bound the reserve by what the payload could
+      // possibly hold (a key string costs at least its 4-byte length prefix)
+      // before trusting it; a lying count then fails the decode loop.
+      std::vector<std::string> keys;
+      keys.reserve(std::min<size_t>(count, reader.remaining() / 4));
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string key;
+        if (!reader.ReadString(&key)) {
+          return Status::InvalidArgument("malformed fetch-many key");
+        }
+        keys.push_back(std::move(key));
+      }
+      if (reader.remaining() != 0) {
+        return Status::InvalidArgument("trailing bytes after fetch-many");
+      }
+      // Response: the request's keys in order, each either the full verdict
+      // entry (found=1; the entry carries the key, which the client
+      // re-verifies) or the key echoed back (found=0 — the echo lets the
+      // client bind each miss to its question even on a reordered/confused
+      // peer).
+      wire::PutU8(reply, kTierOpFetchMany);
+      wire::PutU32(reply, static_cast<uint32_t>(keys.size()));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fetch_many_requests;
+      stats_.fetch_many_keys += keys.size();
+      for (const auto& key : keys) {
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+          wire::PutU8(reply, 0);
+          wire::PutString(reply, key);
+        } else {
+          ++stats_.fetch_many_hits;
+          wire::PutU8(reply, 1);
+          EncodeVerdictEntry(it->first, it->second, reply);
+        }
       }
       break;
     }
@@ -103,16 +189,30 @@ Status VerdictAuthority::Handle(const std::string& request,
         return Status::InvalidArgument("trailing bytes after publish batch");
       }
       uint64_t accepted = 0;
-      std::lock_guard<std::mutex> lock(mu_);
-      for (auto& [key, verdict] : batch) {
-        ++stats_.publishes;
-        if (options_.max_entries > 0 && map_.size() >= options_.max_entries &&
-            map_.find(key) == map_.end()) {
-          continue;  // refused at the cap; the accepted count tells the peer
+      // Indexes of batch entries that landed, remembered so the publish
+      // sink (the daemon's store hook) runs *outside* mu_: the sink may do
+      // I/O and must not serialize every concurrent fetch behind it.
+      std::vector<size_t> landed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          auto& [key, verdict] = batch[i];
+          ++stats_.publishes;
+          if (options_.max_entries > 0 &&
+              map_.size() >= options_.max_entries &&
+              map_.find(key) == map_.end()) {
+            continue;  // refused at the cap; the accepted count tells the peer
+          }
+          if (map_.emplace(key, verdict).second) {
+            ++accepted;
+            if (options_.publish_sink) landed.push_back(i);
+          }
         }
-        if (map_.emplace(std::move(key), verdict).second) ++accepted;
+        stats_.publishes_accepted += accepted;
       }
-      stats_.publishes_accepted += accepted;
+      for (size_t i : landed) {
+        options_.publish_sink(batch[i].first, batch[i].second);
+      }
       wire::PutU8(reply, kTierOpPublish);
       wire::PutU64(reply, accepted);
       break;
@@ -152,10 +252,12 @@ VerdictAuthority::Stats VerdictAuthority::stats() const {
 // --- RemoteTier --------------------------------------------------------------
 
 RemoteTier::RemoteTier(std::shared_ptr<VerdictTransport> transport,
-                       RemoteTierOptions options, uint64_t peer_fingerprint)
+                       RemoteTierOptions options, uint64_t peer_fingerprint,
+                       uint32_t negotiated_version)
     : transport_(std::move(transport)),
       options_(options),
       peer_fingerprint_(peer_fingerprint),
+      negotiated_version_(negotiated_version),
       name_(StrCat("remote:", std::string(transport_->Peer()))) {
   stats_.name = name_;
 }
@@ -165,35 +267,20 @@ Result<std::unique_ptr<RemoteTier>> RemoteTier::Connect(
   if (transport == nullptr) {
     return Status::InvalidArgument("RemoteTier::Connect: null transport");
   }
-  std::string hello;
-  wire::PutU8(hello, kTierOpHello);
-  wire::PutU32(hello, kTierProtocolVersion);
   std::string response;
-  CQCHASE_RETURN_IF_ERROR(transport->RoundTrip(Frame(hello), &response));
-  std::string payload;
-  CQCHASE_RETURN_IF_ERROR(Unframe(response, &payload));
-  wire::ByteReader reader(payload);
-  uint8_t op = 0;
+  CQCHASE_RETURN_IF_ERROR(transport->RoundTrip(BuildTierHello(), &response));
   uint32_t peer_version = 0;
   uint64_t peer_fingerprint = 0;
-  if (!reader.ReadU8(&op) || op != kTierOpHello ||
-      !reader.ReadU32(&peer_version) || !reader.ReadU64(&peer_fingerprint) ||
-      reader.remaining() != 0) {
-    return Status::InvalidArgument(
-        StrCat("peer ", std::string(transport->Peer()),
-               " sent a malformed hello response"));
-  }
-  if (peer_version != kTierProtocolVersion) {
-    return Status::FailedPrecondition(
-        StrCat("peer ", std::string(transport->Peer()),
-               " speaks tier protocol v", peer_version, ", this build v",
-               kTierProtocolVersion));
-  }
-  // Fingerprint mismatch is NOT an error here: the tier reports the peer's
-  // value and TierStack assembly applies the spec's refuse/quarantine
-  // policy — one place owns that decision.
-  return std::unique_ptr<RemoteTier>(
-      new RemoteTier(std::move(transport), options, peer_fingerprint));
+  CQCHASE_RETURN_IF_ERROR(ParseTierHelloResponse(
+      response, transport->Peer(), &peer_version, &peer_fingerprint));
+  // The session runs at min(peer, ours): against a v1 peer this tier falls
+  // back to per-key fetches and never sends kTierOpFetchMany. Fingerprint
+  // mismatch is NOT an error here: the tier reports the peer's value and
+  // TierStack assembly applies the spec's refuse/quarantine policy — one
+  // place owns that decision.
+  const uint32_t negotiated = std::min(peer_version, kTierProtocolVersion);
+  return std::unique_ptr<RemoteTier>(new RemoteTier(
+      std::move(transport), options, peer_fingerprint, negotiated));
 }
 
 RemoteTier::~RemoteTier() {
@@ -246,7 +333,10 @@ std::optional<StoredVerdict> RemoteTier::Lookup(const std::string& key) {
       ++stats_.negatives_expired;
     }
   }
+  return FetchSingle(key);
+}
 
+std::optional<StoredVerdict> RemoteTier::FetchSingle(const std::string& key) {
   // The round trip runs outside mu_: a slow peer must not serialize every
   // other lookup (or the flush) behind this one.
   std::string request_payload;
@@ -302,6 +392,137 @@ std::optional<StoredVerdict> RemoteTier::Lookup(const std::string& key) {
   }
   ++stats_.hits;
   return verdict;
+}
+
+std::vector<std::optional<StoredVerdict>> RemoteTier::LookupMany(
+    const std::vector<std::string>& keys) {
+  std::vector<std::optional<StoredVerdict>> out(keys.size());
+  // Indexes that must go over the wire; everything else is answered locally
+  // (pending publishes are hits, fresh negative entries are misses — the
+  // stampede guard: a burst of known-unknown keys costs zero round trips).
+  std::vector<size_t> need;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.lookups += keys.size();
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const std::string& key = keys[i];
+      auto pit = pending_.find(key);
+      if (pit != pending_.end()) {
+        ++stats_.hits;
+        out[i] = pit->second;
+        continue;
+      }
+      auto it = negative_.find(key);
+      if (it != negative_.end()) {
+        if (now < it->second) {
+          ++stats_.negative_hits;
+          continue;  // fresh known-unknown: stays a miss, spares the wire
+        }
+        negative_.erase(it);
+        ++stats_.negatives_expired;
+      }
+      need.push_back(i);
+    }
+  }
+  if (need.empty()) return out;
+
+  if (negotiated_version_ < 2) {
+    // v1 peer: the batched opcode does not exist there; per-key fetches
+    // keep correctness at the old one-RTT-per-key cost.
+    for (size_t i : need) out[i] = FetchSingle(keys[i]);
+    return out;
+  }
+
+  const size_t cap =
+      options_.max_batch_keys > 0 ? options_.max_batch_keys : need.size();
+  for (size_t pos = 0; pos < need.size();) {
+    const size_t chunk = std::min(cap, need.size() - pos);
+    std::string payload;
+    wire::PutU8(payload, kTierOpFetchMany);
+    wire::PutU32(payload, static_cast<uint32_t>(chunk));
+    for (size_t j = 0; j < chunk; ++j) {
+      wire::PutString(payload, keys[need[pos + j]]);
+    }
+    std::string response;
+    Status sent = transport_->RoundTrip(Frame(payload), &response);
+
+    // Decode the whole chunk before accepting any of it: a frame that turns
+    // malformed at entry N poisons the entries before it too (a confused
+    // peer's "hits" are not trustworthy), so the chunk degrades to misses
+    // wholesale.
+    std::vector<std::optional<StoredVerdict>> got(chunk);
+    bool malformed = false;
+    if (sent.ok()) {
+      std::string reply;
+      if (!Unframe(response, &reply).ok()) {
+        malformed = true;
+      } else {
+        wire::ByteReader r(reply);
+        uint8_t op = 0;
+        uint32_t count = 0;
+        if (!r.ReadU8(&op) || op != kTierOpFetchMany || !r.ReadU32(&count) ||
+            count != chunk) {
+          malformed = true;
+        } else {
+          for (size_t j = 0; j < chunk; ++j) {
+            // Every answer must bind to the key we asked at this position:
+            // a hit carries the key inside its entry, a miss echoes it. A
+            // swapped or invented key would be a *wrong* verdict — the one
+            // failure a cache may never have.
+            const std::string& want = keys[need[pos + j]];
+            uint8_t found = 0;
+            if (!r.ReadU8(&found) || found > 1) {
+              malformed = true;
+              break;
+            }
+            if (found == 1) {
+              std::string peer_key;
+              StoredVerdict verdict;
+              if (!DecodeVerdictEntry(r, &peer_key, &verdict).ok() ||
+                  peer_key != want) {
+                malformed = true;
+                break;
+              }
+              got[j] = verdict;
+            } else {
+              std::string echo;
+              if (!r.ReadString(&echo) || echo != want) {
+                malformed = true;
+                break;
+              }
+            }
+          }
+          if (!malformed && r.remaining() != 0) malformed = true;
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fetches;
+    ++stats_.batched_fetches;
+    stats_.batched_keys += chunk;
+    if (!sent.ok() || malformed) {
+      // Unreachable or confused peer: the whole chunk degrades to misses
+      // and enters the negative cache, so the burst (and its retries) backs
+      // off instead of stampeding a dead or hostile authority.
+      ++stats_.transport_errors;
+      for (size_t j = 0; j < chunk; ++j) {
+        RememberNegativeLocked(keys[need[pos + j]]);
+      }
+    } else {
+      for (size_t j = 0; j < chunk; ++j) {
+        if (got[j].has_value()) {
+          ++stats_.hits;
+          out[need[pos + j]] = std::move(got[j]);
+        } else {
+          RememberNegativeLocked(keys[need[pos + j]]);
+        }
+      }
+    }
+    pos += chunk;
+  }
+  return out;
 }
 
 bool RemoteTier::Publish(const std::string& key, const StoredVerdict& verdict) {
@@ -377,9 +598,12 @@ Status RemoteTier::Flush() {
 }
 
 VerdictTierStats RemoteTier::Stats() const {
+  // Transport counters first (its own lock) — never nested under mu_.
+  const VerdictTransportStats transport = transport_->TransportStats();
   std::lock_guard<std::mutex> lock(mu_);
   VerdictTierStats s = stats_;
   s.entries = pending_.size();  // locally resident = awaiting ship-out
+  s.reconnects = transport.reconnects;
   return s;
 }
 

@@ -30,6 +30,12 @@
 // tier on mismatch (engine/tier.h) — verdicts never flow between parties
 // that disagree on the key scheme.
 //
+// Version negotiation: the client states its version in the hello, the peer
+// answers with its own, and the session runs at min(client, peer) — so a v2
+// client pipelines kTierOpFetchMany against a v2 authority but falls back to
+// per-key kTierOpFetch against a v1 peer, and the in-process loopback keeps
+// working across the bump. Versions below kTierMinProtocolVersion refuse.
+//
 // Negative entries: a fetch miss ("authority does not know this key") is
 // remembered locally for RemoteTierOptions::negative_ttl, so a hot unknown
 // key does not hammer the transport — but only for the TTL, so a peer can
@@ -42,6 +48,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -58,13 +65,35 @@
 namespace cqchase {
 
 // Version of the fetch/publish message layer. Bump on any change to the
-// opcodes or their bodies; peers with different versions refuse at hello.
-inline constexpr uint32_t kTierProtocolVersion = 1;
+// opcodes or their bodies; a session runs at min(client, peer) and versions
+// below kTierMinProtocolVersion refuse at hello. History:
+//   1 — hello / fetch / publish
+//   2 — kTierOpFetchMany batched fetch
+inline constexpr uint32_t kTierProtocolVersion = 2;
+inline constexpr uint32_t kTierMinProtocolVersion = 1;
 
 // Opcodes (first payload byte; responses echo their request's opcode).
 inline constexpr uint8_t kTierOpHello = 1;
 inline constexpr uint8_t kTierOpFetch = 2;
 inline constexpr uint8_t kTierOpPublish = 3;
+inline constexpr uint8_t kTierOpFetchMany = 4;  // protocol v2+
+
+// Upper bound on one protocol message (framed). Shared by every transport
+// and the authority server: a length prefix past this is a confused or
+// hostile peer, rejected before any allocation. Generous for the real
+// payloads (a verdict entry is ~100 bytes; a 16 MiB frame holds a ~150k-key
+// batch).
+inline constexpr size_t kTierMaxFrameBytes = 16u << 20;
+
+// Monotone transport-level counters, surfaced through RemoteTier::Stats so
+// bench records capture wire behavior (reconnect churn, dead-peer errors)
+// per tier. In-process transports keep the all-zero default.
+struct VerdictTransportStats {
+  uint64_t round_trips = 0;  // RoundTrip calls that reached the wire
+  uint64_t errors = 0;       // failed round trips (incl. backoff fast-fails)
+  uint64_t connects = 0;     // successful connection + handshake sequences
+  uint64_t reconnects = 0;   // connects after the first (link was lost)
+};
 
 // One request/response round trip of framed bytes. Implementations must be
 // thread-safe (lookups and the write-behind flush run on different executor
@@ -81,7 +110,30 @@ class VerdictTransport {
 
   // Stable label for tier names and diagnostics ("loopback", "tcp:host").
   virtual std::string_view Peer() const = 0;
+
+  // Wire-level counters; the default (all zero) suits in-process transports.
+  virtual VerdictTransportStats TransportStats() const { return {}; }
 };
+
+// --- protocol helpers (shared by the tier, the TCP transport, the sharded
+// --- router and the authority server) ----------------------------------------
+
+// Frames one payload as a complete protocol message.
+std::string FrameTierMessage(const std::string& payload);
+
+// Unframes one message; the protocol is one frame per message, so trailing
+// bytes mean a confused peer and the message is rejected wholesale.
+Status UnframeTierMessage(const std::string& message, std::string* payload);
+
+// The framed hello request this build sends (opcode + kTierProtocolVersion).
+std::string BuildTierHello();
+
+// Parses a framed hello response; `peer` labels the error message. Refuses
+// malformed payloads and versions below kTierMinProtocolVersion; fingerprint
+// judgment is the caller's (TierStack assembly owns that policy).
+Status ParseTierHelloResponse(const std::string& framed_response,
+                              std::string_view peer, uint32_t* peer_version,
+                              uint64_t* peer_fingerprint);
 
 // The authority half of the protocol: holds the shared verdict map and
 // answers hello/fetch/publish. Thread-safe; one authority typically serves
@@ -96,6 +148,16 @@ class VerdictAuthority {
     // Map bound; publishes past it are refused (accepted count in the
     // response says how many landed). 0 = unbounded.
     uint64_t max_entries = 0;
+    // Reported at hello; requests for opcodes newer than this are rejected
+    // as unknown. Overridable so tests can stand in for an old peer (a v1
+    // authority never serves kTierOpFetchMany); production keeps the
+    // default (this build's version).
+    uint32_t protocol_version = kTierProtocolVersion;
+    // Called once per *accepted* publish entry, outside the authority's
+    // lock — the hook a daemon uses to back the map with a VerdictStore.
+    // Must be thread-safe; must outlive every Handle call.
+    std::function<void(const std::string& key, const StoredVerdict& verdict)>
+        publish_sink;
     Options();
   };
 
@@ -113,8 +175,11 @@ class VerdictAuthority {
 
   struct Stats {
     uint64_t hellos = 0;
-    uint64_t fetches = 0;
+    uint64_t fetches = 0;            // single-key fetch requests
     uint64_t fetch_hits = 0;
+    uint64_t fetch_many_requests = 0;  // batched fetch round trips served
+    uint64_t fetch_many_keys = 0;      // keys asked across those batches
+    uint64_t fetch_many_hits = 0;
     uint64_t publishes = 0;          // entries offered by publish requests
     uint64_t publishes_accepted = 0; // newly inserted (dedup + cap refusals
                                      // excluded)
@@ -156,6 +221,10 @@ struct RemoteTierOptions {
   // counted in publishes_dropped — the authority just misses those entries;
   // a remote tier is a cache, not a ledger).
   size_t max_pending = 1 << 16;
+  // Bound on keys per kTierOpFetchMany round trip; a LookupMany past it
+  // splits into multiple batches. Keeps one burst's frame well under
+  // kTierMaxFrameBytes with room for large canonical keys.
+  size_t max_batch_keys = 512;
 };
 
 class RemoteTier final : public VerdictTier {
@@ -173,6 +242,13 @@ class RemoteTier final : public VerdictTier {
 
   std::string_view Name() const override { return name_; }
   std::optional<StoredVerdict> Lookup(const std::string& key) override;
+  // Batched lookup: pending/negative-cached keys are answered locally, the
+  // rest go over the wire in kTierOpFetchMany chunks of at most
+  // options_.max_batch_keys (per-key kTierOpFetch against a v1 peer).
+  // Missed keys — including whole chunks lost to transport errors — enter
+  // the negative cache, so a burst can't stampede the authority.
+  std::vector<std::optional<StoredVerdict>> LookupMany(
+      const std::vector<std::string>& keys) override;
   bool Publish(const std::string& key, const StoredVerdict& verdict) override;
   Status Flush() override;
   VerdictTierStats Stats() const override;
@@ -180,17 +256,28 @@ class RemoteTier final : public VerdictTier {
   void Clear() override;  // forgets negative entries; pending publishes stay
   bool HasPendingWrites() const override;
 
+  // min(kTierProtocolVersion, peer's hello version): the level this session
+  // speaks. Batched fetch needs >= 2.
+  uint32_t negotiated_version() const { return negotiated_version_; }
+
  private:
   RemoteTier(std::shared_ptr<VerdictTransport> transport,
-             RemoteTierOptions options, uint64_t peer_fingerprint);
+             RemoteTierOptions options, uint64_t peer_fingerprint,
+             uint32_t negotiated_version);
 
   // Inserts `key` into the negative cache (expiry now + TTL), shedding the
   // oldest entry past the capacity bound. Caller holds mu_.
   void RememberNegativeLocked(const std::string& key);
 
+  // One kTierOpFetch round trip for `key`, with hit/negative-cache
+  // accounting — the shared tail of Lookup and the v1 LookupMany fallback.
+  // Caller must NOT hold mu_.
+  std::optional<StoredVerdict> FetchSingle(const std::string& key);
+
   const std::shared_ptr<VerdictTransport> transport_;
   const RemoteTierOptions options_;
   const uint64_t peer_fingerprint_;
+  const uint32_t negotiated_version_;
   const std::string name_;
 
   mutable std::mutex mu_;

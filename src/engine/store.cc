@@ -463,6 +463,15 @@ size_t VerdictStore::size() const {
   return map_.size();
 }
 
+std::vector<std::pair<std::string, StoredVerdict>> VerdictStore::Entries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, StoredVerdict>> out;
+  out.reserve(map_.size());
+  for (const auto& [key, verdict] : map_) out.emplace_back(key, verdict);
+  return out;
+}
+
 bool VerdictStore::has_pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return !pending_.empty();

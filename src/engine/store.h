@@ -141,6 +141,11 @@ class VerdictStore {
   VerdictStoreStats stats() const;
   const std::string& dir() const { return dir_; }
 
+  // Copies every resident entry (unordered). For bulk consumers that seed
+  // another map from this store — the authority daemon loads its serving
+  // state this way at startup — not for point queries (use Lookup).
+  std::vector<std::pair<std::string, StoredVerdict>> Entries() const;
+
   // Paths of the two store files inside `dir` (exposed for tests and ops).
   std::string SnapshotPath() const;
   std::string LogPath() const;

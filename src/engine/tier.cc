@@ -1,5 +1,6 @@
 #include "engine/tier.h"
 
+#include <unordered_set>
 #include <utility>
 
 #include "base/string_util.h"
@@ -221,6 +222,51 @@ std::optional<TierStack::LookupResult> TierStack::Lookup(
     return result;
   }
   return std::nullopt;
+}
+
+TierStack::PrefetchReceipt TierStack::Prefetch(
+    const std::vector<std::string>& keys) {
+  PrefetchReceipt receipt;
+  // Deduplicate while preserving first-seen order: a CheckMany burst of
+  // isomorphic tasks collapses onto few canonical keys, and the authority
+  // should be asked each one once.
+  std::vector<std::string> remaining;
+  remaining.reserve(keys.size());
+  {
+    std::unordered_set<std::string> seen;
+    seen.reserve(keys.size());
+    for (const auto& key : keys) {
+      if (seen.insert(key).second) remaining.push_back(key);
+    }
+  }
+  receipt.keys = remaining.size();
+
+  for (size_t a = 0; a < actives_.size() && !remaining.empty(); ++a) {
+    const size_t di = actives_[a].second;
+    if (!specs_[di].read_through) continue;
+    std::vector<std::optional<StoredVerdict>> answers =
+        actives_[a].first->LookupMany(remaining);
+    std::vector<std::string> still_cold;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (i >= answers.size() || !answers[i].has_value()) {
+        still_cold.push_back(std::move(remaining[i]));
+        continue;
+      }
+      ++receipt.resolved;
+      // Same promotion as Lookup's: the hit lands in every cheaper
+      // write-through tier, so the burst's actual Lookups stop at the LRU.
+      for (size_t b = 0; b < a; ++b) {
+        const size_t bdi = actives_[b].second;
+        if (!specs_[bdi].write_through) continue;
+        if (actives_[b].first->Publish(remaining[i], *answers[i]) &&
+            actives_[b].first->HasPendingWrites()) {
+          receipt.buffered_writes = true;
+        }
+      }
+    }
+    remaining = std::move(still_cold);
+  }
+  return receipt;
 }
 
 TierStack::PublishReceipt TierStack::Publish(const std::string& key,

@@ -66,10 +66,13 @@ struct VerdictTierStats {
   uint64_t flushes = 0;            // Flush() calls that moved records
   uint64_t flush_failures = 0;
   // RemoteTier only.
-  uint64_t fetches = 0;            // transport round trips for Lookup
+  uint64_t fetches = 0;            // transport round trips for Lookup(Many)
+  uint64_t batched_fetches = 0;    // of those, kTierOpFetchMany round trips
+  uint64_t batched_keys = 0;       // keys shipped inside batched round trips
   uint64_t negative_hits = 0;      // misses served by the local negative cache
   uint64_t negatives_expired = 0;  // negative entries aged out by their TTL
   uint64_t transport_errors = 0;
+  uint64_t reconnects = 0;         // transport re-dials after a lost link
   uint64_t publishes_dropped = 0;  // pending entries shed at the buffer cap
 };
 
@@ -85,6 +88,17 @@ class VerdictTier {
   // Point probe. nullopt is a miss — including "backend unreachable": a tier
   // that cannot answer must degrade to cold, never guess.
   virtual std::optional<StoredVerdict> Lookup(const std::string& key) = 0;
+
+  // Batch probe, results aligned with `keys`. The default is a per-key
+  // Lookup loop — correct for every backend; RemoteTier overrides it to ship
+  // one kTierOpFetchMany round trip per chunk instead of one RTT per key.
+  virtual std::vector<std::optional<StoredVerdict>> LookupMany(
+      const std::vector<std::string>& keys) {
+    std::vector<std::optional<StoredVerdict>> out;
+    out.reserve(keys.size());
+    for (const auto& key : keys) out.push_back(Lookup(key));
+    return out;
+  }
 
   // Inserts `verdict` under `key`. Verdicts are pure functions of the key,
   // so an overwrite is always a no-op re-statement: backends may (and the
@@ -274,6 +288,22 @@ class TierStack {
 
   // Fans the verdict out to every write-through tier.
   PublishReceipt Publish(const std::string& key, const StoredVerdict& verdict);
+
+  struct PrefetchReceipt {
+    uint64_t keys = 0;             // distinct keys probed
+    uint64_t resolved = 0;         // keys some tier answered
+    bool buffered_writes = false;  // promotion left bytes for a Flush()
+  };
+
+  // Warms the cheap tiers for a burst: probes read-through tiers in order
+  // with LookupMany (deduplicated keys; resolved keys drop out of later
+  // probes) and promotes every hit into the cheaper write-through tiers,
+  // exactly as Lookup would one key at a time. A network tier thus pays one
+  // batched round trip for the burst instead of one RTT per key. Purely an
+  // optimization: per-tier lookup counters tick for prefetched keys (they
+  // are real probes), but a later Lookup of a prefetched key is what the
+  // engine-level counters see.
+  PrefetchReceipt Prefetch(const std::vector<std::string>& keys);
 
   // Flushes every active tier; returns the first failure (all tiers are
   // still attempted — one full disk must not strand the remote batch).

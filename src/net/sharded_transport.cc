@@ -1,0 +1,349 @@
+#include "net/sharded_transport.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+namespace net {
+
+namespace {
+
+std::string JoinPeers(
+    const std::vector<std::shared_ptr<VerdictTransport>>& shards) {
+  std::string out = "sharded(";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) out += "|";
+    out += std::string(shards[i]->Peer());
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+ShardedTransport::ShardedTransport(
+    std::vector<std::shared_ptr<VerdictTransport>> shards)
+    : shards_(std::move(shards)), peer_(JoinPeers(shards_)) {
+  stats_.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    stats_[i].peer = std::string(shards_[i]->Peer());
+  }
+}
+
+size_t ShardedTransport::ShardOf(std::string_view key) const {
+  // FNV-1a over the canonical key: the same stable, location-independent
+  // bytes the protocol checksums. Every client with the same shard list
+  // computes the same home — no coordination service required.
+  return static_cast<size_t>(wire::Fnv1a64(key) % shards_.size());
+}
+
+Status ShardedTransport::ShardRoundTrip(size_t shard,
+                                        const std::string& request,
+                                        std::string* response) {
+  Status status = shards_[shard]->RoundTrip(request, response);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_[shard].round_trips;
+  if (!status.ok()) ++stats_[shard].errors;
+  return status;
+}
+
+Status ShardedTransport::RoundTrip(const std::string& request,
+                                   std::string* response) {
+  if (shards_.empty()) {
+    return Status::FailedPrecondition("sharded transport has no shards");
+  }
+  std::string payload;
+  CQCHASE_RETURN_IF_ERROR(UnframeTierMessage(request, &payload));
+  wire::ByteReader reader(payload);
+  uint8_t op = 0;
+  if (!reader.ReadU8(&op)) {
+    return Status::InvalidArgument("empty protocol message");
+  }
+  switch (op) {
+    case kTierOpHello:
+      return HandleHello(request, response);
+    case kTierOpFetch: {
+      std::string key;
+      if (!reader.ReadString(&key) || reader.remaining() != 0) {
+        return Status::InvalidArgument("malformed fetch");
+      }
+      return HandleFetch(request, key, response);
+    }
+    case kTierOpFetchMany: {
+      uint32_t count = 0;
+      if (!reader.ReadU32(&count)) {
+        return Status::InvalidArgument("malformed fetch-many");
+      }
+      std::vector<std::string> keys;
+      keys.reserve(std::min<size_t>(count, reader.remaining() / 4));
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string key;
+        if (!reader.ReadString(&key)) {
+          return Status::InvalidArgument("malformed fetch-many key");
+        }
+        keys.push_back(std::move(key));
+      }
+      if (reader.remaining() != 0) {
+        return Status::InvalidArgument("trailing bytes after fetch-many");
+      }
+      return HandleFetchMany(keys, response);
+    }
+    case kTierOpPublish: {
+      uint32_t count = 0;
+      if (!reader.ReadU32(&count)) {
+        return Status::InvalidArgument("malformed publish");
+      }
+      std::vector<std::pair<std::string, StoredVerdict>> entries;
+      entries.reserve(std::min<size_t>(count, reader.remaining() / 37));
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string key;
+        StoredVerdict verdict;
+        CQCHASE_RETURN_IF_ERROR(DecodeVerdictEntry(reader, &key, &verdict));
+        entries.emplace_back(std::move(key), verdict);
+      }
+      if (reader.remaining() != 0) {
+        return Status::InvalidArgument("trailing bytes after publish batch");
+      }
+      return HandlePublish(entries, response);
+    }
+    default:
+      return Status::InvalidArgument(
+          StrCat("unknown protocol opcode ", int{op}));
+  }
+}
+
+Status ShardedTransport::HandleHello(const std::string& request,
+                                     std::string* response) {
+  // Every reachable shard must present the same identity; a mixed fleet
+  // would partition the verdict space by key scheme, which TierStack's
+  // fingerprint policy exists to forbid. Shards that are down are skipped —
+  // their keys serve as misses until they return.
+  bool have_identity = false;
+  uint32_t version = 0;
+  uint64_t fingerprint = 0;
+  Status last_error =
+      Status::FailedPrecondition("no shard answered the hello");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::string shard_response;
+    Status status = ShardRoundTrip(i, request, &shard_response);
+    if (!status.ok()) {
+      last_error = status;
+      continue;
+    }
+    uint32_t shard_version = 0;
+    uint64_t shard_fingerprint = 0;
+    status = ParseTierHelloResponse(shard_response, shards_[i]->Peer(),
+                                    &shard_version, &shard_fingerprint);
+    if (!status.ok()) return status;
+    if (!have_identity) {
+      have_identity = true;
+      version = shard_version;
+      fingerprint = shard_fingerprint;
+    } else if (shard_version != version || shard_fingerprint != fingerprint) {
+      return Status::FailedPrecondition(StrCat(
+          "shard ", std::string(shards_[i]->Peer()), " identity v",
+          shard_version, "/fingerprint ", shard_fingerprint,
+          " disagrees with the fleet's v", version, "/", fingerprint));
+    }
+  }
+  if (!have_identity) return last_error;
+  std::string reply;
+  wire::PutU8(reply, kTierOpHello);
+  wire::PutU32(reply, version);
+  wire::PutU64(reply, fingerprint);
+  *response = FrameTierMessage(reply);
+  return Status::OK();
+}
+
+Status ShardedTransport::HandleFetch(const std::string& request,
+                                     std::string_view key,
+                                     std::string* response) {
+  const size_t shard = ShardOf(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_[shard].keys_routed;
+  }
+  // Pass-through: RemoteTier already echo-verifies single-fetch responses,
+  // and a shard error degrades to a miss there — exactly per-shard
+  // miss-degradation.
+  return ShardRoundTrip(shard, request, response);
+}
+
+Status ShardedTransport::HandleFetchMany(const std::vector<std::string>& keys,
+                                         std::string* response) {
+  // Partition by owning shard, remembering each key's original position so
+  // the merged response keeps request order (the contract RemoteTier's
+  // echo verification checks).
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_shard[ShardOf(keys[i])].push_back(i);
+  }
+
+  // One decoded answer slot per requested key; nullopt = miss.
+  std::vector<std::optional<StoredVerdict>> answers(keys.size());
+  for (size_t shard = 0; shard < by_shard.size(); ++shard) {
+    const std::vector<size_t>& members = by_shard[shard];
+    if (members.empty()) continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_[shard].keys_routed += members.size();
+    }
+    std::string sub_payload;
+    wire::PutU8(sub_payload, kTierOpFetchMany);
+    wire::PutU32(sub_payload, static_cast<uint32_t>(members.size()));
+    for (size_t i : members) wire::PutString(sub_payload, keys[i]);
+    std::string sub_response;
+    if (!ShardRoundTrip(shard, FrameTierMessage(sub_payload), &sub_response)
+             .ok()) {
+      continue;  // dead shard: its keys stay misses, the batch survives
+    }
+    // Strict validation before any answer merges: op, count, and per-key
+    // binding (entry key or echoed key must match what we asked at that
+    // position). A confused shard degrades to misses for its keys only.
+    std::string sub_reply;
+    if (!UnframeTierMessage(sub_response, &sub_reply).ok()) continue;
+    wire::ByteReader r(sub_reply);
+    uint8_t op = 0;
+    uint32_t count = 0;
+    if (!r.ReadU8(&op) || op != kTierOpFetchMany || !r.ReadU32(&count) ||
+        count != members.size()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_[shard].errors;
+      continue;
+    }
+    std::vector<std::optional<StoredVerdict>> shard_answers(members.size());
+    bool malformed = false;
+    for (size_t j = 0; j < members.size(); ++j) {
+      const std::string& want = keys[members[j]];
+      uint8_t found = 0;
+      if (!r.ReadU8(&found) || found > 1) {
+        malformed = true;
+        break;
+      }
+      if (found == 1) {
+        std::string shard_key;
+        StoredVerdict verdict;
+        if (!DecodeVerdictEntry(r, &shard_key, &verdict).ok() ||
+            shard_key != want) {
+          malformed = true;
+          break;
+        }
+        shard_answers[j] = verdict;
+      } else {
+        std::string echo;
+        if (!r.ReadString(&echo) || echo != want) {
+          malformed = true;
+          break;
+        }
+      }
+    }
+    if (malformed || r.remaining() != 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_[shard].errors;
+      continue;
+    }
+    for (size_t j = 0; j < members.size(); ++j) {
+      answers[members[j]] = std::move(shard_answers[j]);
+    }
+  }
+
+  std::string reply;
+  wire::PutU8(reply, kTierOpFetchMany);
+  wire::PutU32(reply, static_cast<uint32_t>(keys.size()));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (answers[i].has_value()) {
+      wire::PutU8(reply, 1);
+      EncodeVerdictEntry(keys[i], *answers[i], reply);
+    } else {
+      wire::PutU8(reply, 0);
+      wire::PutString(reply, keys[i]);
+    }
+  }
+  *response = FrameTierMessage(reply);
+  return Status::OK();
+}
+
+Status ShardedTransport::HandlePublish(
+    const std::vector<std::pair<std::string, StoredVerdict>>& entries,
+    std::string* response) {
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    by_shard[ShardOf(entries[i].first)].push_back(i);
+  }
+  uint64_t accepted = 0;
+  size_t involved = 0;
+  size_t failed = 0;
+  Status last_error = Status::OK();
+  for (size_t shard = 0; shard < by_shard.size(); ++shard) {
+    const std::vector<size_t>& members = by_shard[shard];
+    if (members.empty()) continue;
+    ++involved;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_[shard].keys_routed += members.size();
+    }
+    std::string sub_payload;
+    wire::PutU8(sub_payload, kTierOpPublish);
+    wire::PutU32(sub_payload, static_cast<uint32_t>(members.size()));
+    for (size_t i : members) {
+      EncodeVerdictEntry(entries[i].first, entries[i].second, sub_payload);
+    }
+    std::string sub_response;
+    Status status =
+        ShardRoundTrip(shard, FrameTierMessage(sub_payload), &sub_response);
+    if (status.ok()) {
+      std::string sub_reply;
+      status = UnframeTierMessage(sub_response, &sub_reply);
+      if (status.ok()) {
+        wire::ByteReader r(sub_reply);
+        uint8_t op = 0;
+        uint64_t shard_accepted = 0;
+        if (!r.ReadU8(&op) || op != kTierOpPublish ||
+            !r.ReadU64(&shard_accepted) || r.remaining() != 0) {
+          status = Status::InvalidArgument("malformed publish response");
+        } else {
+          accepted += shard_accepted;
+        }
+      }
+    }
+    if (!status.ok()) {
+      ++failed;
+      last_error = status;
+    }
+  }
+  if (involved > 0 && failed == involved) {
+    // Every involved shard refused: report the failure so RemoteTier
+    // requeues the batch. Partial success is a success — the reachable
+    // shards took their entries, and a dead shard's share republishes from
+    // some engine's next flush eventually (a cache, not a ledger).
+    return last_error;
+  }
+  std::string reply;
+  wire::PutU8(reply, kTierOpPublish);
+  wire::PutU64(reply, accepted);
+  *response = FrameTierMessage(reply);
+  return Status::OK();
+}
+
+VerdictTransportStats ShardedTransport::TransportStats() const {
+  VerdictTransportStats out;
+  for (const auto& shard : shards_) {
+    const VerdictTransportStats s = shard->TransportStats();
+    out.round_trips += s.round_trips;
+    out.errors += s.errors;
+    out.connects += s.connects;
+    out.reconnects += s.reconnects;
+  }
+  return out;
+}
+
+std::vector<ShardStats> ShardedTransport::shard_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace net
+}  // namespace cqchase

@@ -1,0 +1,99 @@
+// ShardedTransport: horizontal scale for the verdict authority — one
+// VerdictTransport facade over N backend transports, routing every key to
+// shard FNV-1a64(key) % N on the client side. RemoteTier (and TierStack,
+// and the engine) are unchanged: they see one transport whose backing map
+// happens to be the union of N authorities.
+//
+// Protocol awareness: routing needs the key, so this transport decodes each
+// request (the same bounds-checked parsing the authority itself does):
+//
+//   hello       — forwarded to every shard. At least one must answer, and
+//                 every shard that answers must agree on (version,
+//                 fingerprint) — shards serving different key schemes or
+//                 protocol levels would silently split the verdict space.
+//                 Shards that are down at hello time are skipped (their
+//                 keys degrade to misses until they return).
+//   fetch       — routed to the owning shard; its response (or error)
+//                 passes through verbatim. A dead shard's error degrades
+//                 that shard's keys to misses in RemoteTier, per shard.
+//   fetch-many  — partitioned by shard; per-shard sub-batches fan out, and
+//                 sub-responses are strictly validated (echo verification,
+//                 full entry decode) before merging back into request
+//                 order. A dead or confused shard contributes misses for
+//                 exactly its keys — never errors for the whole batch, and
+//                 never an unverified byte.
+//   publish     — partitioned by shard; accepted counts sum over the
+//                 shards that took the batch. Only when *every* involved
+//                 shard fails does the publish round trip fail (RemoteTier
+//                 then requeues the batch for a later flush).
+//
+// Reconnect state is per shard by construction: each backend TcpTransport
+// keeps its own socket, backoff and pinned identity.
+#ifndef CQCHASE_NET_SHARDED_TRANSPORT_H_
+#define CQCHASE_NET_SHARDED_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "engine/remote_tier.h"
+
+namespace cqchase {
+namespace net {
+
+struct ShardStats {
+  std::string peer;          // the backend transport's label
+  uint64_t round_trips = 0;  // sub-requests sent to this shard
+  uint64_t errors = 0;       // sub-requests that failed (degraded to misses)
+  uint64_t keys_routed = 0;  // keys whose home this shard is (fetch+publish)
+};
+
+class ShardedTransport final : public VerdictTransport {
+ public:
+  // `shards` must be non-empty; order defines the hash ring (changing the
+  // order or count re-homes keys, which is safe — a re-homed key is merely
+  // cold on its new shard — but wasteful; keep it stable).
+  explicit ShardedTransport(
+      std::vector<std::shared_ptr<VerdictTransport>> shards);
+
+  // The owning shard of a canonical key (exposed so tests and ops can
+  // predict placement).
+  size_t ShardOf(std::string_view key) const;
+  size_t shard_count() const { return shards_.size(); }
+
+  Status RoundTrip(const std::string& request, std::string* response) override;
+  std::string_view Peer() const override { return peer_; }
+  // Aggregate over all shards (their own counters summed).
+  VerdictTransportStats TransportStats() const override;
+
+  std::vector<ShardStats> shard_stats() const;
+
+ private:
+  Status HandleHello(const std::string& request, std::string* response);
+  Status HandleFetch(const std::string& request, std::string_view key,
+                     std::string* response);
+  Status HandleFetchMany(const std::vector<std::string>& keys,
+                         std::string* response);
+  Status HandlePublish(
+      const std::vector<std::pair<std::string, StoredVerdict>>& entries,
+      std::string* response);
+
+  // One sub-round-trip with per-shard accounting.
+  Status ShardRoundTrip(size_t shard, const std::string& request,
+                        std::string* response);
+
+  const std::vector<std::shared_ptr<VerdictTransport>> shards_;
+  const std::string peer_;
+
+  mutable std::mutex mu_;  // guards stats_
+  std::vector<ShardStats> stats_;
+};
+
+}  // namespace net
+}  // namespace cqchase
+
+#endif  // CQCHASE_NET_SHARDED_TRANSPORT_H_

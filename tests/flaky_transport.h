@@ -1,0 +1,124 @@
+// FlakyTransport: a fault-injecting VerdictTransport decorator for tests.
+// Wraps any inner transport (loopback, TCP, sharded) and, driven by a
+// deterministic seed, drops round trips, delays them, or garbles response
+// bytes — the three failure shapes a networked tier must degrade through
+// (miss, slow, confused peer) without ever serving a wrong verdict.
+//
+// Determinism: all decisions come from Rng(seed), so a failing seed is a
+// reproduction recipe, not a flake. The hello handshake is spared by
+// default (spare_hello) so RemoteTier::Connect succeeds and the faults land
+// on live traffic, where the degradation contracts actually bite.
+#ifndef CQCHASE_TESTS_FLAKY_TRANSPORT_H_
+#define CQCHASE_TESTS_FLAKY_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "engine/remote_tier.h"
+
+namespace cqchase {
+namespace testing_support {
+
+struct FlakyTransportOptions {
+  // Probability each round trip is dropped (fails with kInternal before
+  // reaching the inner transport — an unreachable peer).
+  double drop_rate = 0.0;
+  // Probability a *successful* inner response gets one byte flipped — a
+  // confused peer whose frames no longer decode (the checksum catches it).
+  double garble_rate = 0.0;
+  // Fixed extra latency per round trip (applied before the inner call).
+  std::chrono::milliseconds delay{0};
+  uint64_t seed = 1;
+  // Let hello frames through un-faulted so connection setup succeeds.
+  bool spare_hello = true;
+};
+
+class FlakyTransport final : public VerdictTransport {
+ public:
+  FlakyTransport(std::shared_ptr<VerdictTransport> inner,
+                 FlakyTransportOptions options)
+      : inner_(std::move(inner)),
+        options_(options),
+        rng_(options.seed),
+        peer_(std::string("flaky:") + std::string(inner_->Peer())) {}
+
+  Status RoundTrip(const std::string& request, std::string* response) override {
+    bool drop = false;
+    bool garble = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const bool spared = options_.spare_hello && IsHello(request);
+      if (!spared) {
+        drop = rng_.Bernoulli(options_.drop_rate);
+        garble = !drop && rng_.Bernoulli(options_.garble_rate);
+      }
+    }
+    if (options_.delay.count() > 0) std::this_thread::sleep_for(options_.delay);
+    if (drop) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++dropped_;
+      return Status::Internal("flaky transport dropped the round trip");
+    }
+    Status inner = inner_->RoundTrip(request, response);
+    if (!inner.ok()) return inner;
+    if (garble && response->size() > 4) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++garbled_;
+      // Flip a bit in the payload region (past the u32 length prefix, so the
+      // frame still reassembles and the checksum must do the catching).
+      const size_t pos = 4 + rng_.Index(response->size() - 4);
+      (*response)[pos] = static_cast<char>((*response)[pos] ^ 0x40);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++delivered_;
+    return Status::OK();
+  }
+
+  std::string_view Peer() const override { return peer_; }
+  VerdictTransportStats TransportStats() const override {
+    return inner_->TransportStats();
+  }
+
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  uint64_t garbled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return garbled_;
+  }
+  uint64_t delivered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return delivered_;
+  }
+
+ private:
+  static bool IsHello(const std::string& framed) {
+    std::string payload;
+    return UnframeTierMessage(framed, &payload).ok() && !payload.empty() &&
+           static_cast<uint8_t>(payload[0]) == kTierOpHello;
+  }
+
+  const std::shared_ptr<VerdictTransport> inner_;
+  const FlakyTransportOptions options_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t dropped_ = 0;
+  uint64_t garbled_ = 0;
+  uint64_t delivered_ = 0;
+  const std::string peer_;
+};
+
+}  // namespace testing_support
+}  // namespace cqchase
+
+#endif  // CQCHASE_TESTS_FLAKY_TRANSPORT_H_

@@ -293,6 +293,74 @@ TEST(RemoteTierTest, TransportFailureDegradesToMissNeverWrong) {
   EXPECT_EQ(transport->failures(), failures_before);  // no round trip
 }
 
+TEST(RemoteTierTest, BatchedFetchPopulatesNegativeCacheForMisses) {
+  // A batched miss must enter the negative cache exactly like a single-key
+  // miss — otherwise a hot burst of unknown keys re-asks the authority on
+  // every probe (the stampede the negative cache exists to absorb).
+  auto authority = std::make_shared<VerdictAuthority>();
+  authority->Put("known", MakeVerdict(3));
+  RemoteTierOptions options;
+  options.negative_ttl = std::chrono::minutes(5);
+  Result<std::unique_ptr<RemoteTier>> tier = RemoteTier::Connect(
+      std::make_shared<InProcessTransport>(authority), options);
+  ASSERT_TRUE(tier.ok()) << tier.status();
+
+  std::vector<std::optional<StoredVerdict>> got =
+      (*tier)->LookupMany({"known", "miss-a", "miss-b"});
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_TRUE(got[0].has_value());
+  EXPECT_FALSE(got[1].has_value());
+  EXPECT_FALSE(got[2].has_value());
+  const uint64_t wire_fetches = authority->stats().fetch_many_requests +
+                                authority->stats().fetches;
+
+  // Re-probing the missed keys — singly or batched — is served from the
+  // negative cache: zero further round trips within the TTL.
+  EXPECT_FALSE((*tier)->Lookup("miss-a").has_value());
+  std::vector<std::optional<StoredVerdict>> again =
+      (*tier)->LookupMany({"miss-a", "miss-b"});
+  EXPECT_FALSE(again[0].has_value());
+  EXPECT_FALSE(again[1].has_value());
+  EXPECT_EQ(authority->stats().fetch_many_requests + authority->stats().fetches,
+            wire_fetches);
+  EXPECT_GE((*tier)->Stats().negative_hits, 3u);
+}
+
+TEST(RemoteTierTest, BatchedFetchSkipsNegativeCachedKeys) {
+  // The inverse direction: keys already negative-cached by earlier lookups
+  // must not ride a later batch — the chunk carries only genuinely unknown
+  // keys (and an all-cached burst touches the wire not at all).
+  auto authority = std::make_shared<VerdictAuthority>();
+  authority->Put("fresh", MakeVerdict(7));
+  RemoteTierOptions options;
+  options.negative_ttl = std::chrono::minutes(5);
+  Result<std::unique_ptr<RemoteTier>> tier = RemoteTier::Connect(
+      std::make_shared<InProcessTransport>(authority), options);
+  ASSERT_TRUE(tier.ok()) << tier.status();
+
+  EXPECT_FALSE((*tier)->Lookup("cold-a").has_value());  // negative-cached
+  EXPECT_FALSE((*tier)->Lookup("cold-b").has_value());  // negative-cached
+
+  std::vector<std::optional<StoredVerdict>> got =
+      (*tier)->LookupMany({"cold-a", "fresh", "cold-b"});
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_FALSE(got[0].has_value());
+  ASSERT_TRUE(got[1].has_value());
+  EXPECT_EQ(got[1]->witness_max_level, 7u);
+  EXPECT_FALSE(got[2].has_value());
+  // The batch asked the authority for exactly one key: "fresh".
+  EXPECT_EQ(authority->stats().fetch_many_keys, 1u);
+
+  // Entirely negative-cached burst: no round trip at all.
+  const VerdictAuthority::Stats before = authority->stats();
+  std::vector<std::optional<StoredVerdict>> cached =
+      (*tier)->LookupMany({"cold-a", "cold-b"});
+  EXPECT_FALSE(cached[0].has_value());
+  EXPECT_FALSE(cached[1].has_value());
+  EXPECT_EQ(authority->stats().fetch_many_requests, before.fetch_many_requests);
+  EXPECT_EQ(authority->stats().fetches, before.fetches);
+}
+
 // --- engine integration ------------------------------------------------------
 
 class TierEngineTest : public ::testing::Test {
