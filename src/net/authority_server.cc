@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <string.h>
 #include <sys/socket.h>
 
@@ -83,8 +84,17 @@ void VerdictAuthorityServer::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Reset();
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  for (auto& conn : conns_) {
+  // Join handlers WITHOUT holding conns_mu_: a handler takes that lock on
+  // its way out (counter updates, fd release), so joining under it would
+  // deadlock against any connection still mid-request. The accept thread is
+  // already joined, so nothing mutates conns_ while we drain the snapshot.
+  std::vector<Connection*> handlers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    handlers.reserve(conns_.size());
+    for (auto& conn : conns_) handlers.push_back(conn.get());
+  }
+  for (Connection* conn : handlers) {
     if (conn->thread.joinable()) conn->thread.join();
   }
   started_ = false;
@@ -106,6 +116,15 @@ void VerdictAuthorityServer::AcceptLoop() {
       }
       auto conn = std::make_unique<Connection>();
       conn->fd = UniqueFd(raw);
+      // Accepted fds do not inherit the listener's O_NONBLOCK on Linux, and
+      // SendAll/RecvExact only enforce their deadlines through the
+      // EAGAIN→poll path — a blocking fd would make io_timeout a no-op and
+      // let a stalled peer pin this handler forever.
+      if (!SetNonBlocking(raw).ok()) continue;  // fd closes with `conn`
+      const int one = 1;
+      // Best effort, mirroring DialTcp: one response frame per write should
+      // not wait for Nagle.
+      (void)setsockopt(raw, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       conn->stats.peer = PeerName(raw);
       conn->stats.open = true;
       Connection* raw_conn = conn.get();
@@ -189,10 +208,21 @@ void VerdictAuthorityServer::ServeConnection(Connection* conn) {
 }
 
 void VerdictAuthorityServer::ReapFinishedLocked() {
-  for (auto& conn : conns_) {
-    if (conn->done.load(std::memory_order_acquire) && conn->thread.joinable()) {
-      conn->thread.join();
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    Connection* conn = it->get();
+    if (!conn->done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
     }
+    // `done` is the handler's last store, so the thread needs no further
+    // locks — joining under conns_mu_ cannot deadlock here.
+    if (conn->thread.joinable()) conn->thread.join();
+    closed_rows_.push_back(conn->stats);
+    it = conns_.erase(it);
+  }
+  while (closed_rows_.size() > options_.max_closed_connection_rows) {
+    closed_rows_.pop_front();
   }
 }
 
@@ -210,7 +240,8 @@ std::vector<AuthorityConnectionStats> VerdictAuthorityServer::connections()
     const {
   std::lock_guard<std::mutex> lock(conns_mu_);
   std::vector<AuthorityConnectionStats> out;
-  out.reserve(conns_.size());
+  out.reserve(closed_rows_.size() + conns_.size());
+  out.insert(out.end(), closed_rows_.begin(), closed_rows_.end());
   for (const auto& conn : conns_) {
     std::lock_guard<std::mutex> conn_lock(conn->mu);
     out.push_back(conn->stats);

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +51,11 @@ struct AuthorityServerOptions {
   std::chrono::milliseconds poll_tick{100};
   // Inbound frame bound, matching the protocol-wide limit.
   size_t max_frame_bytes = kTierMaxFrameBytes;
+  // How many closed-connection rows connections() keeps (oldest dropped
+  // first). Aggregate counters in stats() are unaffected; this only bounds
+  // the per-connection detail so a daemon with churn does not grow without
+  // bound.
+  size_t max_closed_connection_rows = 64;
 };
 
 // Aggregate server counters (per-connection detail via connections()).
@@ -96,9 +102,9 @@ class VerdictAuthorityServer {
   std::string address() const;  // "host:port" of the bound listener
 
   AuthorityServerStats stats() const;
-  // One row per connection this server accepted (open and closed), accept
-  // order. Bounded by connection churn; a daemon exposes counts, tests read
-  // the rows.
+  // Recently closed connections (up to max_closed_connection_rows, oldest
+  // dropped first) followed by the currently open ones, accept order within
+  // each group. A daemon exposes counts, tests read the rows.
   std::vector<AuthorityConnectionStats> connections() const;
 
  private:
@@ -112,8 +118,9 @@ class VerdictAuthorityServer {
 
   void AcceptLoop();
   void ServeConnection(Connection* conn);
-  // Joins finished handler threads (accept-loop housekeeping, so a daemon
-  // with connection churn does not accumulate joinable threads).
+  // Joins finished handler threads and retires their Connection records
+  // into closed_rows_ (accept-loop housekeeping, so a daemon with
+  // connection churn accumulates neither joinable threads nor records).
   void ReapFinishedLocked();
 
   const std::shared_ptr<VerdictAuthority> authority_;
@@ -126,7 +133,9 @@ class VerdictAuthorityServer {
   std::thread accept_thread_;
 
   mutable std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::unique_ptr<Connection>> conns_;  // open / not yet reaped
+  // Rows of reaped connections, bounded by max_closed_connection_rows.
+  std::deque<AuthorityConnectionStats> closed_rows_;
   AuthorityServerStats totals_;  // closed-connection rollup + server counters
 };
 

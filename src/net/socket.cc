@@ -36,14 +36,6 @@ int PollTimeoutMs(SocketDeadline deadline) {
   return static_cast<int>(std::min<long long>(ms, 100));
 }
 
-Status SetNonBlocking(int fd) {
-  const int flags = fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    return ErrnoStatus("fcntl(O_NONBLOCK)", errno);
-  }
-  return Status::OK();
-}
-
 // Waits for `events` on `fd` until `deadline`. Returns OK when the fd is
 // ready (including error-ready: the caller's next syscall reports the real
 // errno), kDeadlineExceeded otherwise.
@@ -70,6 +62,14 @@ Status PollFor(int fd, short events, SocketDeadline deadline) {
 void UniqueFd::Reset(int fd) {
   if (fd_ >= 0) ::close(fd_);
   fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)", errno);
+  }
+  return Status::OK();
 }
 
 SocketDeadline DeadlineAfter(std::chrono::milliseconds timeout) {

@@ -78,6 +78,12 @@ Result<UniqueFd> DialTcp(const std::string& host, uint16_t port,
 Result<std::pair<UniqueFd, uint16_t>> ListenTcp(const std::string& host,
                                                 uint16_t port);
 
+// Sets O_NONBLOCK on `fd`. Every deadline helper below assumes a
+// non-blocking fd — on a blocking one the EAGAIN→poll path never runs and
+// the deadlines are unenforced. Accepted fds do NOT inherit the listener's
+// O_NONBLOCK on Linux, so accept loops must call this per connection.
+Status SetNonBlocking(int fd);
+
 // Polls `fd` for readability for up to `tick`. Returns true when readable;
 // false on timeout (errors surface as readable and are caught by the
 // subsequent read). Accept loops poll in short ticks so a stop flag is

@@ -237,6 +237,97 @@ TEST(ServerTest, FirstFrameMustBeHello) {
   server.Stop();
 }
 
+TEST(ServerTest, StalledPeerMidFrameIsCutOffByIoTimeout) {
+  auto authority = std::make_shared<VerdictAuthority>();
+  net::AuthorityServerOptions options;
+  options.io_timeout = milliseconds(200);
+  net::VerdictAuthorityServer server(authority, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto dial = net::DialTcp("127.0.0.1", server.port(), milliseconds(1000));
+  ASSERT_TRUE(dial.ok());
+  // Send only a length prefix promising payload that never follows. The
+  // handler's io_timeout clock starts on those first bytes — and only fires
+  // because accepted fds are non-blocking (a blocking fd would park recv
+  // forever and pin the handler thread).
+  std::string prefix;
+  wire::PutU32(prefix, 64);
+  ASSERT_TRUE(net::SendAll(dial->get(), prefix,
+                           net::DeadlineAfter(milliseconds(1000)))
+                  .ok());
+  EXPECT_TRUE(WaitFor([&] { return server.stats().protocol_errors == 1; }));
+  EXPECT_TRUE(WaitFor([&] { return server.stats().connections_open == 0; }));
+  server.Stop();
+}
+
+TEST(ServerTest, StopWhileClientsMidRequestDoesNotDeadlock) {
+  auto authority = std::make_shared<VerdictAuthority>();
+  authority->Put("k", MakeVerdict(5));
+  net::VerdictAuthorityServer server(authority);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Clients hammer lookups so handlers are mid-request when the drain
+  // begins — the state that used to deadlock Stop(), which joined handler
+  // threads while holding the lock those handlers need to exit.
+  std::atomic<bool> halt{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      Result<std::unique_ptr<RemoteTier>> tier =
+          RemoteTier::Connect(std::make_shared<net::TcpTransport>(
+              "127.0.0.1", server.port(), FastTcpOptions()));
+      if (!tier.ok()) return;
+      while (!halt.load()) (void)(*tier)->Lookup("k");
+    });
+  }
+  EXPECT_TRUE(WaitFor([&] { return server.stats().requests_served > 10; }));
+
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    server.Stop();
+    stopped.store(true);
+  });
+  EXPECT_TRUE(WaitFor([&] { return stopped.load(); }));
+  halt.store(true);
+  stopper.join();
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(server.stats().connections_open, 0u);
+}
+
+TEST(ServerTest, ClosedConnectionRowsAreBounded) {
+  auto authority = std::make_shared<VerdictAuthority>();
+  net::AuthorityServerOptions options;
+  options.max_closed_connection_rows = 2;
+  net::VerdictAuthorityServer server(authority, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Churn: connections come and go; the daemon must not retain a record per
+  // connection forever.
+  const size_t kChurn = 5;
+  for (size_t i = 0; i < kChurn; ++i) {
+    Result<std::unique_ptr<RemoteTier>> tier =
+        RemoteTier::Connect(std::make_shared<net::TcpTransport>(
+            "127.0.0.1", server.port(), FastTcpOptions()));
+    ASSERT_TRUE(tier.ok()) << tier.status();
+    (void)(*tier)->Lookup("k");
+  }  // each scope exit closes the socket
+  EXPECT_TRUE(WaitFor([&] { return server.stats().connections_open == 0; }));
+
+  // The next accept reaps the churned records into the bounded history.
+  Result<std::unique_ptr<RemoteTier>> live =
+      RemoteTier::Connect(std::make_shared<net::TcpTransport>(
+          "127.0.0.1", server.port(), FastTcpOptions()));
+  ASSERT_TRUE(live.ok()) << live.status();
+  EXPECT_TRUE(WaitFor([&] {
+    return server.stats().connections_accepted == kChurn + 1;
+  }));
+  // At most the 2 retained closed rows plus the live connection; aggregate
+  // counters still remember everything.
+  EXPECT_LE(server.connections().size(), 3u);
+  EXPECT_EQ(server.stats().connections_accepted, kChurn + 1);
+  server.Stop();
+}
+
 // --- TcpTransport end to end -------------------------------------------------
 
 TEST(TcpTransportTest, FetchPublishAndBatchedFetchOverRealTcp) {
