@@ -1,0 +1,277 @@
+// Parallel intra-chase sweeps vs. the serial bulk core on a wide-Σ
+// workload.
+//
+// The parallel core (ChaseCoreMode::kParallel) keeps the bulk core's
+// columnar planning but fires a frozen level frontier's witness-class
+// batches concurrently on the engine's work-stealing pool, one barrier per
+// reliance depth. Its advantage is single-request latency: a wide IND-only
+// Σ yields many mutually independent rhs-relation classes per level, and
+// the only serial residue is the id-assignment plan (chase/bulk.h
+// documents why ids must stay sequential).
+//
+// ENFORCED GATE: on the wide-Σ case the parallel core must (a) produce a
+// byte-identical chase prefix (ToString), identical step count, and the
+// same terminal status as BOTH the scalar oracle and the bulk core, and
+// (b) on hosts with >= 4 hardware threads, run >= 1.5x faster than the
+// bulk core (best-of-N wall time). On narrower hosts the speedup is
+// reported but not enforced — a 1-core box cannot demonstrate parallelism,
+// and pretending otherwise would make CI green mean nothing. Parity is
+// enforced everywhere, always.
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "chase/chase.h"
+#include "engine/executor.h"
+#include "gen/generators.h"
+
+namespace cqchase {
+namespace {
+
+using bench::PrintJsonRecord;
+using bench::WallTimer;
+
+struct CaseSpec {
+  const char* name;
+  size_t num_relations;
+  size_t num_inds;
+  size_t query_conjuncts;
+  uint32_t max_level;
+  size_t max_conjuncts;
+  bool enforce;  // false => informational only (tiny Σ)
+};
+
+// One self-owning universe; regenerated fresh (same seed) for every run so
+// all cores and every timing repetition see byte-identical inputs.
+struct Universe {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<SymbolTable> symbols;
+  std::unique_ptr<DependencySet> deps;
+  std::vector<ConjunctiveQuery> query;  // exactly one; no default ctor
+};
+
+Universe BuildUniverse(const CaseSpec& spec, uint64_t seed) {
+  Universe u;
+  u.catalog = std::make_unique<Catalog>();
+  u.symbols = std::make_unique<SymbolTable>();
+  u.deps = std::make_unique<DependencySet>();
+  Rng rng(seed);
+  RandomCatalogParams cp;
+  cp.num_relations = spec.num_relations;
+  cp.min_arity = 2;
+  cp.max_arity = 3;
+  *u.catalog = RandomCatalog(rng, cp);
+  RandomIndParams ip;
+  ip.count = spec.num_inds;
+  ip.width = 1;
+  *u.deps = RandomIndOnlyDeps(rng, *u.catalog, ip);
+  RandomQueryParams qp;
+  qp.num_conjuncts = spec.query_conjuncts;
+  qp.num_vars = spec.query_conjuncts + 2;
+  qp.num_dist_vars = 2;
+  u.query.push_back(RandomQuery(rng, *u.catalog, *u.symbols, qp));
+  return u;
+}
+
+// One pool for the whole benchmark, sized like the engine would size it.
+ChaseTaskRunner* PoolRunner() {
+  static const size_t kWorkers =
+      std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  static Executor* executor = new Executor(kWorkers);
+  static ExecutorTaskRunner* runner = new ExecutorTaskRunner(executor);
+  return runner;
+}
+
+struct RunResult {
+  double wall_ms = 0.0;
+  StatusCode status = StatusCode::kOk;
+  size_t conjuncts = 0;
+  size_t steps = 0;
+  std::string rendering;  // chase ToString, the parity fingerprint
+  ChaseStats stats;
+};
+
+RunResult RunOnce(const CaseSpec& spec, uint64_t seed, ChaseCoreMode mode) {
+  Universe u = BuildUniverse(spec, seed);
+  ChaseLimits limits;
+  limits.core = mode;
+  limits.max_level = spec.max_level + 1;
+  limits.max_conjuncts = spec.max_conjuncts;
+  if (mode == ChaseCoreMode::kParallel) limits.runner = PoolRunner();
+  Chase chase(u.catalog.get(), u.symbols.get(), u.deps.get(),
+              ChaseVariant::kRequired, limits);
+  Status init = chase.Init(u.query[0]);
+  if (!init.ok()) {
+    std::fprintf(stderr, "FATAL: Init failed: %s\n", init.ToString().c_str());
+    std::exit(1);
+  }
+  RunResult r;
+  WallTimer timer;
+  Result<ChaseOutcome> outcome = chase.ExpandToLevel(spec.max_level);
+  r.wall_ms = timer.ElapsedMs();
+  r.status = outcome.status().code();
+  // kResourceExhausted keeps a valid partial prefix — that prefix is the
+  // workload; any other failure is a bench bug.
+  if (!outcome.ok() && r.status != StatusCode::kResourceExhausted) {
+    std::fprintf(stderr, "FATAL: chase failed: %s\n",
+                 outcome.status().ToString().c_str());
+    std::exit(1);
+  }
+  r.conjuncts = chase.conjuncts().size();
+  r.steps = chase.steps();
+  r.rendering = chase.ToString();
+  r.stats = chase.chase_stats();
+  return r;
+}
+
+RunResult BestOf(const CaseSpec& spec, uint64_t seed, ChaseCoreMode mode,
+                 int reps) {
+  RunResult best = RunOnce(spec, seed, mode);
+  for (int i = 1; i < reps; ++i) {
+    RunResult r = RunOnce(spec, seed, mode);
+    if (r.wall_ms < best.wall_ms) best = std::move(r);
+  }
+  return best;
+}
+
+void EmitRecord(const CaseSpec& spec, const char* core, const RunResult& r,
+                double speedup, size_t hw_threads) {
+  std::vector<std::pair<std::string, double>> counters;
+  counters.emplace_back("enforced",
+                        (spec.enforce && hw_threads >= 4) ? 1.0 : 0.0);
+  counters.emplace_back("hw_threads", static_cast<double>(hw_threads));
+  counters.emplace_back("inds", static_cast<double>(spec.num_inds));
+  counters.emplace_back("conjuncts", static_cast<double>(r.conjuncts));
+  counters.emplace_back("steps", static_cast<double>(r.steps));
+  counters.emplace_back("segments_built",
+                        static_cast<double>(r.stats.segments_built));
+  counters.emplace_back("bulk_ind_applications",
+                        static_cast<double>(r.stats.bulk_ind_applications));
+  counters.emplace_back("parallel_sweeps",
+                        static_cast<double>(r.stats.parallel_sweeps));
+  counters.emplace_back("parallel_batches",
+                        static_cast<double>(r.stats.parallel_batches));
+  counters.emplace_back(
+      "parallel_serialized_levels",
+      static_cast<double>(r.stats.parallel_serialized_levels));
+  counters.emplace_back("parallel_small_levels",
+                        static_cast<double>(r.stats.parallel_small_levels));
+  counters.emplace_back("parallel_depth_layers",
+                        static_cast<double>(r.stats.parallel_depth_layers));
+  counters.emplace_back("parallel_max_depth_width",
+                        static_cast<double>(r.stats.parallel_max_depth_width));
+  counters.emplace_back("plan_ms", r.stats.plan_ms);
+  counters.emplace_back("join_ms", r.stats.join_ms);
+  counters.emplace_back("retain_ms", r.stats.retain_ms);
+  counters.emplace_back("fd_ms", r.stats.fd_ms);
+  counters.emplace_back("speedup_vs_bulk", speedup);
+  PrintJsonRecord(std::string("chase_parallel_") + spec.name + "_" + core,
+                  r.wall_ms, counters);
+}
+
+// Returns true iff the case passes parity + (when enforced) the 1.5x bound.
+bool RunCase(const CaseSpec& spec, uint64_t seed, int reps) {
+  const size_t hw_threads =
+      std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  std::printf(
+      "--- case %s: %zu relations, %zu INDs (requested), depth %u, "
+      "%zu hw threads\n",
+      spec.name, spec.num_relations, spec.num_inds, spec.max_level,
+      hw_threads);
+  RunResult scalar = BestOf(spec, seed, ChaseCoreMode::kScalar, reps);
+  RunResult bulk = BestOf(spec, seed, ChaseCoreMode::kBulk, reps);
+  RunResult parallel = BestOf(spec, seed, ChaseCoreMode::kParallel, reps);
+  const double speedup =
+      parallel.wall_ms > 0.0 ? bulk.wall_ms / parallel.wall_ms : 0.0;
+
+  bool parity = true;
+  for (const RunResult* other : {&scalar, &bulk}) {
+    if (other->status != parallel.status) {
+      std::printf("PARITY MISMATCH: terminal status differs (%d vs %d)\n",
+                  static_cast<int>(other->status),
+                  static_cast<int>(parallel.status));
+      parity = false;
+    }
+    if (other->conjuncts != parallel.conjuncts ||
+        other->steps != parallel.steps) {
+      std::printf("PARITY MISMATCH: conjuncts %zu vs %zu, steps %zu vs %zu\n",
+                  other->conjuncts, parallel.conjuncts, other->steps,
+                  parallel.steps);
+      parity = false;
+    }
+    if (other->rendering != parallel.rendering) {
+      std::printf("PARITY MISMATCH: chase renderings differ\n");
+      parity = false;
+    }
+  }
+
+  EmitRecord(spec, "bulk", bulk, speedup, hw_threads);
+  EmitRecord(spec, "parallel", parallel, speedup, hw_threads);
+  std::printf(
+      "%-10s scalar %9.3f ms | bulk %9.3f ms | parallel %9.3f ms | "
+      "speedup vs bulk %5.2fx | %zu conjuncts, %zu steps | "
+      "%" PRIu64 " sweeps, %" PRIu64 " batches, %" PRIu64
+      " layers (max width %" PRIu64 ") | serialized %" PRIu64
+      ", small %" PRIu64 " | plan %.1f ms\n",
+      spec.name, scalar.wall_ms, bulk.wall_ms, parallel.wall_ms, speedup,
+      parallel.conjuncts, parallel.steps, parallel.stats.parallel_sweeps,
+      parallel.stats.parallel_batches, parallel.stats.parallel_depth_layers,
+      parallel.stats.parallel_max_depth_width,
+      parallel.stats.parallel_serialized_levels,
+      parallel.stats.parallel_small_levels, parallel.stats.plan_ms);
+
+  if (!parity) return false;
+  if (!spec.enforce) {
+    std::printf("degraded gate (tiny Σ): informational only\n");
+    return true;
+  }
+  if (hw_threads < 4) {
+    std::printf(
+        "degraded gate: %zu hw threads < 4 — parity enforced, speedup "
+        "%.2fx report-only\n",
+        hw_threads, speedup);
+    return true;
+  }
+  if (speedup < 1.5) {
+    std::printf("GATE FAILED: parallel speedup %.2fx < 1.50x required\n",
+                speedup);
+    return false;
+  }
+  std::printf("gate ok: parity exact, speedup %.2fx >= 1.50x\n", speedup);
+  return true;
+}
+
+}  // namespace
+}  // namespace cqchase
+
+int main() {
+  using cqchase::CaseSpec;
+  cqchase::bench::PrintHeader(
+      "bench_chase_parallel",
+      "concurrent witness-class sweeps cut single-request latency on wide "
+      "IND-only Sigma; parity with the scalar oracle is enforced "
+      "unconditionally");
+
+  // Same wide-Σ configuration bench_chase_bulk enforces: ~12 relations of
+  // arity 2-3 supporting ~300 distinct width-1 INDs.
+  const CaseSpec wide = {"wide",  12,   300, 8, 3,
+                         60000,   true};
+  // Tiny Σ: frontiers below parallel_min_pairs route serial by design.
+  const CaseSpec tiny = {"tiny",  3,    4,   5, 3,
+                         60000,   false};
+
+  bool ok = true;
+  ok &= cqchase::RunCase(wide, /*seed=*/20260808, /*reps=*/3);
+  ok &= cqchase::RunCase(tiny, /*seed=*/20260808, /*reps=*/3);
+  if (!ok) {
+    std::printf("\nbench_chase_parallel: FAILED\n");
+    return 1;
+  }
+  std::printf("\nbench_chase_parallel: OK\n");
+  return 0;
+}

@@ -57,7 +57,11 @@ inline void PrintHeader(const std::string& experiment,
 //   6 — networked verdict authority: remote tiers additionally report
 //       tier<i>_remote_fetch_rtts / _batched_fetches / _reconnects /
 //       _transport_errors via AppendTierCounters (wire behavior per tier)
-inline constexpr int kBenchRecordSchema = 6;
+//   7 — parallel chase core: parallel_batches/parallel_serialized_levels in
+//       AppendEngineCounters; chase_core_bulk in AppendEngineConfig replaced
+//       by chase_core (numeric ChaseCoreMode: 0 scalar, 1 bulk, 2 parallel);
+//       bench_chase_parallel reports per-depth layer widths
+inline constexpr int kBenchRecordSchema = 7;
 
 // One-line machine-readable record, emitted by every bench so the perf
 // trajectory can be scraped (`grep '^{"bench"'` over the run log). Integral
@@ -124,6 +128,10 @@ inline void AppendEngineCounters(
                         static_cast<double>(stats.bulk_ind_applications));
   counters.emplace_back("inds_pruned",
                         static_cast<double>(stats.inds_pruned));
+  counters.emplace_back("parallel_batches",
+                        static_cast<double>(stats.parallel_batches));
+  counters.emplace_back("parallel_serialized_levels",
+                        static_cast<double>(stats.parallel_serialized_levels));
 }
 
 // Appends one hit/publish counter pair per active verdict tier (probe
@@ -195,9 +203,11 @@ inline void AppendEngineConfig(
   counters.emplace_back("store_enabled", has_store_tier ? 1.0 : 0.0);
   counters.emplace_back("tiers_configured",
                         static_cast<double>(config.tiers.size()));
+  // Numeric ChaseCoreMode (0 scalar, 1 bulk, 2 parallel); replaces the
+  // schema<=6 boolean chase_core_bulk.
   counters.emplace_back(
-      "chase_core_bulk",
-      config.containment.limits.core == ChaseCoreMode::kBulk ? 1.0 : 0.0);
+      "chase_core",
+      static_cast<double>(static_cast<int>(config.containment.limits.core)));
 }
 
 // A deterministic keyed IND-only containment workload of `classes` verdict

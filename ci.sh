@@ -17,7 +17,12 @@
 #     per-call thread fan-out or verdicts diverge between the two modes;
 #     bench_chase_bulk if the set-at-a-time chase core diverges from the
 #     scalar oracle (prefix, steps, or terminal status) or misses the >= 2x
-#     speedup bound on the wide-Σ workload; bench_reliance if any acyclic
+#     speedup bound on the wide-Σ workload; bench_chase_parallel if the
+#     parallel chase core diverges from the scalar oracle or the bulk core
+#     on the same wide-Σ workload, or (on hosts with >= 4 hardware threads)
+#     misses the >= 1.5x single-request speedup over the bulk core — on
+#     narrower hosts the speedup is report-only, parity stays enforced;
+#     bench_reliance if any acyclic
 #     FD+IND task fails to decide with allow_semidecision=false (the
 #     reliance analyzer's kAcyclicInd fragment must stay a real decision
 #     procedure, not a semi-decision in disguise).
@@ -48,7 +53,8 @@
 #     corrupted input), so the parsing code runs under ASan+UBSan from day
 #     one; -fno-sanitize-recover turns any UB into a non-zero exit.
 #  8. tsan: ThreadSanitizer over the concurrency-bearing binaries (sharded
-#     symbol arena, shared chase prefixes, CheckMany fan-out, executor,
+#     symbol arena, shared chase prefixes, parallel witness-class sweeps on
+#     the work-stealing pool, CheckMany fan-out, executor fork/join,
 #     write-behind store/tier flush, thread-per-connection authority
 #     server): any data race fails CI.
 #  9. static-analysis: clang-tidy (profile in .clang-tidy: bugprone-*,
@@ -115,6 +121,7 @@ perf_gates() {
   ./build/bench_checkmany_scaling
   ./build/bench_submit_throughput
   ./build/bench_chase_bulk
+  ./build/bench_chase_parallel
   ./build/bench_reliance
 }
 
@@ -196,7 +203,7 @@ tcp_gate() {
 # hot.
 ASAN_TESTS=(serialize_test store_test tier_test net_test engine_test
             engine_cache_test engine_dispatch_test chase_core_parity_test
-            reliance_test)
+            reliance_test executor_test)
 asan_ubsan() {
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \

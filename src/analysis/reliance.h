@@ -127,8 +127,14 @@ class SigmaGraph {
   uint32_t ComponentOf(uint32_t node) const { return component_of_[node]; }
   // frontiers()[d] lists the component ids at depth d. Components in one
   // layer are pairwise reliance-independent; executing the layers in order
-  // respects every edge. This is the dependency-application DAG the
-  // parallelism ROADMAP item schedules.
+  // respects every edge. This is the dependency-application DAG the parallel
+  // chase core schedules: ChaseCoreMode::kParallel maps each pending
+  // (level, IND) batch to its IND's component depth (BulkState::ind_depth)
+  // and launches one layer of witness-class tasks per depth, barrier
+  // between layers. Note the mapping is *scheduling* structure only —
+  // same-depth INDs may still share an rhs relation and thus a witness
+  // index, so the correctness unit inside a layer is the rhs-relation
+  // witness class, not the component (see chase/parallel.cc).
   const std::vector<std::vector<uint32_t>>& frontiers() const {
     return frontiers_;
   }

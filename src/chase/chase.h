@@ -53,15 +53,20 @@ enum class ChaseVariant {
   kRequired,   // R-chase
 };
 
-// Which executor drives the IND phase. Both cores produce bit-identical
+// Which executor drives the IND phase. All cores produce bit-identical
 // chase prefixes (same conjunct ids, levels, facts, arcs, outcome, and step
 // counts) — the scalar core is the paper-literal oracle, the bulk core the
-// set-at-a-time columnar engine (see chase/bulk.h). Equivalence is enforced
-// differentially by tests/chase_core_parity_test.cc.
+// set-at-a-time columnar engine (see chase/bulk.h), and the parallel core
+// plans each level sweep like the bulk core but executes its independent
+// witness classes concurrently (see chase/parallel.cc). Equivalence is
+// enforced differentially by tests/chase_core_parity_test.cc.
 enum class ChaseCoreMode {
-  kScalar,  // one PendingStep at a time (reference/oracle)
-  kBulk,    // level-frontier batches over columnar segments (default)
+  kScalar,    // one PendingStep at a time (reference/oracle)
+  kBulk,      // level-frontier batches over columnar segments (default)
+  kParallel,  // bulk planning + concurrent witness-class sweeps
 };
+
+class ChaseTaskRunner;  // chase/parallel.h
 
 // Resource budgets for one chase. Limits make truncation explicit: hitting
 // one never yields a wrong chase, only an incomplete prefix.
@@ -70,6 +75,15 @@ struct ChaseLimits {
   size_t max_conjuncts = 200000;
   size_t max_steps = 2000000;
   ChaseCoreMode core = ChaseCoreMode::kBulk;
+  // kParallel only: executes the sweep's independent witness-class tasks
+  // (chase/parallel.h). Not owned; must outlive every Expand call. Null
+  // degrades to inline execution — still byte-identical, no concurrency.
+  ChaseTaskRunner* runner = nullptr;
+  // kParallel only: frontiers with fewer pending (conjunct, IND) pairs than
+  // this run through the serial bulk path — the plan/commit bookkeeping
+  // cannot pay for itself on a handful of pairs. Counted in
+  // ChaseStats::parallel_small_levels; both paths produce identical bytes.
+  uint32_t parallel_min_pairs = 16;
 };
 
 enum class ChaseOutcome {
@@ -282,6 +296,19 @@ class Chase {
   void PrepareBulk();           // static Σ shape (masks, witness groups)
   void RebuildWitnessGroups();  // from-scratch witness rebuild (post-merge)
   void AddToWitnessGroups(const ChaseConjunct& conjunct);
+
+  // --- Parallel core; implemented in chase/parallel.cc --------------------
+  // Level-frontier loop under ChaseCoreMode::kParallel: same shape as
+  // BulkExpandToLevel but sweeps via RunLevelFrontier. Byte-identical
+  // prefix to the scalar/bulk cores.
+  Result<ChaseOutcome> ParallelExpandToLevel(uint32_t effective);
+  // One parallel sweep: partitions the pending frontier into rhs-relation
+  // witness classes, computes witness decisions concurrently (read-only),
+  // plans the exact scalar id sequence sequentially, commits sequentially,
+  // then merges witness-group appends class-parallel. Falls back to
+  // RunLevelBatch for small frontiers and FD-merge levels. Returns true if
+  // any (conjunct, IND) pair was processed.
+  Result<bool> RunLevelFrontier(uint32_t effective);
 
   const Catalog* catalog_;
   SymbolTable* symbols_;

@@ -1,0 +1,39 @@
+// Execution interface for the parallel (reliance-scheduled) chase core.
+//
+// The chase layer knows nothing about thread pools: ChaseCoreMode::kParallel
+// expresses its concurrency as batches of independent closures handed to a
+// ChaseTaskRunner with barrier semantics. The engine supplies an
+// Executor-backed implementation (engine/executor.h: ExecutorTaskRunner);
+// a null runner in ChaseLimits degrades to inline execution — same byte-
+// identical prefix, no concurrency — which is also what keeps the parity
+// tests meaningful on single-core hosts.
+//
+// Contract for RunAll:
+//  * every task is executed exactly once;
+//  * RunAll returns only after ALL tasks have completed (a barrier);
+//  * tasks within one RunAll call may execute concurrently and in any
+//    order — the chase only ever passes mutually independent tasks (they
+//    touch disjoint witness classes; see chase/parallel.cc);
+//  * tasks must not throw (they communicate failure through captured state).
+//
+// Implementations may run tasks on the calling thread (helping join) — the
+// chase does not assume which thread executes a task.
+#ifndef CQCHASE_CHASE_PARALLEL_H_
+#define CQCHASE_CHASE_PARALLEL_H_
+
+#include <functional>
+#include <vector>
+
+namespace cqchase {
+
+class ChaseTaskRunner {
+ public:
+  virtual ~ChaseTaskRunner() = default;
+
+  // Executes every task and returns after all complete (see file comment).
+  virtual void RunAll(std::vector<std::function<void()>> tasks) = 0;
+};
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_CHASE_PARALLEL_H_

@@ -1,9 +1,13 @@
 // Differential proof of the chase-core equivalence contract: the bulk
-// (set-at-a-time, ChaseCoreMode::kBulk) core must produce a final prefix
-// IDENTICAL to the scalar oracle — same conjunct ids, facts, levels, alive
-// flags, parents, arcs, step counts, and outcome — on randomized Σ + query
-// families and on the paper's scenarios, including runs that hit resource
-// limits, and identical engine verdicts + certificates end to end.
+// (set-at-a-time, ChaseCoreMode::kBulk) and parallel (concurrent
+// witness-class sweeps, ChaseCoreMode::kParallel) cores must produce a
+// final prefix IDENTICAL to the scalar oracle — same conjunct ids, facts,
+// levels, alive flags, parents, arcs, step counts, and outcome — on
+// randomized Σ + query families and on the paper's scenarios, including
+// runs that hit resource limits, and identical engine verdicts +
+// certificates end to end. The parallel runs force parallel_min_pairs = 1
+// so even tiny frontiers take the concurrent path, and alternate between a
+// real work-stealing pool and the inline (null-runner) degradation.
 //
 // Twin-universe technique: every comparison generates its workload TWICE
 // from the same seed into two independent SymbolTables, so the two cores
@@ -20,12 +24,32 @@
 #include "base/rng.h"
 #include "chase/chase.h"
 #include "core/certificate.h"
+#include "cq/cq_parser.h"
+#include "deps/deps_parser.h"
 #include "engine/engine.h"
+#include "engine/executor.h"
 #include "gen/generators.h"
 #include "gen/scenarios.h"
 
 namespace cqchase {
 namespace {
+
+// Shared 4-worker pool for the kParallel runs. A single static pool keeps
+// the test suite honest under TSan: every parallel case races its
+// witness-class tasks on the same threads.
+ChaseTaskRunner* SharedRunner() {
+  static Executor* executor = new Executor(4);
+  static ExecutorTaskRunner* runner = new ExecutorTaskRunner(executor);
+  return runner;
+}
+
+// Parallel-core limits for a parity run: take the concurrent path on every
+// frontier, and alternate real-pool vs inline coverage by seed.
+ChaseLimits ParallelLimits(ChaseLimits limits, uint64_t seed) {
+  limits.parallel_min_pairs = 1;
+  if (seed % 3 != 0) limits.runner = SharedRunner();
+  return limits;
+}
 
 // One self-owning chase run: universe + chase + the ExpandToLevel status.
 struct ChaseRun {
@@ -95,7 +119,8 @@ void ExpectSameStatus(const Status& scalar, const Status& bulk,
       << "scalar: " << scalar.ToString() << " bulk: " << bulk.ToString();
 }
 
-// Both cores on twin universes; compares statuses and final prefixes.
+// All three cores on twin universes; compares statuses and final prefixes
+// of bulk and parallel against the scalar oracle.
 void RunParityCase(uint64_t seed, const UniverseBuilder& build,
                    ChaseVariant variant, ChaseLimits limits, uint32_t level,
                    const std::string& label) {
@@ -105,6 +130,12 @@ void RunParityCase(uint64_t seed, const UniverseBuilder& build,
       RunOne(seed, build, ChaseCoreMode::kBulk, variant, limits, level);
   ExpectSameStatus(scalar.expand_status, bulk.expand_status, label);
   ExpectIdenticalPrefixes(*scalar.chase, *bulk.chase, label);
+  ChaseRun parallel = RunOne(seed, build, ChaseCoreMode::kParallel, variant,
+                             ParallelLimits(limits, seed), level);
+  ExpectSameStatus(scalar.expand_status, parallel.expand_status,
+                   label + " [parallel]");
+  ExpectIdenticalPrefixes(*scalar.chase, *parallel.chase,
+                          label + " [parallel]");
 }
 
 UniverseBuilder IndOnlyUniverse(size_t num_relations, size_t num_inds,
@@ -245,6 +276,7 @@ TEST(ChaseCoreParity, PaperScenarios) {
           limits.max_conjuncts = 100000;
           Scenario a = c.make();
           Scenario b = c.make();
+          Scenario p = c.make();
           limits.core = ChaseCoreMode::kScalar;
           Chase scalar(a.catalog.get(), a.symbols.get(), &a.deps, variant,
                        limits);
@@ -255,11 +287,19 @@ TEST(ChaseCoreParity, PaperScenarios) {
                      limits);
           ASSERT_TRUE(bulk.Init(b.queries[qi]).ok());
           Status b_status = bulk.ExpandToLevel(level).status();
+          ChaseLimits plimits = ParallelLimits(limits, level);
+          plimits.core = ChaseCoreMode::kParallel;
+          Chase parallel(p.catalog.get(), p.symbols.get(), &p.deps, variant,
+                         plimits);
+          ASSERT_TRUE(parallel.Init(p.queries[qi]).ok());
+          Status p_status = parallel.ExpandToLevel(level).status();
           const std::string label = std::string(c.name) + " q" +
                                     std::to_string(qi) + " level " +
                                     std::to_string(level);
           ExpectSameStatus(s_status, b_status, label);
           ExpectIdenticalPrefixes(scalar, bulk, label);
+          ExpectSameStatus(s_status, p_status, label + " [parallel]");
+          ExpectIdenticalPrefixes(scalar, parallel, label + " [parallel]");
         }
       }
     }
@@ -273,6 +313,7 @@ TEST(ChaseCoreParity, ResourceLimitParity) {
     limits.max_conjuncts = max_conjuncts;
     Scenario a = Fig1Scenario();
     Scenario b = Fig1Scenario();
+    Scenario p = Fig1Scenario();
     limits.core = ChaseCoreMode::kScalar;
     Chase scalar(a.catalog.get(), a.symbols.get(), &a.deps,
                  ChaseVariant::kRequired, limits);
@@ -283,17 +324,26 @@ TEST(ChaseCoreParity, ResourceLimitParity) {
                ChaseVariant::kRequired, limits);
     ASSERT_TRUE(bulk.Init(b.queries[0]).ok());
     Status b_status = bulk.ExpandToLevel(30).status();
+    ChaseLimits plimits = ParallelLimits(limits, max_conjuncts);
+    plimits.core = ChaseCoreMode::kParallel;
+    Chase parallel(p.catalog.get(), p.symbols.get(), &p.deps,
+                   ChaseVariant::kRequired, plimits);
+    ASSERT_TRUE(parallel.Init(p.queries[0]).ok());
+    Status p_status = parallel.ExpandToLevel(30).status();
     const std::string label =
         "fig1 max_conjuncts=" + std::to_string(max_conjuncts);
     EXPECT_EQ(s_status.code(), StatusCode::kResourceExhausted) << label;
     ExpectSameStatus(s_status, b_status, label);
     ExpectIdenticalPrefixes(scalar, bulk, label);
+    ExpectSameStatus(s_status, p_status, label + " [parallel]");
+    ExpectIdenticalPrefixes(scalar, parallel, label + " [parallel]");
   }
   for (size_t max_steps : {1u, 4u, 11u}) {
     ChaseLimits limits;
     limits.max_steps = max_steps;
     Scenario a = Fig1Scenario();
     Scenario b = Fig1Scenario();
+    Scenario p = Fig1Scenario();
     limits.core = ChaseCoreMode::kScalar;
     Chase scalar(a.catalog.get(), a.symbols.get(), &a.deps,
                  ChaseVariant::kRequired, limits);
@@ -304,9 +354,17 @@ TEST(ChaseCoreParity, ResourceLimitParity) {
                ChaseVariant::kRequired, limits);
     ASSERT_TRUE(bulk.Init(b.queries[0]).ok());
     Status b_status = bulk.ExpandToLevel(30).status();
+    ChaseLimits plimits = ParallelLimits(limits, max_steps);
+    plimits.core = ChaseCoreMode::kParallel;
+    Chase parallel(p.catalog.get(), p.symbols.get(), &p.deps,
+                   ChaseVariant::kRequired, plimits);
+    ASSERT_TRUE(parallel.Init(p.queries[0]).ok());
+    Status p_status = parallel.ExpandToLevel(30).status();
     const std::string label = "fig1 max_steps=" + std::to_string(max_steps);
     ExpectSameStatus(s_status, b_status, label);
     ExpectIdenticalPrefixes(scalar, bulk, label);
+    ExpectSameStatus(s_status, p_status, label + " [parallel]");
+    ExpectIdenticalPrefixes(scalar, parallel, label + " [parallel]");
   }
 }
 
@@ -330,6 +388,16 @@ TEST(ChaseCoreParity, ResumabilityParity) {
     ASSERT_TRUE(bulk.ExpandToLevel(level).ok());
   }
   ExpectIdenticalPrefixes(scalar, bulk, "fig1 resumed vs direct");
+  Scenario p = Fig1Scenario();
+  ChaseLimits plimits = ParallelLimits(limits, /*seed=*/1);
+  plimits.core = ChaseCoreMode::kParallel;
+  Chase parallel(p.catalog.get(), p.symbols.get(), &p.deps,
+                 ChaseVariant::kRequired, plimits);
+  ASSERT_TRUE(parallel.Init(p.queries[0]).ok());
+  for (uint32_t level = 1; level <= 5; ++level) {
+    ASSERT_TRUE(parallel.ExpandToLevel(level).ok());
+  }
+  ExpectIdenticalPrefixes(scalar, parallel, "fig1 resumed parallel vs direct");
 }
 
 // The bulk core must actually run set-at-a-time: segments built, batches
@@ -382,6 +450,107 @@ TEST(ChaseCoreParity, BulkStatsAndSegmentProvenance) {
   EXPECT_TRUE(scalar.segments().empty());
   EXPECT_EQ(scalar.chase_stats().segments_built, 0u);
   EXPECT_EQ(scalar.chase_stats().bulk_batches, 0u);
+}
+
+// The parallel core must actually sweep concurrently on IND-only Σ (Fig1
+// has no FDs), fall back honestly below the frontier-size floor, and
+// serialize a level whose FD simulation predicts a merge — all while
+// staying byte-identical to the scalar oracle.
+TEST(ChaseCoreParity, ParallelStatsAndFallbacks) {
+  // Committed parallel sweeps on Fig1.
+  {
+    Scenario s = Fig1Scenario();
+    ChaseLimits limits;
+    limits.core = ChaseCoreMode::kParallel;
+    limits.parallel_min_pairs = 1;
+    limits.runner = SharedRunner();
+    Chase parallel(s.catalog.get(), s.symbols.get(), &s.deps,
+                   ChaseVariant::kRequired, limits);
+    ASSERT_TRUE(parallel.Init(s.queries[0]).ok());
+    ASSERT_TRUE(parallel.ExpandToLevel(4).ok());
+    const ChaseStats& stats = parallel.chase_stats();
+    EXPECT_GT(stats.parallel_sweeps, 0u);
+    EXPECT_GT(stats.parallel_batches, 0u);
+    EXPECT_GT(stats.parallel_depth_layers, 0u);
+    EXPECT_GE(stats.parallel_max_depth_width, 1u);
+    EXPECT_EQ(stats.parallel_serialized_levels, 0u);  // Fig1 is IND-only
+    EXPECT_EQ(stats.parallel_small_levels, 0u);       // floor is 1
+    EXPECT_GT(stats.segments_built, 0u);  // shares the columnar sweep path
+
+    Scenario s2 = Fig1Scenario();
+    ChaseLimits slimits;
+    slimits.core = ChaseCoreMode::kScalar;
+    Chase scalar(s2.catalog.get(), s2.symbols.get(), &s2.deps,
+                 ChaseVariant::kRequired, slimits);
+    ASSERT_TRUE(scalar.Init(s2.queries[0]).ok());
+    ASSERT_TRUE(scalar.ExpandToLevel(4).ok());
+    ExpectIdenticalPrefixes(scalar, parallel, "fig1 committed sweeps");
+    EXPECT_EQ(scalar.chase_stats().parallel_sweeps, 0u);
+    EXPECT_EQ(scalar.chase_stats().parallel_batches, 0u);
+  }
+  // Below the frontier floor every level routes through the serial bulk
+  // path and says so.
+  {
+    Scenario s = Fig1Scenario();
+    ChaseLimits limits;
+    limits.core = ChaseCoreMode::kParallel;
+    limits.parallel_min_pairs = 1000000;
+    limits.runner = SharedRunner();
+    Chase parallel(s.catalog.get(), s.symbols.get(), &s.deps,
+                   ChaseVariant::kRequired, limits);
+    ASSERT_TRUE(parallel.Init(s.queries[0]).ok());
+    ASSERT_TRUE(parallel.ExpandToLevel(4).ok());
+    EXPECT_EQ(parallel.chase_stats().parallel_sweeps, 0u);
+    EXPECT_GT(parallel.chase_stats().parallel_small_levels, 0u);
+
+    Scenario s2 = Fig1Scenario();
+    ChaseLimits slimits;
+    slimits.core = ChaseCoreMode::kScalar;
+    Chase scalar(s2.catalog.get(), s2.symbols.get(), &s2.deps,
+                 ChaseVariant::kRequired, slimits);
+    ASSERT_TRUE(scalar.Init(s2.queries[0]).ok());
+    ASSERT_TRUE(scalar.ExpandToLevel(4).ok());
+    ExpectIdenticalPrefixes(scalar, parallel, "fig1 small-level fallback");
+  }
+  // Two O-chase mints into the same FD key in one level: the plan's FD
+  // simulation must predict the merge and serialize that level.
+  auto merge_universe = []() {
+    Scenario s;
+    s.catalog = std::make_unique<Catalog>();
+    s.symbols = std::make_unique<SymbolTable>();
+    EXPECT_TRUE(s.catalog->AddRelation("R", {"r1", "r2"}).ok());
+    EXPECT_TRUE(s.catalog->AddRelation("S", {"s1", "s2"}).ok());
+    Result<DependencySet> deps =
+        ParseDependencies(*s.catalog, "S: 1 -> 2; R[1] <= S[1]");
+    EXPECT_TRUE(deps.ok()) << deps.status().ToString();
+    s.deps = std::move(*deps);
+    Result<ConjunctiveQuery> q =
+        ParseQuery(*s.catalog, *s.symbols, "ans(x) :- R(x, y), R(x, z)");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    s.queries.push_back(std::move(*q));
+    return s;
+  };
+  {
+    Scenario s = merge_universe();
+    ChaseLimits limits;
+    limits.core = ChaseCoreMode::kParallel;
+    limits.parallel_min_pairs = 1;
+    limits.runner = SharedRunner();
+    Chase parallel(s.catalog.get(), s.symbols.get(), &s.deps,
+                   ChaseVariant::kOblivious, limits);
+    ASSERT_TRUE(parallel.Init(s.queries[0]).ok());
+    ASSERT_TRUE(parallel.ExpandToLevel(1).ok());
+    EXPECT_GT(parallel.chase_stats().parallel_serialized_levels, 0u);
+
+    Scenario s2 = merge_universe();
+    ChaseLimits slimits;
+    slimits.core = ChaseCoreMode::kScalar;
+    Chase scalar(s2.catalog.get(), s2.symbols.get(), &s2.deps,
+                 ChaseVariant::kOblivious, slimits);
+    ASSERT_TRUE(scalar.Init(s2.queries[0]).ok());
+    ASSERT_TRUE(scalar.ExpandToLevel(1).ok());
+    ExpectIdenticalPrefixes(scalar, parallel, "fd-merge serialization");
+  }
 }
 
 // --- Engine-level parity: verdicts and certificates ------------------------
@@ -437,6 +606,11 @@ EngineUniverse MakeEngineUniverse(uint64_t seed, ChaseCoreMode mode,
   EngineConfig config;
   config.containment.limits.core = mode;
   config.containment.limits.max_conjuncts = 20000;
+  if (mode == ChaseCoreMode::kParallel) {
+    // Force the concurrent path on these tiny universes; the engine wires
+    // its own pool-backed runner in DecideByChase.
+    config.containment.limits.parallel_min_pairs = 1;
+  }
   u.engine = std::make_unique<ContainmentEngine>(u.catalog.get(),
                                                  u.symbols.get(), config);
   return u;
@@ -449,6 +623,8 @@ TEST(ChaseCoreParity, EngineVerdictsAndCertificates) {
           MakeEngineUniverse(seed, ChaseCoreMode::kScalar, key_based);
       EngineUniverse bulk =
           MakeEngineUniverse(seed, ChaseCoreMode::kBulk, key_based);
+      EngineUniverse parallel =
+          MakeEngineUniverse(seed, ChaseCoreMode::kParallel, key_based);
       const std::pair<size_t, size_t> asks[] = {
           {0, 1}, {0, 2}, {1, 0}, {2, 0}, {1, 2}};
       for (const auto& [qi, pi] : asks) {
@@ -461,9 +637,13 @@ TEST(ChaseCoreParity, EngineVerdictsAndCertificates) {
             scalar.queries[qi], scalar.queries[pi], *scalar.deps);
         Result<EngineVerdict> vb = bulk.engine->Check(
             bulk.queries[qi], bulk.queries[pi], *bulk.deps);
+        Result<EngineVerdict> vp = parallel.engine->Check(
+            parallel.queries[qi], parallel.queries[pi], *parallel.deps);
         ASSERT_EQ(vs.ok(), vb.ok());
+        ASSERT_EQ(vs.ok(), vp.ok());
         if (!vs.ok()) {
           EXPECT_EQ(vs.status().code(), vb.status().code());
+          EXPECT_EQ(vs.status().code(), vp.status().code());
           continue;
         }
         EXPECT_EQ(vs->report.contained, vb->report.contained);
@@ -473,18 +653,31 @@ TEST(ChaseCoreParity, EngineVerdictsAndCertificates) {
         EXPECT_EQ(vs->report.witness_max_level, vb->report.witness_max_level);
         EXPECT_EQ(vs->report.level_bound, vb->report.level_bound);
         EXPECT_EQ(vs->strategy, vb->strategy);
+        EXPECT_EQ(vs->report.contained, vp->report.contained);
+        EXPECT_EQ(vs->report.chase_outcome, vp->report.chase_outcome);
+        EXPECT_EQ(vs->report.chase_conjuncts, vp->report.chase_conjuncts);
+        EXPECT_EQ(vs->report.chase_levels, vp->report.chase_levels);
+        EXPECT_EQ(vs->report.witness_max_level, vp->report.witness_max_level);
+        EXPECT_EQ(vs->report.level_bound, vp->report.level_bound);
+        EXPECT_EQ(vs->strategy, vp->strategy);
 
         Result<std::optional<ContainmentCertificate>> cs =
             scalar.engine->Certify(scalar.queries[qi], scalar.queries[pi],
                                    *scalar.deps);
         Result<std::optional<ContainmentCertificate>> cb = bulk.engine->Certify(
             bulk.queries[qi], bulk.queries[pi], *bulk.deps);
+        Result<std::optional<ContainmentCertificate>> cp =
+            parallel.engine->Certify(parallel.queries[qi],
+                                     parallel.queries[pi], *parallel.deps);
         ASSERT_EQ(cs.ok(), cb.ok());
+        ASSERT_EQ(cs.ok(), cp.ok());
         if (!cs.ok()) {
           EXPECT_EQ(cs.status().code(), cb.status().code());
+          EXPECT_EQ(cs.status().code(), cp.status().code());
           continue;
         }
         ASSERT_EQ(cs->has_value(), cb->has_value());
+        ASSERT_EQ(cs->has_value(), cp->has_value());
         if (cs->has_value()) {
           // Twin universes name symbols identically, so the rendered proofs
           // must match byte for byte — and each must verify in its own
@@ -492,21 +685,37 @@ TEST(ChaseCoreParity, EngineVerdictsAndCertificates) {
           EXPECT_EQ(
               (*cs)->ToString(*scalar.catalog, *scalar.symbols),
               (*cb)->ToString(*bulk.catalog, *bulk.symbols));
+          EXPECT_EQ(
+              (*cs)->ToString(*scalar.catalog, *scalar.symbols),
+              (*cp)->ToString(*parallel.catalog, *parallel.symbols));
           EXPECT_TRUE(VerifyCertificate(**cb, bulk.queries[qi],
                                         bulk.queries[pi], *bulk.deps,
                                         *bulk.symbols)
                           .ok());
+          EXPECT_TRUE(VerifyCertificate(**cp, parallel.queries[qi],
+                                        parallel.queries[pi], *parallel.deps,
+                                        *parallel.symbols)
+                          .ok());
         }
       }
-      // The work both engines did must agree step for step; only the bulk
-      // engine builds segments.
+      // The work the engines did must agree step for step; only the bulk
+      // and parallel engines build segments, and only the parallel engine
+      // commits parallel batches.
       const EngineStats ss = scalar.engine->stats();
       const EngineStats sb = bulk.engine->stats();
+      const EngineStats sp = parallel.engine->stats();
       EXPECT_EQ(ss.chase_steps, sb.chase_steps);
+      EXPECT_EQ(ss.chase_steps, sp.chase_steps);
       EXPECT_EQ(ss.segments_built, 0u);
       EXPECT_EQ(ss.bulk_ind_applications, 0u);
+      EXPECT_EQ(ss.parallel_batches, 0u);
+      EXPECT_EQ(sb.parallel_batches, 0u);
       if (sb.chase_steps > 0 && !key_based) {
         EXPECT_GT(sb.bulk_ind_applications, 0u);
+        // IND-only Σ has no FD merges, so every non-trivial frontier must
+        // have committed as a parallel sweep.
+        EXPECT_GT(sp.parallel_batches, 0u);
+        EXPECT_EQ(sp.parallel_serialized_levels, 0u);
       }
     }
   }
