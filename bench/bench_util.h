@@ -61,7 +61,10 @@ inline void PrintHeader(const std::string& experiment,
 //       AppendEngineCounters; chase_core_bulk in AppendEngineConfig replaced
 //       by chase_core (numeric ChaseCoreMode: 0 scalar, 1 bulk, 2 parallel);
 //       bench_chase_parallel reports per-depth layer widths
-inline constexpr int kBenchRecordSchema = 7;
+//   8 — Σ-lineage schema evolution: entries_retagged/entries_dropped/
+//       monotone_hits in AppendEngineCounters; bench_schema_evolution
+//       reports delta receipts per edit
+inline constexpr int kBenchRecordSchema = 8;
 
 // One-line machine-readable record, emitted by every bench so the perf
 // trajectory can be scraped (`grep '^{"bench"'` over the run log). Integral
@@ -132,6 +135,12 @@ inline void AppendEngineCounters(
                         static_cast<double>(stats.parallel_batches));
   counters.emplace_back("parallel_serialized_levels",
                         static_cast<double>(stats.parallel_serialized_levels));
+  counters.emplace_back("entries_retagged",
+                        static_cast<double>(stats.entries_retagged));
+  counters.emplace_back("entries_dropped",
+                        static_cast<double>(stats.entries_dropped));
+  counters.emplace_back("monotone_hits",
+                        static_cast<double>(stats.monotone_hits));
 }
 
 // Appends one hit/publish counter pair per active verdict tier (probe

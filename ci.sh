@@ -123,6 +123,10 @@ perf_gates() {
   ./build/bench_chase_bulk
   ./build/bench_chase_parallel
   ./build/bench_reliance
+  # Σ-lineage survival: a 1-IND edit on a warm wide-Σ store must invalidate
+  # O(touched) verdicts and every survivor must match a fresh-engine oracle.
+  rm -rf build/schema-evolution-store
+  ./build/bench_schema_evolution build/schema-evolution-store
 }
 
 warmstart_gate() {
@@ -203,7 +207,7 @@ tcp_gate() {
 # hot.
 ASAN_TESTS=(serialize_test store_test tier_test net_test engine_test
             engine_cache_test engine_dispatch_test chase_core_parity_test
-            reliance_test executor_test)
+            reliance_test executor_test lineage_test delta_migration_test)
 asan_ubsan() {
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
@@ -218,7 +222,7 @@ asan_ubsan() {
 TSAN_TESTS=(symbol_table_test chase_test chase_core_parity_test reliance_test
             engine_test engine_cache_test engine_dispatch_test
             engine_concurrency_test executor_test engine_submit_test
-            store_test tier_test net_test)
+            store_test tier_test net_test lineage_test delta_migration_test)
 tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \

@@ -1,0 +1,120 @@
+#include "analysis/delta.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace cqchase {
+
+namespace {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  // Byte-at-a-time FNV-1a over the value's little-endian bytes: the same
+  // scheme SigmaGraph::ComputeFingerprint uses, so the two stay comparable
+  // in spirit (not in value — different domains, different tags).
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t FingerprintFd(const FunctionalDependency& fd) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, 'F');  // domain separation from INDs
+  h = Mix(h, fd.relation);
+  h = Mix(h, fd.lhs.size());
+  for (uint32_t c : fd.lhs) h = Mix(h, c);
+  h = Mix(h, fd.rhs);
+  return h;
+}
+
+uint64_t FingerprintInd(const InclusionDependency& ind) {
+  uint64_t h = kFnvOffset;
+  h = Mix(h, 'I');
+  h = Mix(h, ind.lhs_relation);
+  h = Mix(h, ind.lhs_columns.size());
+  for (uint32_t c : ind.lhs_columns) h = Mix(h, c);
+  h = Mix(h, ind.rhs_relation);
+  h = Mix(h, ind.rhs_columns.size());
+  for (uint32_t c : ind.rhs_columns) h = Mix(h, c);
+  return h;
+}
+
+std::vector<uint64_t> DependencyFingerprints(const DependencySet& deps) {
+  std::vector<uint64_t> out;
+  out.reserve(deps.size());
+  for (const InclusionDependency& ind : deps.inds()) {
+    out.push_back(FingerprintInd(ind));
+  }
+  for (const FunctionalDependency& fd : deps.fds()) {
+    out.push_back(FingerprintFd(fd));
+  }
+  return out;
+}
+
+std::vector<uint64_t> UsedDependencyFingerprints(
+    const DependencySet& deps, const std::vector<bool>& used_inds,
+    const std::vector<bool>& used_fds) {
+  std::vector<uint64_t> out;
+  const auto& inds = deps.inds();
+  const auto& fds = deps.fds();
+  for (size_t k = 0; k < inds.size() && k < used_inds.size(); ++k) {
+    if (used_inds[k]) out.push_back(FingerprintInd(inds[k]));
+  }
+  for (size_t i = 0; i < fds.size() && i < used_fds.size(); ++i) {
+    if (used_fds[i]) out.push_back(FingerprintFd(fds[i]));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+uint64_t SigmaFingerprint(const DependencySet& deps) {
+  // XOR of remixed per-dependency fingerprints: commutative (insertion order
+  // is not identity) but not naively self-cancelling — two *distinct*
+  // dependencies cancel only on a genuine 64-bit collision of the remix.
+  uint64_t acc = 0;
+  for (uint64_t fp : DependencyFingerprints(deps)) {
+    acc ^= Mix(kFnvOffset, fp);
+  }
+  return Mix(Mix(acc, deps.inds().size()), deps.fds().size());
+}
+
+bool SigmaDelta::Removed(uint64_t fp) const {
+  return std::binary_search(removed.begin(), removed.end(), fp);
+}
+
+std::string SigmaDelta::ToString() const {
+  return StrCat("delta{+", added.size(), " -", removed.size(), " =",
+                unchanged.size(), "}");
+}
+
+SigmaDelta ComputeSigmaDelta(const DependencySet& old_deps,
+                             const DependencySet& new_deps) {
+  std::vector<uint64_t> old_fps = DependencyFingerprints(old_deps);
+  std::vector<uint64_t> new_fps = DependencyFingerprints(new_deps);
+  std::sort(old_fps.begin(), old_fps.end());
+  std::sort(new_fps.begin(), new_fps.end());
+  // DependencySet dedupes on insert, but fingerprints of distinct
+  // dependencies could still collide; unique() keeps the set semantics the
+  // comment in delta.h promises either way.
+  old_fps.erase(std::unique(old_fps.begin(), old_fps.end()), old_fps.end());
+  new_fps.erase(std::unique(new_fps.begin(), new_fps.end()), new_fps.end());
+
+  SigmaDelta delta;
+  std::set_difference(new_fps.begin(), new_fps.end(), old_fps.begin(),
+                      old_fps.end(), std::back_inserter(delta.added));
+  std::set_difference(old_fps.begin(), old_fps.end(), new_fps.begin(),
+                      new_fps.end(), std::back_inserter(delta.removed));
+  std::set_intersection(old_fps.begin(), old_fps.end(), new_fps.begin(),
+                        new_fps.end(), std::back_inserter(delta.unchanged));
+  return delta;
+}
+
+}  // namespace cqchase

@@ -1,0 +1,77 @@
+// Per-dependency structural fingerprints and Σ-deltas: the identity layer of
+// schema evolution. Canonical task keys bake the whole dependency set into
+// every verdict (engine/canonical.h), so a one-dependency edit re-keys the
+// entire cache hierarchy. Surviving that edit requires talking about *which*
+// dependencies changed, and that requires each FD and IND to have an identity
+// that is stable across processes, across Σ orderings, and across the edit
+// itself — a structural fingerprint, not a positional index.
+//
+// FingerprintFd / FingerprintInd hash exactly the fields that the chase rules
+// read (relation ids, column indices), with the same FNV-1a scheme
+// SigmaGraph::Fingerprint() uses, domain-separated by a leading tag byte so an
+// FD can never collide with an IND of coincidentally equal fields. Two
+// dependencies fingerprint equal iff they are the same dependency up to the
+// dedup DependencySet::Add* already performs — insertion order never matters.
+//
+// ComputeSigmaDelta(old, new) partitions the union of two dependency sets into
+// added / removed / unchanged fingerprints. This is the object every layer of
+// the lineage subsystem (engine/lineage.h, TierStack::ApplyDelta, the remote
+// kTierOpApplyDelta opcode) speaks; it deliberately knows nothing about
+// canonical keys or verdicts, so this file depends only on deps/ and can be
+// included from the chase and the engine alike without a cycle.
+#ifndef CQCHASE_ANALYSIS_DELTA_H_
+#define CQCHASE_ANALYSIS_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deps/dependency_set.h"
+
+namespace cqchase {
+
+// Structural FNV-1a fingerprint of one dependency. Order-sensitive within
+// the dependency (column order is semantics for an IND), insensitive to
+// everything outside it.
+uint64_t FingerprintFd(const FunctionalDependency& fd);
+uint64_t FingerprintInd(const InclusionDependency& ind);
+
+// Fingerprints of every dependency in Σ, in SigmaGraph node order: IND k at
+// slot k, FD i at slot num_inds + i (analysis/reliance.h) — the indexing the
+// chase's used-dependency capture reports bits against.
+std::vector<uint64_t> DependencyFingerprints(const DependencySet& deps);
+
+// The sorted, deduplicated fingerprints of the dependencies whose used bit is
+// set — the persistable form of the chase's used-dependency capture
+// (chase/chase.h). `used_inds`/`used_fds` index deps.inds()/deps.fds()
+// positionally; trailing dependencies beyond either bitmap count as unused.
+std::vector<uint64_t> UsedDependencyFingerprints(
+    const DependencySet& deps, const std::vector<bool>& used_inds,
+    const std::vector<bool>& used_fds);
+
+// Order-independent fingerprint of the whole Σ: XOR-accumulated per-dependency
+// fingerprints (each mixed once more so self-cancelling pairs require a real
+// 64-bit collision), plus the set sizes. Equal Σs (as sets) agree regardless
+// of insertion order.
+uint64_t SigmaFingerprint(const DependencySet& deps);
+
+// The difference between two dependency sets, as fingerprint vectors (each
+// sorted ascending, deduplicated). `unchanged` is the intersection — the
+// dependencies a surviving verdict may still rely on.
+struct SigmaDelta {
+  std::vector<uint64_t> added;
+  std::vector<uint64_t> removed;
+  std::vector<uint64_t> unchanged;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+  // True when `fp` names a removed dependency (binary search).
+  bool Removed(uint64_t fp) const;
+  std::string ToString() const;
+};
+
+SigmaDelta ComputeSigmaDelta(const DependencySet& old_deps,
+                             const DependencySet& new_deps);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_ANALYSIS_DELTA_H_

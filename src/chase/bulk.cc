@@ -242,6 +242,7 @@ Result<bool> Chase::RunLevelBatch(uint32_t effective) {
       if (variant_ == ChaseVariant::kRequired ||
           (witness.has_value() && !b.ind_has_fresh_columns[k])) {
         if (witness.has_value()) {
+          MarkIndUsed(k);
           arcs_.push_back(ChaseArc{source_id, *witness, k, /*cross=*/true});
           continue;
         }
@@ -276,6 +277,7 @@ Result<bool> Chase::RunLevelBatch(uint32_t effective) {
       seg.AppendRow(created, new_id, source_id);
       conjuncts_.push_back(ChaseConjunct{new_id, std::move(created), new_level,
                                          /*alive=*/true, source_id, k});
+      MarkIndUsed(k);
       arcs_.push_back(ChaseArc{source_id, new_id, k, /*cross=*/false});
       AddToWitnessGroups(conjuncts_.back());
       fd_queue_.push_back(new_id);

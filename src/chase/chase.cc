@@ -21,6 +21,8 @@ Chase::Chase(const Catalog* catalog, SymbolTable* symbols,
       limits_(limits),
       ndv_shard_(symbols->CreateShard()) {
   considered_.Reset(deps_->inds().size());
+  used_inds_.assign(deps_->inds().size(), false);
+  used_fds_.assign(deps_->fds().size(), false);
 }
 
 // Out of line: BulkState is incomplete in chase.h.
@@ -114,6 +116,12 @@ void Chase::DedupeConjuncts() {
 }
 
 bool Chase::ApplyFd(const FunctionalDependency& fd, size_t a, size_t b) {
+  // Every caller passes a reference into deps_->fds(), so the lineage index
+  // is pointer arithmetic — this is the single FD-merge site of all three
+  // cores, which is what makes the used-FD capture core-independent.
+  assert(&fd >= deps_->fds().data() &&
+         &fd < deps_->fds().data() + deps_->fds().size());
+  used_fds_[static_cast<size_t>(&fd - deps_->fds().data())] = true;
   Term u = conjuncts_[a].fact.terms[fd.rhs];
   Term v = conjuncts_[b].fact.terms[fd.rhs];
   assert(u != v);
@@ -346,6 +354,7 @@ Result<bool> Chase::OneIndStep(uint32_t level) {
     // R-chase: application is required only without a witness. O-chase with
     // no fresh columns: applying would recreate the witness verbatim.
     if (witness.has_value()) {
+      MarkIndUsed(chosen_ind);
       arcs_.push_back(
           ChaseArc{source.id, *witness, chosen_ind, /*cross=*/true});
       return true;
@@ -375,6 +384,7 @@ Result<bool> Chase::OneIndStep(uint32_t level) {
   // Note: push_back may invalidate `source`; use source_id afterwards.
   conjuncts_.push_back(ChaseConjunct{new_id, std::move(created), new_level,
                                      /*alive=*/true, source_id, chosen_ind});
+  MarkIndUsed(chosen_ind);
   arcs_.push_back(ChaseArc{source_id, new_id, chosen_ind, /*cross=*/false});
   if (!index_dirty_) IndexNewConjunct(conjuncts_.back());
   fd_queue_.push_back(new_id);

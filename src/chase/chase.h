@@ -196,6 +196,17 @@ class Chase {
   // ExpandToLevel calls; the engine snapshots deltas per asker turn.
   const ChaseStats& chase_stats() const { return stats_; }
 
+  // Used-dependency capture for Σ-lineage (engine/lineage.h): which INDs
+  // fired (minted a conjunct or recorded a cross arc) and which FDs merged
+  // anywhere in this prefix so far. Monotone and cumulative — a shared
+  // prefix accumulates bits across askers, which over-approximates any one
+  // asker's derivation (sound: lineage only ever *widens* the touched set).
+  // Indexed like deps.inds() / deps.fds(); identical across the three cores
+  // because the marks sit on the shared FD-merge site and on each core's
+  // arc-recording sites, which the parity contract keeps byte-identical.
+  const std::vector<bool>& used_inds() const { return used_inds_; }
+  const std::vector<bool>& used_fds() const { return used_fds_; }
+
   // Columnar provenance built by the bulk core; empty under kScalar.
   const SegmentStore& segments() const { return segments_; }
 
@@ -320,9 +331,17 @@ class Chase {
   // never contend on the arena. Unused block tail returns on destruction.
   SymbolTable::NdvShard ndv_shard_;
 
+  // Marks IND k as having shaped the prefix; every arc-recording site in
+  // every core calls this alongside its arcs_.push_back.
+  void MarkIndUsed(uint32_t ind_index) { used_inds_[ind_index] = true; }
+
   std::vector<ChaseConjunct> conjuncts_;
   std::vector<ChaseArc> arcs_;
   std::vector<Term> summary_;
+  // Used-dependency bitmaps (see used_inds()/used_fds()); sized at
+  // construction, set by MarkIndUsed and ApplyFd.
+  std::vector<bool> used_inds_;
+  std::vector<bool> used_fds_;
   // (ind_index, conjunct_id) pairs already considered by the IND discipline,
   // as a dense bitmap (one row of |inds| bits per conjunct).
   ConsideredSet considered_;

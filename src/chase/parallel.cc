@@ -507,6 +507,7 @@ Result<bool> Chase::RunLevelFrontier(uint32_t effective) {
       const uint64_t witness_id = p.witness_real
                                       ? p.witness
                                       : class_ids[p.cls][p.witness];
+      MarkIndUsed(p.ind);
       arcs_.push_back(ChaseArc{p.source_id, witness_id, p.ind, /*cross=*/true});
       continue;
     }
@@ -531,6 +532,7 @@ Result<bool> Chase::RunLevelFrontier(uint32_t effective) {
     seg.AppendRow(created, p.new_id, p.source_id);
     conjuncts_.push_back(ChaseConjunct{p.new_id, std::move(created), new_level,
                                        /*alive=*/true, p.source_id, p.ind});
+    MarkIndUsed(p.ind);
     arcs_.push_back(ChaseArc{p.source_id, p.new_id, p.ind, /*cross=*/false});
     fd_queue_.push_back(p.new_id);
     if (have_fds) {

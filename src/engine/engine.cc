@@ -7,9 +7,11 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/delta.h"
 #include "base/string_util.h"
 #include "core/homomorphism.h"
 #include "core/pspace.h"
+#include "engine/lineage.h"
 
 namespace cqchase {
 
@@ -395,6 +397,10 @@ Result<EngineOutcome> ContainmentEngine::Execute(
   ctx.cache_chase_prefix = cache_chase_prefix;
   EngineOutcome outcome;
   if (options.want_certificate) ctx.cert_out = &outcome.certificate;
+  // Cacheable decisions harvest their chase's used-dependency set so the
+  // published entry carries lineage a future schema delta can consult.
+  LineageCapture lineage;
+  if (cacheable) ctx.lineage = &lineage;
 
   if (!cacheable) {
     CQCHASE_ASSIGN_OR_RETURN(outcome.verdict,
@@ -415,6 +421,14 @@ Result<EngineOutcome> ContainmentEngine::Execute(
     if (std::optional<TierStack::LookupResult> hit = tiers_->Lookup(key)) {
       outcome.verdict = FromStoredVerdict(hit->verdict);
       outcome.verdict.cache_hit = true;
+      // A monotone-bound survivor of a schema delta: its contained bit is
+      // guaranteed under the current Σ (engine/lineage.h), so it answers a
+      // plain check like any hit; the counter lets ops and differential
+      // suites see how much of the traffic rides the weaker guarantee.
+      if (hit->verdict.confidence ==
+          static_cast<uint8_t>(VerdictConfidence::kMonotoneBound)) {
+        Bump(stats_.monotone_hits);
+      }
       switch (hit->kind) {
         case TierSpec::Kind::kLru:
           Bump(stats_.cache_hits);
@@ -447,8 +461,17 @@ Result<EngineOutcome> ContainmentEngine::Execute(
   // write-behind, never on this decision path. The witness homomorphism
   // references this computation's chase facts and the asker's terms, so
   // only the verdict and its statistics travel (ToStoredVerdict drops it).
-  TierStack::PublishReceipt receipt =
-      tiers_->Publish(key, ToStoredVerdict(outcome));
+  StoredVerdict stored = ToStoredVerdict(outcome);
+  // Fresh decisions are exact by construction (confidence default); tag the
+  // entry with its Σ's fingerprint, and with the chase's used-dependency
+  // lineage when one ran — a chase-free strategy publishes lineage-unknown
+  // and can only ever survive a delta monotonically.
+  stored.sigma_fp = SigmaFingerprint(deps);
+  if (lineage.known) {
+    stored.lineage_known = true;
+    stored.used_fps = std::move(lineage.used_fps);
+  }
+  TierStack::PublishReceipt receipt = tiers_->Publish(key, stored);
   if (receipt.buffered_writes) ScheduleTierFlush();
   return outcome;
 }
@@ -833,6 +856,18 @@ Result<ContainmentReport> ContainmentEngine::DecideByChase(
          cs.parallel_serialized_levels -
              chase_stats_before.parallel_serialized_levels);
 
+  // Lineage harvest: the chase's used-dependency bitmaps, as structural
+  // fingerprints. Taken while the chase is still ours (shared entries are
+  // still locked). A shared prefix's bits are cumulative across every asker
+  // that extended it — an over-approximation of what *this* decision used,
+  // which only ever makes a future delta drop more than strictly needed:
+  // conservative, never wrong.
+  if (ctx.lineage != nullptr && result.ok()) {
+    ctx.lineage->known = true;
+    ctx.lineage->used_fps =
+        UsedDependencyFingerprints(deps, chase.used_inds(), chase.used_fds());
+  }
+
   chase.set_control(nullptr);
   // No release step: the shared entry stayed in the cache the whole time
   // (touched to most-recently-used at lookup); shared_lock and our
@@ -1046,6 +1081,10 @@ EngineStats ContainmentEngine::stats() const {
       }
     }
   }
+  out.entries_retagged =
+      stats_.entries_retagged.load(std::memory_order_relaxed);
+  out.entries_dropped = stats_.entries_dropped.load(std::memory_order_relaxed);
+  out.monotone_hits = stats_.monotone_hits.load(std::memory_order_relaxed);
   out.submits = stats_.submits.load(std::memory_order_relaxed);
   out.deadline_expirations =
       stats_.deadline_expirations.load(std::memory_order_relaxed);
@@ -1103,6 +1142,26 @@ void ContainmentEngine::ClearCaches() {
   std::lock_guard<std::mutex> lock(mu_);
   chase_cache_.Clear();
   sigma_cache_.Clear();
+}
+
+DeltaReceipt ContainmentEngine::EvolveSigma(const DependencySet& old_deps,
+                                            const DependencySet& new_deps) {
+  DeltaReceipt receipt;
+  const LineageDelta ld = MakeLineageDelta(old_deps, new_deps);
+  if (ld.empty()) return receipt;
+  {
+    // The Σ-analysis and chase-prefix caches embed the old Σ (a shared
+    // chase holds a live copy of it). Their old-Σ entries are unreachable
+    // under new-Σ keys anyway; clearing reclaims the pinned chases rather
+    // than letting them age out of the LRU.
+    std::lock_guard<std::mutex> lock(mu_);
+    chase_cache_.Clear();
+    sigma_cache_.Clear();
+  }
+  if (tiers_ != nullptr) receipt = tiers_->ApplyDelta(ld);
+  BumpBy(stats_.entries_retagged, receipt.retagged());
+  BumpBy(stats_.entries_dropped, receipt.dropped);
+  return receipt;
 }
 
 }  // namespace cqchase

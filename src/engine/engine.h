@@ -175,6 +175,14 @@ struct EngineStats {
   uint64_t store_writes = 0;
   uint64_t remote_hits = 0;
   uint64_t remote_writes = 0;
+  // Σ-lineage (EvolveSigma + tier hits): entries a schema delta kept —
+  // re-keyed in place, exactly or as a monotone bound — vs entries it
+  // invalidated; monotone_hits counts tier hits served at kMonotoneBound
+  // confidence (sound for plain checks, but a differential suite may want
+  // to re-decide them — see engine/lineage.h).
+  uint64_t entries_retagged = 0;
+  uint64_t entries_dropped = 0;
+  uint64_t monotone_hits = 0;
   // Async surface.
   uint64_t submits = 0;
   uint64_t deadline_expirations = 0;
@@ -362,6 +370,19 @@ class ContainmentEngine {
   // engine/store.h).
   void ClearCaches();
 
+  // Migrates every verdict tier from `old_deps` to `new_deps` in one pass:
+  // computes the per-dependency delta, drops the Σ-analysis and chase-prefix
+  // caches (their entries embed the old Σ), and drives the delta through
+  // the tier stack — surviving entries are re-keyed in place (exact or
+  // monotone per engine/lineage.h), touched entries are dropped, the local
+  // store compacts, and a v3 remote peer migrates its authority map too.
+  // O(entries touched) work instead of the O(everything) cold start that
+  // re-keying the whole cache used to mean. Call between decision bursts:
+  // concurrent in-flight checks under the *old* Σ may race the migration
+  // and simply publish old-keyed (unreachable, never wrong) entries.
+  DeltaReceipt EvolveSigma(const DependencySet& old_deps,
+                           const DependencySet& new_deps);
+
  private:
   // A shared, resumable chase prefix. The engine hands out shared_ptrs: the
   // LRU map holds one reference and every in-flight asker holds another, so
@@ -387,10 +408,21 @@ class ContainmentEngine {
   // whether the chase prefix may be cached (`false` for Minimize /
   // IsNonMinimal one-shot probes whose exact keys never repeat — they still
   // use the verdict cache but would otherwise pin dead chases).
+  // Used-dependency lineage harvested from a decision's own chase, filled by
+  // DecideByChase when the ExecContext asks (cacheable tasks only — this is
+  // what ToStoredVerdict persists so a schema delta can later prove the
+  // entry untouched). Chase-free strategies leave known = false: their
+  // verdicts survive deltas monotonically, never exactly.
+  struct LineageCapture {
+    bool known = false;
+    std::vector<uint64_t> used_fps;  // sorted per-dependency fingerprints
+  };
+
   struct ExecContext {
     const RequestOptions* options = nullptr;  // never null
     ChaseControl* control = nullptr;
     std::optional<ContainmentCertificate>* cert_out = nullptr;
+    LineageCapture* lineage = nullptr;
     bool cache_chase_prefix = true;
   };
 
@@ -461,6 +493,9 @@ class ContainmentEngine {
     std::atomic<uint64_t> chases_built{0};
     // store/remote hit+write counts live in the tiers themselves
     // (tier_stats()); stats() derives the EngineStats rollups from there.
+    std::atomic<uint64_t> entries_retagged{0};
+    std::atomic<uint64_t> entries_dropped{0};
+    std::atomic<uint64_t> monotone_hits{0};
     std::atomic<uint64_t> submits{0};
     std::atomic<uint64_t> deadline_expirations{0};
     std::atomic<uint64_t> cancellations{0};

@@ -1,0 +1,179 @@
+#include "engine/lineage.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/string_util.h"
+#include "engine/canonical.h"
+
+namespace cqchase {
+
+LineageDelta MakeLineageDelta(const DependencySet& old_deps,
+                              const DependencySet& new_deps) {
+  LineageDelta ld;
+  ld.delta = ComputeSigmaDelta(old_deps, new_deps);
+  ld.old_sigma_key = CanonicalSigmaKey(old_deps);
+  ld.new_sigma_key = CanonicalSigmaKey(new_deps);
+  ld.old_sigma_fp = SigmaFingerprint(old_deps);
+  ld.new_sigma_fp = SigmaFingerprint(new_deps);
+  return ld;
+}
+
+std::string_view TaskKeySigmaSection(std::string_view task_key) {
+  const size_t first = task_key.find('|');
+  if (first == std::string_view::npos) return {};
+  const size_t second = task_key.find('|', first + 1);
+  if (second == std::string_view::npos) return {};
+  return task_key.substr(first + 1, second - first - 1);
+}
+
+std::string RekeyTask(std::string_view task_key,
+                      std::string_view new_sigma_section) {
+  const size_t first = task_key.find('|');
+  const size_t second = task_key.find('|', first + 1);
+  std::string out;
+  out.reserve(task_key.size() - (second - first - 1) +
+              new_sigma_section.size());
+  out.append(task_key.substr(0, first + 1));
+  out.append(new_sigma_section);
+  out.append(task_key.substr(second));
+  return out;
+}
+
+RetagDecision RetagVerdictForDelta(const LineageDelta& ld,
+                                   StoredVerdict& verdict) {
+  if (ld.delta.empty()) return RetagDecision::kUntouched;
+  const bool additions = !ld.delta.added.empty();
+  // "A removed dependency was (or may have been) used": with lineage, probe
+  // the recorded used-set; without it, any removal must be assumed used.
+  bool removed_used = !ld.delta.removed.empty();
+  if (removed_used && verdict.lineage_known) {
+    removed_used = std::any_of(
+        verdict.used_fps.begin(), verdict.used_fps.end(),
+        [&](uint64_t fp) { return ld.delta.Removed(fp); });
+  }
+
+  RetagDecision decision;
+  if (verdict.contained) {
+    // Contained is antitone-threatened by removals (the chase shrinks) and
+    // monotone-safe under additions (the chase only grows).
+    if (removed_used) {
+      decision = RetagDecision::kDrop;
+    } else if (additions) {
+      decision = RetagDecision::kKeepMonotone;
+    } else {
+      decision = RetagDecision::kKeepExact;  // untouched used-set, no growth
+    }
+  } else {
+    // Not-contained is threatened by additions (new deps can complete a
+    // homomorphism) and monotone-safe under removals: chase_{Σ'}(Q) ⊆
+    // chase_Σ(Q) for Σ' ⊆ Σ, so "no homomorphism into the larger chase"
+    // carries down. Exact only when the removals provably never fired.
+    if (additions) {
+      decision = RetagDecision::kDrop;
+    } else if (verdict.lineage_known && !removed_used) {
+      decision = RetagDecision::kKeepExact;
+    } else {
+      decision = RetagDecision::kKeepMonotone;
+    }
+  }
+
+  if (decision == RetagDecision::kKeepExact) {
+    // Lineage carries over unchanged: the used-set's fingerprints are
+    // structural and every used dependency survived, so the set still
+    // describes the (identical) chase under the new Σ. Confidence is left
+    // alone — an exact keep is always lineage-backed (a nonempty delta
+    // reaches this branch only through the lineage probes above), and
+    // lineage-unknown monotone survivors can never re-earn kExact.
+    verdict.sigma_fp = ld.new_sigma_fp;
+    return decision;
+  }
+  if (decision == RetagDecision::kKeepMonotone) {
+    verdict.sigma_fp = ld.new_sigma_fp;
+    verdict.confidence =
+        static_cast<uint8_t>(VerdictConfidence::kMonotoneBound);
+    // The used-set described the pre-edit derivation; under the new Σ it is
+    // no longer a sound over-approximation of anything. Dropping it makes
+    // the next delta treat this entry as touched-by-any-removal, which is
+    // exactly the conservative behavior monotone survivors need.
+    verdict.lineage_known = false;
+    verdict.used_fps.clear();
+    verdict.used_fps.shrink_to_fit();
+  }
+  return decision;
+}
+
+RetagDecision ApplyVerdictDelta(const LineageDelta& ld,
+                                const std::string& key,
+                                StoredVerdict& verdict, std::string* rekeyed) {
+  if (ld.empty()) return RetagDecision::kUntouched;
+  if (TaskKeySigmaSection(key) != ld.old_sigma_key) {
+    return RetagDecision::kUntouched;  // an entry of some other Σ
+  }
+  const RetagDecision decision = RetagVerdictForDelta(ld, verdict);
+  if ((decision == RetagDecision::kKeepExact ||
+       decision == RetagDecision::kKeepMonotone) &&
+      rekeyed != nullptr) {
+    *rekeyed = RekeyTask(key, ld.new_sigma_key);
+  }
+  return decision;
+}
+
+namespace {
+
+void EncodeFps(const std::vector<uint64_t>& fps, std::string& out) {
+  wire::PutU32(out, static_cast<uint32_t>(fps.size()));
+  for (uint64_t fp : fps) wire::PutU64(out, fp);
+}
+
+Status DecodeFps(wire::ByteReader& reader, std::vector<uint64_t>* fps) {
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) {
+    return Status::InvalidArgument("truncated delta fingerprint count");
+  }
+  if (count > reader.remaining() / 8) {
+    return Status::InvalidArgument(
+        StrCat("delta fingerprint count ", count, " exceeds its bytes"));
+  }
+  fps->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!reader.ReadU64(&(*fps)[i])) {
+      return Status::InvalidArgument("truncated delta fingerprints");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeLineageDelta(const LineageDelta& ld, std::string& out) {
+  wire::PutString(out, ld.old_sigma_key);
+  wire::PutString(out, ld.new_sigma_key);
+  wire::PutU64(out, ld.old_sigma_fp);
+  wire::PutU64(out, ld.new_sigma_fp);
+  EncodeFps(ld.delta.added, out);
+  EncodeFps(ld.delta.removed, out);
+  EncodeFps(ld.delta.unchanged, out);
+}
+
+Status DecodeLineageDelta(wire::ByteReader& reader, LineageDelta* ld) {
+  LineageDelta out;
+  if (!reader.ReadString(&out.old_sigma_key) ||
+      !reader.ReadString(&out.new_sigma_key) ||
+      !reader.ReadU64(&out.old_sigma_fp) || !reader.ReadU64(&out.new_sigma_fp)) {
+    return Status::InvalidArgument("truncated lineage delta");
+  }
+  CQCHASE_RETURN_IF_ERROR(DecodeFps(reader, &out.delta.added));
+  CQCHASE_RETURN_IF_ERROR(DecodeFps(reader, &out.delta.removed));
+  CQCHASE_RETURN_IF_ERROR(DecodeFps(reader, &out.delta.unchanged));
+  // Removed() binary-searches; hostile bytes may arrive unsorted. Sorting
+  // here (rather than trusting) keeps the membership probes correct no
+  // matter who framed the message.
+  std::sort(out.delta.added.begin(), out.delta.added.end());
+  std::sort(out.delta.removed.begin(), out.delta.removed.end());
+  std::sort(out.delta.unchanged.begin(), out.delta.unchanged.end());
+  *ld = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace cqchase

@@ -1,0 +1,133 @@
+// Σ-lineage verdict survival: the rules that let cached verdicts outlive a
+// schema edit instead of being orphaned by their canonical keys.
+//
+// The theory (conf_pods_JohnsonK82) gives two survival arguments:
+//
+//  * MONOTONE. The chase only grows when dependencies are added: every
+//    Σ-chase sequence is a Σ∪Δ-chase prefix, so a homomorphism Q' → chase_Σ(Q)
+//    is one into chase_{Σ∪Δ}(Q) — *contained* survives additions. Dually, a
+//    counterexample database satisfying Σ satisfies every subset of Σ — *not
+//    contained* survives removals. Both hold with no knowledge of the
+//    decision's derivation.
+//  * EXACT. The chase replays identically when no dependency the derivation
+//    actually fired was edited: the chase's used-dependency capture
+//    (chase/chase.h) records which INDs minted or cross-arced and which FDs
+//    merged; if every removed dependency is outside that set, the new-Σ chase
+//    builds the same facts and the old verdict bit is the one a fresh
+//    decision would produce. (Σ-derived metadata like the Lemma 5 level
+//    bound still drifts with |Σ| — the surviving claim is the verdict, and
+//    tests compare exactly that.)
+//
+// RetagVerdictForDelta turns those arguments into a per-entry decision:
+// keep-exact, keep-monotone (VerdictConfidence::kMonotoneBound), or drop.
+// Lineage-unknown entries (v1 files, non-chase strategies, prior monotone
+// survivors) are treated as touched by any removal — they can only survive
+// monotonically, never exactly.
+//
+// Re-keying: a canonical task key is "V<variant>|S{Σ}|Q{..}|=>|Q{..}" and the
+// Σ section contains no '|' (engine/canonical.h), so migrating a surviving
+// entry to its new-Σ key is a bounded substring replacement between the first
+// two separators — no re-canonicalization of the queries.
+//
+// LineageDelta is the closed object every tier's ApplyDelta consumes, and
+// what the remote protocol's kTierOpApplyDelta ships (Encode/Decode below,
+// hostile-input hardened like every other wire codec).
+#ifndef CQCHASE_ENGINE_LINEAGE_H_
+#define CQCHASE_ENGINE_LINEAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "analysis/delta.h"
+#include "base/status.h"
+#include "deps/dependency_set.h"
+#include "engine/serialize.h"
+
+namespace cqchase {
+
+// One schema edit, closed over everything a tier needs to migrate entries:
+// the fingerprint-level delta plus the canonical Σ sections (for re-keying)
+// and whole-Σ fingerprints (for tagging survivors) of both sides.
+struct LineageDelta {
+  SigmaDelta delta;
+  std::string old_sigma_key;  // CanonicalSigmaKey(old), "S{...}"
+  std::string new_sigma_key;  // CanonicalSigmaKey(new)
+  uint64_t old_sigma_fp = 0;  // SigmaFingerprint(old)
+  uint64_t new_sigma_fp = 0;  // SigmaFingerprint(new)
+
+  bool empty() const { return delta.empty(); }
+};
+
+LineageDelta MakeLineageDelta(const DependencySet& old_deps,
+                              const DependencySet& new_deps);
+
+// What ApplyDelta decided for one entry.
+enum class RetagDecision : uint8_t {
+  kUntouched = 0,     // foreign Σ (key section differs) or an empty delta
+  kKeepExact = 1,     // survives with its confidence unchanged
+  kKeepMonotone = 2,  // survives as VerdictConfidence::kMonotoneBound
+  kDrop = 3,          // genuinely touched: re-decide under the new Σ
+};
+
+// The Σ section of a canonical task key: the bytes between the first and
+// second '|' ("S{...}"). Empty view when the key is malformed.
+std::string_view TaskKeySigmaSection(std::string_view task_key);
+
+// `task_key` with its Σ section replaced (caller has already checked the
+// section matches the delta's old side).
+std::string RekeyTask(std::string_view task_key,
+                      std::string_view new_sigma_section);
+
+// The survival rule table. For an entry under the delta's old Σ, decides
+// keep/drop and — for keeps — mutates `verdict` in place: survivors get
+// sigma_fp = new_sigma_fp; monotone survivors additionally get
+// kMonotoneBound confidence and lose their lineage (the used-set described
+// the pre-edit chase; a later delta must not exact-keep on its strength).
+// Confidence is never upgraded back toward kExact. Pure rule logic — key
+// matching is the caller's (ApplyVerdictDelta below does both).
+RetagDecision RetagVerdictForDelta(const LineageDelta& ld,
+                                   StoredVerdict& verdict);
+
+// The whole per-entry migration: kUntouched unless the key's Σ section is
+// the delta's old side; otherwise applies the rule table and, on a keep,
+// writes the entry's new-Σ key to `rekeyed`. This is the one routine every
+// tier backend (LRU, local store, remote pending buffer, authority map)
+// funnels through, so the rules cannot drift between layers.
+RetagDecision ApplyVerdictDelta(const LineageDelta& ld,
+                                const std::string& key,
+                                StoredVerdict& verdict, std::string* rekeyed);
+
+// Aggregate of one ApplyDelta pass over a tier (summed across tiers by
+// TierStack::ApplyDelta; surfaced in EngineStats).
+struct DeltaReceipt {
+  uint64_t examined = 0;       // entries under the delta's old Σ
+  uint64_t kept_exact = 0;
+  uint64_t kept_monotone = 0;
+  uint64_t dropped = 0;
+  uint64_t retagged() const { return kept_exact + kept_monotone; }
+
+  void Add(const DeltaReceipt& other) {
+    examined += other.examined;
+    kept_exact += other.kept_exact;
+    kept_monotone += other.kept_monotone;
+    dropped += other.dropped;
+  }
+  void Count(RetagDecision d) {
+    if (d == RetagDecision::kUntouched) return;
+    ++examined;
+    if (d == RetagDecision::kKeepExact) ++kept_exact;
+    if (d == RetagDecision::kKeepMonotone) ++kept_monotone;
+    if (d == RetagDecision::kDrop) ++dropped;
+  }
+};
+
+// Wire codec for kTierOpApplyDelta bodies (engine/remote_tier.h). Decode
+// treats the bytes as hostile: string lengths and fingerprint counts are
+// bounds-checked against the remaining payload before any allocation.
+void EncodeLineageDelta(const LineageDelta& ld, std::string& out);
+Status DecodeLineageDelta(wire::ByteReader& reader, LineageDelta* ld);
+
+}  // namespace cqchase
+
+#endif  // CQCHASE_ENGINE_LINEAGE_H_

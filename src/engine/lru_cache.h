@@ -54,6 +54,22 @@ class LruCache {
     index_.clear();
   }
 
+  // Membership probe that leaves recency untouched (Get would promote).
+  bool Contains(const std::string& key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  // Empties the cache and returns every entry in recency order (front =
+  // most recent). For bulk rewrites — a schema-delta migration retags the
+  // drained entries and re-inserts the survivors back-to-front, which
+  // reconstructs the original recency order exactly.
+  std::list<std::pair<std::string, Value>> Drain() {
+    std::list<std::pair<std::string, Value>> out;
+    out.swap(recency_);
+    index_.clear();
+    return out;
+  }
+
   size_t size() const { return index_.size(); }
   size_t capacity() const { return capacity_; }
 

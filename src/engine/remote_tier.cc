@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/string_util.h"
+#include "engine/lineage.h"
 
 namespace cqchase {
 
@@ -217,12 +218,74 @@ Status VerdictAuthority::Handle(const std::string& request,
       wire::PutU64(reply, accepted);
       break;
     }
+    case kTierOpApplyDelta: {
+      if (options_.protocol_version < 3) {
+        // A v2 authority predates this opcode; clients negotiate down and
+        // degrade to drop-only rather than send it.
+        return Status::InvalidArgument(
+            StrCat("unknown protocol opcode ", int{op}));
+      }
+      LineageDelta ld;
+      CQCHASE_RETURN_IF_ERROR(DecodeLineageDelta(reader, &ld));
+      if (reader.remaining() != 0) {
+        return Status::InvalidArgument("trailing bytes after apply-delta");
+      }
+      const DeltaReceipt receipt = ApplyDelta(ld);
+      wire::PutU8(reply, kTierOpApplyDelta);
+      wire::PutU64(reply, receipt.examined);
+      wire::PutU64(reply, receipt.kept_exact);
+      wire::PutU64(reply, receipt.kept_monotone);
+      wire::PutU64(reply, receipt.dropped);
+      break;
+    }
     default:
       return Status::InvalidArgument(
           StrCat("unknown protocol opcode ", int{op}));
   }
   *response = Frame(reply);
   return Status::OK();
+}
+
+DeltaReceipt VerdictAuthority::ApplyDelta(const LineageDelta& ld) {
+  DeltaReceipt receipt;
+  if (ld.empty()) return receipt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Untouched entries first, survivors second, so an entry computed
+    // directly under the new Σ always keeps the rekeyed slot (it is at
+    // least as precise) — regardless of map iteration order.
+    std::unordered_map<std::string, StoredVerdict> next;
+    next.reserve(map_.size());
+    std::vector<std::pair<std::string, StoredVerdict>> survivors;
+    for (auto& [key, verdict] : map_) {
+      std::string rekeyed;
+      const RetagDecision decision =
+          ApplyVerdictDelta(ld, key, verdict, &rekeyed);
+      receipt.Count(decision);
+      switch (decision) {
+        case RetagDecision::kUntouched:
+          next.emplace(key, std::move(verdict));
+          break;
+        case RetagDecision::kKeepExact:
+        case RetagDecision::kKeepMonotone:
+          survivors.emplace_back(std::move(rekeyed), std::move(verdict));
+          break;
+        case RetagDecision::kDrop:
+          break;
+      }
+    }
+    for (auto& [key, verdict] : survivors) {
+      next.emplace(std::move(key), std::move(verdict));
+    }
+    map_ = std::move(next);
+    ++stats_.apply_deltas;
+    stats_.delta_retagged += receipt.retagged();
+    stats_.delta_dropped += receipt.dropped;
+  }
+  // Outside mu_ like publish_sink: the daemon's store migration does I/O
+  // and must not serialize every concurrent fetch behind it.
+  if (options_.apply_delta_sink) options_.apply_delta_sink(ld);
+  return receipt;
 }
 
 void VerdictAuthority::Put(const std::string& key,
@@ -605,6 +668,89 @@ VerdictTierStats RemoteTier::Stats() const {
   s.entries = pending_.size();  // locally resident = awaiting ship-out
   s.reconnects = transport.reconnects;
   return s;
+}
+
+DeltaReceipt RemoteTier::ApplyDelta(const LineageDelta& ld) {
+  DeltaReceipt receipt;
+  if (ld.empty()) return receipt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The negative cache goes wholesale, not per-key: a remembered
+    // "authority does not know this key" is a pre-edit observation, and the
+    // migration it races (this one, or another engine's) may teach the
+    // authority exactly the keys we remembered as unknown. Before this,
+    // a Σ edit-and-revert could pin a stale known-miss until its TTL.
+    negative_.clear();
+    negative_order_.clear();
+    // Migrate the pending publish buffer locally — these entries are this
+    // tier's resident state (they serve Lookup) and would otherwise ship
+    // old-Σ keys to the authority on the next Flush. Untouched entries
+    // first, survivors second: a pending entry computed directly under the
+    // new Σ keeps the rekeyed slot whatever the iteration order.
+    std::unordered_map<std::string, StoredVerdict> keep;
+    keep.reserve(pending_.size());
+    std::vector<std::pair<std::string, StoredVerdict>> survivors;
+    for (auto& [key, verdict] : pending_) {
+      std::string rekeyed;
+      const RetagDecision decision =
+          ApplyVerdictDelta(ld, key, verdict, &rekeyed);
+      receipt.Count(decision);
+      switch (decision) {
+        case RetagDecision::kUntouched:
+          keep.emplace(key, std::move(verdict));
+          break;
+        case RetagDecision::kKeepExact:
+        case RetagDecision::kKeepMonotone:
+          survivors.emplace_back(std::move(rekeyed), std::move(verdict));
+          break;
+        case RetagDecision::kDrop:
+          break;
+      }
+    }
+    for (auto& [key, verdict] : survivors) {
+      keep.emplace(std::move(key), std::move(verdict));
+    }
+    pending_ = std::move(keep);
+  }
+  if (negotiated_version_ < 3) {
+    // The peer predates kTierOpApplyDelta: degrade to drop-only. Its old-Σ
+    // entries become unreachable under new-Σ keys — stale bytes on the
+    // authority, never wrong answers here.
+    return receipt;
+  }
+
+  std::string payload;
+  wire::PutU8(payload, kTierOpApplyDelta);
+  EncodeLineageDelta(ld, payload);
+  std::string response;
+  Status sent = transport_->RoundTrip(Frame(payload), &response);
+  DeltaReceipt remote;
+  bool malformed = false;
+  if (sent.ok()) {
+    std::string reply;
+    if (!Unframe(response, &reply).ok()) {
+      malformed = true;
+    } else {
+      wire::ByteReader r(reply);
+      uint8_t op = 0;
+      if (!r.ReadU8(&op) || op != kTierOpApplyDelta ||
+          !r.ReadU64(&remote.examined) || !r.ReadU64(&remote.kept_exact) ||
+          !r.ReadU64(&remote.kept_monotone) || !r.ReadU64(&remote.dropped) ||
+          r.remaining() != 0) {
+        malformed = true;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sent.ok() || malformed) {
+    // Unreachable or confused peer: same degradation as the version
+    // fallback — the authority keeps (unreachable) old-Σ entries, and a
+    // future session's delta can still migrate them.
+    ++stats_.transport_errors;
+    return receipt;
+  }
+  receipt.Add(remote);
+  return receipt;
 }
 
 void RemoteTier::Clear() {

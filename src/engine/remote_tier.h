@@ -69,14 +69,16 @@ namespace cqchase {
 // below kTierMinProtocolVersion refuse at hello. History:
 //   1 — hello / fetch / publish
 //   2 — kTierOpFetchMany batched fetch
-inline constexpr uint32_t kTierProtocolVersion = 2;
+//   3 — kTierOpApplyDelta schema-delta migration
+inline constexpr uint32_t kTierProtocolVersion = 3;
 inline constexpr uint32_t kTierMinProtocolVersion = 1;
 
 // Opcodes (first payload byte; responses echo their request's opcode).
 inline constexpr uint8_t kTierOpHello = 1;
 inline constexpr uint8_t kTierOpFetch = 2;
 inline constexpr uint8_t kTierOpPublish = 3;
-inline constexpr uint8_t kTierOpFetchMany = 4;  // protocol v2+
+inline constexpr uint8_t kTierOpFetchMany = 4;   // protocol v2+
+inline constexpr uint8_t kTierOpApplyDelta = 5;  // protocol v3+
 
 // Upper bound on one protocol message (framed). Shared by every transport
 // and the authority server: a length prefix past this is a confused or
@@ -158,6 +160,11 @@ class VerdictAuthority {
     // Must be thread-safe; must outlive every Handle call.
     std::function<void(const std::string& key, const StoredVerdict& verdict)>
         publish_sink;
+    // Called once per applied schema delta, outside the authority's lock and
+    // after the in-memory map is migrated — the hook a daemon uses to drive
+    // the same delta through its backing VerdictStore. Same lifetime and
+    // thread-safety contract as publish_sink.
+    std::function<void(const LineageDelta& ld)> apply_delta_sink;
     Options();
   };
 
@@ -173,6 +180,11 @@ class VerdictAuthority {
   std::optional<StoredVerdict> Lookup(const std::string& key) const;
   size_t size() const;
 
+  // Migrates the authority's map per the survival rules (engine/lineage.h):
+  // what kTierOpApplyDelta dispatches to, also callable directly by a
+  // colocated owner. Runs apply_delta_sink (if set) after the map flips.
+  DeltaReceipt ApplyDelta(const LineageDelta& ld);
+
   struct Stats {
     uint64_t hellos = 0;
     uint64_t fetches = 0;            // single-key fetch requests
@@ -183,6 +195,9 @@ class VerdictAuthority {
     uint64_t publishes = 0;          // entries offered by publish requests
     uint64_t publishes_accepted = 0; // newly inserted (dedup + cap refusals
                                      // excluded)
+    uint64_t apply_deltas = 0;       // schema deltas applied to the map
+    uint64_t delta_retagged = 0;     // entries that survived a delta
+    uint64_t delta_dropped = 0;      // entries a delta invalidated
   };
   Stats stats() const;
 
@@ -253,6 +268,13 @@ class RemoteTier final : public VerdictTier {
   Status Flush() override;
   VerdictTierStats Stats() const override;
   uint64_t Fingerprint() const override { return peer_fingerprint_; }
+  // Always clears the negative cache (a remembered "authority does not know
+  // this key" predates the edit and must not outlive it) and migrates the
+  // pending publish buffer locally; ships the delta to the peer when the
+  // negotiated session speaks kTierOpApplyDelta (v3+). Against an older
+  // peer it degrades to drop-only: the authority's old-Σ entries simply
+  // become unreachable under new-Σ keys — stale bytes, never wrong answers.
+  DeltaReceipt ApplyDelta(const LineageDelta& ld) override;
   void Clear() override;  // forgets negative entries; pending publishes stay
   bool HasPendingWrites() const override;
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "base/status.h"
 
@@ -102,8 +103,12 @@ Status ReadFramed(ByteReader& reader, std::string* payload);
 
 // --- verdict entries ---------------------------------------------------------
 
-// Current byte-layout version of the snapshot and log files.
-inline constexpr uint32_t kStoreFormatVersion = 1;
+// Current byte-layout version of the snapshot and log files. History:
+//   1 — key + verdict fields + certificate metadata
+//   2 — Σ-lineage: confidence / lineage_known / sigma_fp / used-dependency
+//       fingerprint list, appended after the v1 fields. v1 files stay
+//       readable (entries decode as lineage-unknown, see DecodeVerdictEntry).
+inline constexpr uint32_t kStoreFormatVersion = 2;
 
 // File magics ("CQVS" / "CQVL" little-endian).
 inline constexpr uint32_t kSnapshotMagic = 0x53565143u;
@@ -111,15 +116,37 @@ inline constexpr uint32_t kLogMagic = 0x4C565143u;
 
 // Hash of the entry layout descriptor + the canonical-key scheme version;
 // see the header comment for why key-scheme drift must invalidate the store.
+// StoreSchemaFingerprint() is the current build's; the For variant answers
+// for any version this build can still *read* (0 for versions it cannot), so
+// the store accepts its own older files instead of quarantining them.
 uint64_t StoreSchemaFingerprint();
+uint64_t StoreSchemaFingerprintFor(uint32_t version);
+
+// How far a cached verdict's claim extends after schema evolution re-tagged
+// it (engine/lineage.h owns the re-tagging rules).
+enum class VerdictConfidence : uint8_t {
+  // The verdict is exact for the Σ its key names: either it was decided
+  // under that Σ, or every dependency the deciding chase used survived the
+  // edit unchanged (the chase replays identically, so the verdict bit is
+  // the one a fresh decision would produce).
+  kExact = 0,
+  // One direction is guaranteed by chase monotonicity — a contained entry
+  // survived Σ additions (the chase only grew), a not-contained entry
+  // survived removals (the counterexample still satisfies the subset). The
+  // stored `contained` bit is correct under the *current* Σ; the metadata
+  // around it (levels, bounds) describes the original decision.
+  kMonotoneBound = 1,
+};
 
 // One persisted verdict: the cacheable subset of an EngineOutcome — the
 // ContainmentReport minus its witness homomorphism (which references live
 // chase facts and cannot survive the process), the Σ class and strategy that
-// produced it, and optional certificate metadata. The metadata records that
-// the producing computation also extracted a Theorem 2 certificate and how
-// deep its derivation ran; the certificate itself is not persisted (a store
-// hit can never serve one — certificate requests bypass caches by design).
+// produced it, optional certificate metadata, and (v2) the Σ-lineage that
+// lets the verdict survive a schema edit. The certificate metadata records
+// that the producing computation also extracted a Theorem 2 certificate and
+// how deep its derivation ran; the certificate itself is not persisted (a
+// store hit can never serve one — certificate requests bypass caches by
+// design).
 struct StoredVerdict {
   bool contained = false;
   uint8_t chase_outcome = 0;  // ChaseOutcome
@@ -132,17 +159,37 @@ struct StoredVerdict {
   // Certificate metadata (telemetry, not a servable proof).
   bool certified = false;
   uint32_t certificate_depth = 0;
+  // --- Σ-lineage (v2) ---
+  uint8_t confidence = 0;  // VerdictConfidence
+  // True when used_fps is a sound over-approximation of the dependencies the
+  // deciding chase fired (engine/lineage.h). False for v1 legacy entries,
+  // non-chase strategies, and monotone survivors of a previous delta (their
+  // used-set described the pre-edit Σ) — such entries are "touched" under
+  // any removal of a dependency and can only survive monotonically.
+  bool lineage_known = false;
+  // SigmaFingerprint (analysis/delta.h) of the Σ the entry's key names.
+  uint64_t sigma_fp = 0;
+  // Per-dependency fingerprints of the used dependencies, sorted ascending.
+  // Fingerprints, not node indices: self-describing across processes and
+  // invariant under the delta itself (re-tagging never remaps them).
+  std::vector<uint64_t> used_fps;
 };
 
-// Appends the unframed (key, verdict) entry encoding to `out`.
+// Appends the unframed (key, verdict) entry encoding to `out` (always the
+// current kStoreFormatVersion layout).
 void EncodeVerdictEntry(const std::string& key, const StoredVerdict& verdict,
                         std::string& out);
 
-// Decodes one entry. kInvalidArgument on truncation or an out-of-range enum
-// value (the persisted byte must name a ChaseOutcome / SigmaClass /
-// DecisionStrategy this build knows, or the entry is untrusted).
+// Decodes one entry written under `version` (a version Open accepted, i.e.
+// one StoreSchemaFingerprintFor knows). kInvalidArgument on truncation or an
+// out-of-range enum value (the persisted byte must name a ChaseOutcome /
+// SigmaClass / DecisionStrategy / VerdictConfidence this build knows, or the
+// entry is untrusted). A v1 entry decodes with the lineage fields at their
+// lineage-unknown defaults — treated as touched by any delta, never
+// mis-kept.
 Status DecodeVerdictEntry(wire::ByteReader& reader, std::string* key,
-                          StoredVerdict* verdict);
+                          StoredVerdict* verdict,
+                          uint32_t version = kStoreFormatVersion);
 
 }  // namespace cqchase
 

@@ -161,6 +161,15 @@ Result<std::unique_ptr<VerdictStore>> VerdictStore::Open(
   store->lock_fd_ = lock_fd;
   CQCHASE_RETURN_IF_ERROR(store->LoadSnapshot());
   CQCHASE_RETURN_IF_ERROR(store->ReplayLog());
+  if (store->legacy_format_seen_) {
+    // Rewrite both files at the current format version right away, before
+    // any new entry is appended: a current-format frame behind an old log
+    // header would be shed as a torn tail by the next Open. On failure
+    // (full disk) the restored entries still serve from memory and the old
+    // files stay intact; frames appended after the failure are the only
+    // ones a future Open may shed, and it re-attempts this migration.
+    store->Compact();
+  }
   store->opened_ = true;
   return store;
 }
@@ -209,9 +218,13 @@ Status VerdictStore::LoadSnapshot() {
   // Every failure below means the same thing: these bytes cannot be trusted
   // as verdicts. Quarantine the file and start empty — a rebuilt cache is
   // merely cold, a believed corrupt one is wrong.
+  // Any still-supported older version is readable — a fleet rolls the
+  // format forward without losing its warm stores — but the fingerprint
+  // must be the one *that* version's layout hashes to, else the bytes were
+  // written by something we never were.
   if (!header_ok || magic != kSnapshotMagic ||
-      version != kStoreFormatVersion ||
-      fingerprint != StoreSchemaFingerprint() ||
+      fingerprint != StoreSchemaFingerprintFor(version) ||
+      StoreSchemaFingerprintFor(version) == 0 ||
       payload_size != reader.remaining()) {
     Quarantine(path);
     return Status::OK();
@@ -238,7 +251,7 @@ Status VerdictStore::LoadSnapshot() {
   for (uint64_t i = 0; i < count; ++i) {
     std::string key;
     StoredVerdict verdict;
-    if (!DecodeVerdictEntry(entries, &key, &verdict).ok()) {
+    if (!DecodeVerdictEntry(entries, &key, &verdict, version).ok()) {
       Quarantine(path);
       return Status::OK();
     }
@@ -248,6 +261,7 @@ Status VerdictStore::LoadSnapshot() {
     Quarantine(path);
     return Status::OK();
   }
+  if (version != kStoreFormatVersion) legacy_format_seen_ = true;
   std::lock_guard<std::mutex> lock(mu_);
   counters_.snapshot_entries_loaded += loaded.size();
   map_ = std::move(loaded);
@@ -271,8 +285,8 @@ Status VerdictStore::ReplayLog() {
     wire::ByteReader hr(header);
     header_ok = hr.ReadU32(&magic) && hr.ReadU32(&version) &&
                 hr.ReadU64(&fingerprint) && magic == kLogMagic &&
-                version == kStoreFormatVersion &&
-                fingerprint == StoreSchemaFingerprint();
+                StoreSchemaFingerprintFor(version) != 0 &&
+                fingerprint == StoreSchemaFingerprintFor(version);
   }
   if (!header_ok) {
     // A log whose identity frame is wrong is untrusted wholesale — unlike a
@@ -291,7 +305,7 @@ Status VerdictStore::ReplayLog() {
     // Trailing bytes after the entry are as untrusted as a short one (the
     // snapshot path rejects the same condition): treat the frame as the
     // start of the torn tail.
-    if (!DecodeVerdictEntry(entry, &key, &verdict).ok() ||
+    if (!DecodeVerdictEntry(entry, &key, &verdict, version).ok() ||
         entry.remaining() != 0) {
       break;
     }
@@ -309,6 +323,7 @@ Status VerdictStore::ReplayLog() {
                                      std::strerror(errno)));
     }
   }
+  if (version != kStoreFormatVersion) legacy_format_seen_ = true;
   std::lock_guard<std::mutex> lock(mu_);
   counters_.log_entries_replayed += replayed;
   counters_.torn_tail_bytes_dropped += torn;
@@ -456,6 +471,77 @@ Status VerdictStore::Compact() {
   }
   ++counters_.compactions;
   return Status::OK();
+}
+
+DeltaReceipt VerdictStore::ApplyDelta(const LineageDelta& ld) {
+  DeltaReceipt receipt;
+  if (ld.empty()) return receipt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Two passes so the outcome is independent of map iteration order: pass
+    // 1 carries every untouched entry (among them any entry computed
+    // directly under the new Σ), pass 2 emplaces migrated survivors — so a
+    // direct new-Σ incumbent always wins the rekeyed slot (it is at least
+    // as precise as a survivor). A single pass would let whichever the hash
+    // order visited first win.
+    std::unordered_map<std::string, StoredVerdict> next;
+    next.reserve(map_.size());
+    std::vector<std::pair<std::string, StoredVerdict>> survivors;
+    for (auto& [key, verdict] : map_) {
+      std::string rekeyed;
+      const RetagDecision decision =
+          ApplyVerdictDelta(ld, key, verdict, &rekeyed);
+      receipt.Count(decision);
+      switch (decision) {
+        case RetagDecision::kUntouched:
+          next.emplace(key, std::move(verdict));
+          break;
+        case RetagDecision::kKeepExact:
+        case RetagDecision::kKeepMonotone:
+          survivors.emplace_back(std::move(rekeyed), std::move(verdict));
+          break;
+        case RetagDecision::kDrop:
+          break;
+      }
+    }
+    for (auto& [key, verdict] : survivors) {
+      next.emplace(std::move(key), std::move(verdict));
+    }
+    map_ = std::move(next);
+    // pending_ mirrors map_ entries awaiting their log append; retag it the
+    // same way (uncounted — these are the same logical entries) so that if
+    // the compaction below fails, the next Flush still appends
+    // correctly-keyed frames instead of resurrecting old-Σ keys. Survivors
+    // land *before* untouched entries: log replay lets the later frame win,
+    // so a direct new-Σ incumbent must be appended after the survivor that
+    // rekeyed onto its slot.
+    std::vector<std::pair<std::string, StoredVerdict>> keep;
+    std::vector<std::pair<std::string, StoredVerdict>> untouched;
+    keep.reserve(pending_.size());
+    for (auto& [key, verdict] : pending_) {
+      std::string rekeyed;
+      switch (ApplyVerdictDelta(ld, key, verdict, &rekeyed)) {
+        case RetagDecision::kUntouched:
+          untouched.emplace_back(std::move(key), std::move(verdict));
+          break;
+        case RetagDecision::kKeepExact:
+        case RetagDecision::kKeepMonotone:
+          keep.emplace_back(std::move(rekeyed), std::move(verdict));
+          break;
+        case RetagDecision::kDrop:
+          break;
+      }
+    }
+    for (auto& entry : untouched) keep.emplace_back(std::move(entry));
+    pending_ = std::move(keep);
+  }
+  // One atomic rename flips the durable state to the new Σ. A crash before
+  // it lands leaves the old Σ's files — stale but never wrong: old-Σ keys
+  // are simply unreachable from new-Σ queries, and a re-applied delta
+  // migrates them again. A failed compact is counted in write_errors and
+  // retried by the next Flush/Compact; memory is already migrated.
+  Compact();
+  return receipt;
 }
 
 size_t VerdictStore::size() const {

@@ -7,9 +7,12 @@
 // answer it memoizes can never change. The only way a store becomes invalid
 // is a *format* change — the byte layout or the canonical-key scheme — and
 // both are guarded by the version + schema fingerprint in every file header
-// (engine/serialize.h). A file that fails those guards, or any checksum, is
-// quarantined (renamed aside) and the store rebuilds from empty: a cache
-// must recompute rather than trust a byte it cannot verify.
+// (engine/serialize.h). Files written by any still-supported older format
+// version are readable (their entries decode with that version's layout and
+// conservative defaults for fields it lacked — e.g. v1 entries surface as
+// lineage-unknown); a file that fails the guards for its own version, or
+// any checksum, is quarantined (renamed aside) and the store rebuilds from
+// empty: a cache must recompute rather than trust a byte it cannot verify.
 //
 // On-disk layout, two files in the store directory:
 //
@@ -50,6 +53,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "engine/lineage.h"
 #include "engine/serialize.h"
 
 namespace cqchase {
@@ -136,6 +140,15 @@ class VerdictStore {
   // truncates the log. Runs on close; callable any time.
   Status Compact();
 
+  // Migrates every resident entry of the delta's old Σ to the new Σ:
+  // survivors are retagged and re-keyed in place (engine/lineage.h decides
+  // which survive and at what confidence), touched entries are dropped, and
+  // the result is compacted so the on-disk state flips to the new Σ in one
+  // atomic rename. Entries keyed under any other Σ are untouched. A failed
+  // compaction is counted in write_errors and left for the next Flush /
+  // Compact; the in-memory state is already migrated either way.
+  DeltaReceipt ApplyDelta(const LineageDelta& ld);
+
   size_t size() const;
   bool has_pending() const;
   VerdictStoreStats stats() const;
@@ -172,6 +185,11 @@ class VerdictStore {
   // then mu_ briefly to copy state out).
   std::mutex io_mu_;
   bool log_has_header_ = false;
+  // An on-disk file carried an older (still-supported) format version; Open
+  // compacts immediately so both files are rewritten at the current version
+  // before any new entry could be appended behind an old header (a mixed
+  // log would shed its new-format tail as torn on the next open).
+  bool legacy_format_seen_ = false;
   int lock_fd_ = -1;  // exclusive flock on <dir>/LOCK for the store's life
   // Set once Open fully succeeded. The destructor's flush/compact only run
   // then: a store torn down on a failed Open must leave the on-disk state

@@ -43,6 +43,40 @@ VerdictTierStats LruTier::Stats() const {
   return s;
 }
 
+DeltaReceipt LruTier::ApplyDelta(const LineageDelta& ld) {
+  DeltaReceipt receipt;
+  if (ld.empty()) return receipt;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drain, retag, and re-insert survivors back-to-front: Put makes each key
+  // most-recent, so walking the drained list from its LRU end reconstructs
+  // the original recency order exactly — a migration must not reshuffle
+  // which entries the next eviction picks.
+  auto drained = cache_.Drain();
+  for (auto it = drained.rbegin(); it != drained.rend(); ++it) {
+    auto& [key, verdict] = *it;
+    std::string rekeyed;
+    const RetagDecision decision = ApplyVerdictDelta(ld, key, verdict, &rekeyed);
+    receipt.Count(decision);
+    switch (decision) {
+      case RetagDecision::kUntouched:
+        cache_.Put(key, std::move(verdict));
+        break;
+      case RetagDecision::kKeepExact:
+      case RetagDecision::kKeepMonotone:
+        // A survivor never displaces an entry already re-inserted at its
+        // rekeyed slot — that can only be a direct new-Σ incumbent, which
+        // is at least as precise. (The reverse order is handled by Put's
+        // overwrite: an untouched incumbent drained *after* the survivor
+        // replaces it.)
+        if (!cache_.Contains(rekeyed)) cache_.Put(rekeyed, std::move(verdict));
+        break;
+      case RetagDecision::kDrop:
+        break;
+    }
+  }
+  return receipt;
+}
+
 void LruTier::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.Clear();
@@ -280,6 +314,19 @@ TierStack::PublishReceipt TierStack::Publish(const std::string& key,
     }
   }
   return receipt;
+}
+
+DeltaReceipt TierStack::ApplyDelta(const LineageDelta& ld) {
+  DeltaReceipt total;
+  if (ld.empty()) return total;
+  // Every active tier, not just read-through ones: a write-only tier holds
+  // (and republishes) entries too, and leaving them old-keyed would strand
+  // them forever rather than migrate them.
+  for (auto& [tier, di] : actives_) {
+    (void)di;
+    total.Add(tier->ApplyDelta(ld));
+  }
+  return total;
 }
 
 Status TierStack::Flush() {

@@ -119,6 +119,18 @@ class VerdictTier {
   // RemoteTier returns whatever its *peer* reported at connect.
   virtual uint64_t Fingerprint() const = 0;
 
+  // Migrates every resident entry of the delta's old Σ per the survival
+  // rules in engine/lineage.h: survivors are retagged and re-keyed, touched
+  // entries are dropped. Entries under any other Σ are untouched. The
+  // default is correct for a tier with no retaggable state. Backends that
+  // cannot retag remotely (a peer speaking an older protocol) degrade to
+  // dropping their view of the old Σ — stale entries merely become
+  // unreachable under new-Σ keys, never wrong.
+  virtual DeltaReceipt ApplyDelta(const LineageDelta& ld) {
+    (void)ld;
+    return {};
+  }
+
   // Drops volatile state only (ClearCaches semantics): an LRU empties, a
   // remote tier forgets its negative entries; durable entries and pending
   // publishes survive.
@@ -204,6 +216,7 @@ class LruTier final : public VerdictTier {
   Status Flush() override { return Status::OK(); }
   VerdictTierStats Stats() const override;
   uint64_t Fingerprint() const override { return StoreSchemaFingerprint(); }
+  DeltaReceipt ApplyDelta(const LineageDelta& ld) override;
   void Clear() override;
 
  private:
@@ -231,6 +244,9 @@ class LocalStoreTier final : public VerdictTier {
   Status Flush() override;
   VerdictTierStats Stats() const override;
   uint64_t Fingerprint() const override { return StoreSchemaFingerprint(); }
+  DeltaReceipt ApplyDelta(const LineageDelta& ld) override {
+    return store_->ApplyDelta(ld);
+  }
   bool HasPendingWrites() const override { return store_->has_pending(); }
 
   VerdictStore* store() const { return store_.get(); }
@@ -304,6 +320,15 @@ class TierStack {
   // are real probes), but a later Lookup of a prefetched key is what the
   // engine-level counters see.
   PrefetchReceipt Prefetch(const std::vector<std::string>& keys);
+
+  // Drives one schema edit through every active tier (read-through or not —
+  // a write-only tier holds entries too) and sums the per-tier receipts.
+  // Cheap tiers migrate in place; the store compacts; a remote tier ships
+  // the delta when its peer speaks kTierOpApplyDelta and degrades to
+  // dropping otherwise. Not atomic across tiers: a later tier may briefly
+  // still hold old-Σ entries while a cheaper one is migrated, which is
+  // harmless because old-Σ keys are unreachable from new-Σ lookups.
+  DeltaReceipt ApplyDelta(const LineageDelta& ld);
 
   // Flushes every active tier; returns the first failure (all tiers are
   // still attempted — one full disk must not strand the remote batch).

@@ -1,0 +1,549 @@
+// Schema-delta migration end to end: v1 store files are readable (entries
+// surface lineage-unknown, are treated as touched by any removal, and the
+// files are rewritten at the current format on open), VerdictStore/LruTier/
+// TierStack ApplyDelta re-key survivors per the rules in engine/lineage.h
+// (add-then-remove restores the original keys, incumbents computed directly
+// under the new Σ win rekey collisions, LRU recency survives migration),
+// the remote protocol ships deltas to v3 peers and degrades to drop-only
+// against older ones, a Σ edit clears the remote negative cache, and — the
+// differential suite — every verdict a warm engine serves after EvolveSigma
+// equals what a cold engine decides from scratch.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/delta.h"
+#include "base/string_util.h"
+#include "cq/cq_parser.h"
+#include "engine/engine.h"
+#include "engine/lineage.h"
+#include "engine/remote_tier.h"
+#include "engine/serialize.h"
+#include "engine/store.h"
+#include "engine/tier.h"
+
+namespace cqchase {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while (f != nullptr && (n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  if (f != nullptr) std::fclose(f);
+  return out;
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+std::string NewStoreDir(const std::string& name) {
+  const std::string dir = StrCat(::testing::TempDir(), "/cqchase_", name);
+  for (const char* file :
+       {"/snapshot.cqvs", "/snapshot.cqvs.tmp", "/snapshot.cqvs.quarantine",
+        "/log.cqvl", "/log.cqvl.quarantine", "/LOCK"}) {
+    std::remove(StrCat(dir, file).c_str());
+  }
+  ::rmdir(dir.c_str());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+// --- a tiny two-Σ world shared by the migration tests ------------------------
+
+// base Σ = {R[0] ⊆ S[0], S[1] ⊆ R[1]}; edited Σ drops the second IND.
+struct TwoSigma {
+  Catalog catalog;
+  DependencySet base;
+  DependencySet edited;
+  InclusionDependency kept;
+  InclusionDependency dropped;
+  LineageDelta removal;   // base -> edited
+  LineageDelta addback;   // edited -> base
+
+  TwoSigma() {
+    EXPECT_TRUE(catalog.AddRelation("R", {"a", "b"}).ok());
+    EXPECT_TRUE(catalog.AddRelation("S", {"a", "b"}).ok());
+    kept = InclusionDependency{0, {0}, 1, {0}};
+    dropped = InclusionDependency{1, {1}, 0, {1}};
+    EXPECT_TRUE(base.AddInd(catalog, kept).ok());
+    EXPECT_TRUE(base.AddInd(catalog, dropped).ok());
+    EXPECT_TRUE(edited.AddInd(catalog, kept).ok());
+    removal = MakeLineageDelta(base, edited);
+    addback = MakeLineageDelta(edited, base);
+  }
+
+  std::string BaseKey(int i) const {
+    return StrCat("V1|", removal.old_sigma_key, "|Q{t", i, "}|=>|Q{u", i, "}");
+  }
+  std::string EditedKey(int i) const {
+    return StrCat("V1|", removal.new_sigma_key, "|Q{t", i, "}|=>|Q{u", i, "}");
+  }
+
+  // An entry decided under `base` whose chase used exactly `used`.
+  StoredVerdict Entry(bool contained, bool lineage_known,
+                      std::vector<uint64_t> used = {}) const {
+    StoredVerdict v;
+    v.contained = contained;
+    v.lineage_known = lineage_known;
+    v.sigma_fp = SigmaFingerprint(base);
+    v.used_fps = std::move(used);
+    v.level_bound = 42;  // arbitrary metadata that must survive verbatim
+    return v;
+  }
+};
+
+// --- v1 on-disk format migration ---------------------------------------------
+
+// The v1 entry layout, byte for byte (what a v1 build's EncodeVerdictEntry
+// wrote): no confidence / lineage / used-set fields.
+void EncodeV1Entry(const std::string& key, bool contained, std::string& out) {
+  wire::PutString(out, key);
+  wire::PutU8(out, contained ? 1 : 0);
+  wire::PutU8(out, 0);  // chase_outcome
+  wire::PutU8(out, 0);  // sigma_class
+  wire::PutU8(out, 0);  // strategy
+  wire::PutU32(out, 0);  // witness_max_level
+  wire::PutU32(out, 3);  // chase_levels
+  wire::PutU64(out, 7);  // level_bound
+  wire::PutU64(out, 5);  // chase_conjuncts
+  wire::PutU8(out, 0);   // certified
+  wire::PutU32(out, 0);  // certificate_depth
+}
+
+std::string EncodeV1Snapshot(
+    const std::vector<std::pair<std::string, bool>>& entries) {
+  std::string payload;
+  for (const auto& [key, contained] : entries) {
+    EncodeV1Entry(key, contained, payload);
+  }
+  std::string file;
+  wire::PutU32(file, kSnapshotMagic);
+  wire::PutU32(file, 1);  // the legacy format version
+  wire::PutU64(file, StoreSchemaFingerprintFor(1));
+  wire::PutU64(file, entries.size());
+  wire::PutU64(file, payload.size());
+  wire::PutU64(file, wire::Fnv1a64(payload));
+  return file + payload;
+}
+
+TEST(V1MigrationTest, V1SnapshotLoadsAsLineageUnknownAndIsRewrittenAtV2) {
+  TwoSigma w;
+  const std::string dir = NewStoreDir("v1_snapshot");
+  WriteAll(StrCat(dir, "/snapshot.cqvs"),
+           EncodeV1Snapshot({{w.BaseKey(0), true}, {w.BaseKey(1), false}}));
+
+  Result<std::unique_ptr<VerdictStore>> store = VerdictStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->size(), 2u);
+  EXPECT_EQ((*store)->stats().quarantined_files, 0u);
+
+  // Entries decode with conservative lineage defaults.
+  auto entry = (*store)->Lookup(w.BaseKey(0));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->contained);
+  EXPECT_EQ(entry->confidence, static_cast<uint8_t>(VerdictConfidence::kExact));
+  EXPECT_FALSE(entry->lineage_known);
+  EXPECT_TRUE(entry->used_fps.empty());
+  EXPECT_EQ(entry->level_bound, 7u);  // v1 fields survive verbatim
+
+  // Open already rewrote the file at the current version (a v2 frame
+  // appended behind a v1 header would be shed as a torn tail next open).
+  const std::string bytes = ReadAll((*store)->SnapshotPath());
+  wire::ByteReader reader(bytes);
+  uint32_t magic = 0, version = 0;
+  ASSERT_TRUE(reader.ReadU32(&magic) && reader.ReadU32(&version));
+  EXPECT_EQ(version, kStoreFormatVersion);
+}
+
+TEST(V1MigrationTest, V1LogReplaysAndCompactsToCurrentVersion) {
+  TwoSigma w;
+  const std::string dir = NewStoreDir("v1_log");
+  std::string log;
+  {
+    std::string header;
+    wire::PutU32(header, kLogMagic);
+    wire::PutU32(header, 1);
+    wire::PutU64(header, StoreSchemaFingerprintFor(1));
+    wire::PutFramed(log, header);
+    std::string entry;
+    EncodeV1Entry(w.BaseKey(0), true, entry);
+    wire::PutFramed(log, entry);
+  }
+  WriteAll(StrCat(dir, "/log.cqvl"), log);
+
+  {
+    Result<std::unique_ptr<VerdictStore>> store = VerdictStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ((*store)->size(), 1u);
+    EXPECT_EQ((*store)->stats().log_entries_replayed, 1u);
+    // The open-time migration compacted: the entry now lives in a v2
+    // snapshot and the v1-headed log is gone, so nothing this store appends
+    // later can land behind an old header.
+    const std::string bytes = ReadAll((*store)->SnapshotPath());
+    wire::ByteReader reader(bytes);
+    uint32_t magic = 0, version = 0;
+    ASSERT_TRUE(reader.ReadU32(&magic) && reader.ReadU32(&version));
+    EXPECT_EQ(version, kStoreFormatVersion);
+  }
+  // And a clean reopen restores it with no quarantine.
+  Result<std::unique_ptr<VerdictStore>> reopened = VerdictStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 1u);
+  EXPECT_EQ((*reopened)->stats().quarantined_files, 0u);
+}
+
+TEST(V1MigrationTest, LegacyEntriesAreTouchedByRemovalNeverMisKept) {
+  TwoSigma w;
+  const std::string dir = NewStoreDir("v1_retag");
+  WriteAll(StrCat(dir, "/snapshot.cqvs"),
+           EncodeV1Snapshot({{w.BaseKey(0), true}, {w.BaseKey(1), false}}));
+  Result<std::unique_ptr<VerdictStore>> store = VerdictStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+
+  const DeltaReceipt receipt = (*store)->ApplyDelta(w.removal);
+  EXPECT_EQ(receipt.examined, 2u);
+  // The contained legacy entry may have relied on the removed IND — with no
+  // lineage to prove otherwise it must drop. The not-contained one survives
+  // monotonically (a counterexample satisfies every subset of Σ).
+  EXPECT_EQ(receipt.dropped, 1u);
+  EXPECT_EQ(receipt.kept_monotone, 1u);
+  EXPECT_FALSE((*store)->Lookup(w.EditedKey(0)).has_value());
+  auto survivor = (*store)->Lookup(w.EditedKey(1));
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_FALSE(survivor->contained);
+  EXPECT_EQ(survivor->confidence,
+            static_cast<uint8_t>(VerdictConfidence::kMonotoneBound));
+}
+
+// --- VerdictStore::ApplyDelta ------------------------------------------------
+
+TEST(StoreDeltaTest, MigratesRekeysAndPersistsAcrossReopen) {
+  TwoSigma w;
+  const std::string dir = NewStoreDir("store_delta");
+  {
+    Result<std::unique_ptr<VerdictStore>> store = VerdictStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    // Exact survivor: contained, lineage proves only the kept IND fired.
+    (*store)->Put(w.BaseKey(0),
+                  w.Entry(true, true, {FingerprintInd(w.kept)}));
+    // Dropped: contained, fired the removed IND.
+    (*store)->Put(w.BaseKey(1),
+                  w.Entry(true, true, {FingerprintInd(w.dropped)}));
+    const DeltaReceipt receipt = (*store)->ApplyDelta(w.removal);
+    EXPECT_EQ(receipt.kept_exact, 1u);
+    EXPECT_EQ(receipt.dropped, 1u);
+
+    auto survivor = (*store)->Lookup(w.EditedKey(0));
+    ASSERT_TRUE(survivor.has_value());
+    EXPECT_EQ(survivor->sigma_fp, SigmaFingerprint(w.edited));
+    EXPECT_EQ(survivor->level_bound, 42u);
+    EXPECT_FALSE((*store)->Lookup(w.BaseKey(0)).has_value());
+    EXPECT_FALSE((*store)->Lookup(w.EditedKey(1)).has_value());
+  }
+  // ApplyDelta compacts: the migrated state is what a restart restores.
+  Result<std::unique_ptr<VerdictStore>> reopened = VerdictStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->size(), 1u);
+  EXPECT_TRUE((*reopened)->Lookup(w.EditedKey(0)).has_value());
+}
+
+TEST(StoreDeltaTest, RemoveThenAddBackRestoresOriginalKeys) {
+  TwoSigma w;
+  const std::string dir = NewStoreDir("store_roundtrip");
+  Result<std::unique_ptr<VerdictStore>> store = VerdictStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  // A not-contained entry with clean lineage survives the removal exactly
+  // and the re-addition drops it... so use the *contained* exact survivor:
+  // removal keeps it exact (removed IND never fired), re-addition keeps it
+  // monotone. Its key must end up byte-identical to where it started.
+  (*store)->Put(w.BaseKey(0), w.Entry(true, true, {FingerprintInd(w.kept)}));
+  EXPECT_EQ((*store)->ApplyDelta(w.removal).kept_exact, 1u);
+  EXPECT_EQ((*store)->ApplyDelta(w.addback).kept_monotone, 1u);
+
+  auto entry = (*store)->Lookup(w.BaseKey(0));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->contained);
+  EXPECT_EQ(entry->sigma_fp, SigmaFingerprint(w.base));
+  EXPECT_EQ(entry->confidence,
+            static_cast<uint8_t>(VerdictConfidence::kMonotoneBound));
+  EXPECT_EQ((*store)->size(), 1u);
+}
+
+TEST(StoreDeltaTest, DirectNewSigmaEntryWinsRekeyCollision) {
+  TwoSigma w;
+  const std::string dir = NewStoreDir("store_incumbent");
+  Result<std::unique_ptr<VerdictStore>> store = VerdictStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  // An entry already computed directly under the edited Σ sits at the slot
+  // the migrating survivor re-keys into. The incumbent is at least as
+  // precise (it was *decided* there) and must win.
+  StoredVerdict incumbent = w.Entry(true, true, {FingerprintInd(w.kept)});
+  incumbent.sigma_fp = SigmaFingerprint(w.edited);
+  incumbent.level_bound = 1000;  // distinguishable from the survivor's 42
+  (*store)->Put(w.EditedKey(0), incumbent);
+  (*store)->Put(w.BaseKey(0), w.Entry(true, true, {FingerprintInd(w.kept)}));
+
+  (*store)->ApplyDelta(w.removal);
+  auto kept = (*store)->Lookup(w.EditedKey(0));
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(kept->level_bound, 1000u);
+}
+
+// --- LruTier / TierStack -----------------------------------------------------
+
+TEST(LruTierDeltaTest, MigrationPreservesRecencyOrder) {
+  TwoSigma w;
+  LruTier tier(/*capacity=*/3);
+  tier.Publish(w.BaseKey(0), w.Entry(true, true, {FingerprintInd(w.kept)}));
+  tier.Publish(w.BaseKey(1), w.Entry(true, true, {FingerprintInd(w.kept)}));
+  tier.Publish(w.BaseKey(2), w.Entry(true, true, {FingerprintInd(w.kept)}));
+
+  const DeltaReceipt receipt = tier.ApplyDelta(w.removal);
+  EXPECT_EQ(receipt.kept_exact, 3u);
+
+  // At capacity, a new publish must evict the *oldest* survivor — key 0 —
+  // proving the drain/re-insert reconstructed recency, not some arbitrary
+  // order.
+  StoredVerdict fresh = w.Entry(false, true);
+  fresh.sigma_fp = SigmaFingerprint(w.edited);
+  tier.Publish(w.EditedKey(9), fresh);
+  EXPECT_FALSE(tier.Lookup(w.EditedKey(0)).has_value());
+  EXPECT_TRUE(tier.Lookup(w.EditedKey(1)).has_value());
+  EXPECT_TRUE(tier.Lookup(w.EditedKey(2)).has_value());
+  EXPECT_TRUE(tier.Lookup(w.EditedKey(9)).has_value());
+}
+
+TEST(TierStackDeltaTest, DrivesEveryTierAndSumsReceipts) {
+  TwoSigma w;
+  const std::string dir = NewStoreDir("stack_delta");
+  Result<std::unique_ptr<TierStack>> stack = TierStack::Assemble(
+      {TierSpec::Lru(1 << 8), TierSpec::LocalStore(dir)});
+  ASSERT_TRUE(stack.ok()) << stack.status().ToString();
+  (*stack)->Publish(w.BaseKey(0),
+                    w.Entry(true, true, {FingerprintInd(w.kept)}));
+  (*stack)->Publish(w.BaseKey(1),
+                    w.Entry(true, true, {FingerprintInd(w.dropped)}));
+
+  const DeltaReceipt receipt = (*stack)->ApplyDelta(w.removal);
+  // Both tiers held both entries: receipts sum across the stack.
+  EXPECT_EQ(receipt.examined, 4u);
+  EXPECT_EQ(receipt.kept_exact, 2u);
+  EXPECT_EQ(receipt.dropped, 2u);
+  auto hit = (*stack)->Lookup(w.EditedKey(0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE((*stack)->Lookup(w.EditedKey(1)).has_value());
+}
+
+// --- the remote protocol -----------------------------------------------------
+
+TEST(RemoteDeltaTest, ShipsToV3PeerAndMigratesItsMap) {
+  TwoSigma w;
+  auto authority = std::make_shared<VerdictAuthority>();
+  authority->Put(w.BaseKey(0), w.Entry(true, true, {FingerprintInd(w.kept)}));
+  authority->Put(w.BaseKey(1),
+                 w.Entry(true, true, {FingerprintInd(w.dropped)}));
+
+  Result<std::unique_ptr<RemoteTier>> tier =
+      RemoteTier::Connect(std::make_shared<InProcessTransport>(authority));
+  ASSERT_TRUE(tier.ok());
+  EXPECT_EQ((*tier)->negotiated_version(), kTierProtocolVersion);
+
+  const DeltaReceipt receipt = (*tier)->ApplyDelta(w.removal);
+  // The receipt folds in the peer's pass over its map.
+  EXPECT_EQ(receipt.kept_exact, 1u);
+  EXPECT_EQ(receipt.dropped, 1u);
+  EXPECT_TRUE(authority->Lookup(w.EditedKey(0)).has_value());
+  EXPECT_FALSE(authority->Lookup(w.BaseKey(0)).has_value());
+  EXPECT_FALSE(authority->Lookup(w.EditedKey(1)).has_value());
+  EXPECT_EQ(authority->stats().apply_deltas, 1u);
+  EXPECT_EQ(authority->stats().delta_retagged, 1u);
+  EXPECT_EQ(authority->stats().delta_dropped, 1u);
+}
+
+TEST(RemoteDeltaTest, DegradesToDropOnlyAgainstV2Peer) {
+  TwoSigma w;
+  VerdictAuthority::Options old_peer;
+  old_peer.protocol_version = 2;
+  auto authority = std::make_shared<VerdictAuthority>(old_peer);
+  authority->Put(w.BaseKey(0), w.Entry(true, true, {FingerprintInd(w.kept)}));
+
+  Result<std::unique_ptr<RemoteTier>> tier =
+      RemoteTier::Connect(std::make_shared<InProcessTransport>(authority));
+  ASSERT_TRUE(tier.ok());
+  EXPECT_EQ((*tier)->negotiated_version(), 2u);
+
+  const DeltaReceipt receipt = (*tier)->ApplyDelta(w.removal);
+  // Nothing shipped: the peer's entry stays under its old key — stale but
+  // unreachable from new-Σ lookups, never wrong — and no transport error is
+  // charged for a downgrade the session negotiated.
+  EXPECT_EQ(authority->stats().apply_deltas, 0u);
+  EXPECT_TRUE(authority->Lookup(w.BaseKey(0)).has_value());
+  EXPECT_FALSE(authority->Lookup(w.EditedKey(0)).has_value());
+  EXPECT_EQ((*tier)->Stats().transport_errors, 0u);
+  EXPECT_EQ(receipt.retagged(), 0u);
+}
+
+TEST(RemoteDeltaTest, SigmaEditClearsTheNegativeCache) {
+  TwoSigma w;
+  auto authority = std::make_shared<VerdictAuthority>();
+  RemoteTierOptions options;
+  options.negative_ttl = std::chrono::minutes(5);  // would pin "miss" for ages
+  Result<std::unique_ptr<RemoteTier>> tier = RemoteTier::Connect(
+      std::make_shared<InProcessTransport>(authority), options);
+  ASSERT_TRUE(tier.ok());
+  RemoteTier& remote = **tier;
+
+  // Miss under the edited Σ's key is negative-cached...
+  EXPECT_FALSE(remote.Lookup(w.EditedKey(0)).has_value());
+  // ...and the authority learning the verdict (here: another engine's
+  // publish) does not help while the negative entry pins the miss.
+  authority->Put(w.EditedKey(0), w.Entry(true, true));
+  EXPECT_FALSE(remote.Lookup(w.EditedKey(0)).has_value());
+  EXPECT_EQ(remote.Stats().negative_hits, 1u);
+
+  // The Σ edit invalidates every pre-edit "authority does not know this"
+  // observation; without this clear, an edit-and-revert would keep serving
+  // the stale known-miss until the TTL.
+  remote.ApplyDelta(w.removal);
+  EXPECT_TRUE(remote.Lookup(w.EditedKey(0)).has_value());
+}
+
+// --- the differential suite: warm survivors vs a cold engine -----------------
+
+// Three IND chains A_i[x] ⊆ B_i[x] ⊆ C_i[x] with one contained and one
+// not-contained task each (the bench_schema_evolution workload, shrunk to
+// test size).
+struct ChainWorld {
+  Catalog catalog;
+  SymbolTable symbols;
+  DependencySet full;
+  DependencySet edited;  // chain 0 loses its B->C IND
+  std::vector<ConjunctiveQuery> lhs;
+  std::vector<ConjunctiveQuery> rhs;
+
+  static constexpr size_t kChains = 3;
+
+  ChainWorld() {
+    std::vector<RelationId> a, b, c;
+    for (size_t i = 0; i < kChains; ++i) {
+      a.push_back(*catalog.AddRelation(StrCat("A", i), {"x", "y"}));
+      b.push_back(*catalog.AddRelation(StrCat("B", i), {"x", "y"}));
+      c.push_back(*catalog.AddRelation(StrCat("C", i), {"x", "y"}));
+    }
+    for (size_t i = 0; i < kChains; ++i) {
+      InclusionDependency ab{a[i], {0}, b[i], {0}};
+      InclusionDependency bc{b[i], {0}, c[i], {0}};
+      EXPECT_TRUE(full.AddInd(catalog, ab).ok());
+      EXPECT_TRUE(full.AddInd(catalog, bc).ok());
+      EXPECT_TRUE(edited.AddInd(catalog, ab).ok());
+      if (i != 0) EXPECT_TRUE(edited.AddInd(catalog, bc).ok());
+    }
+    for (size_t i = 0; i < kChains; ++i) {
+      lhs.push_back(*ParseQuery(catalog, symbols,
+                                StrCat("ans(x) :- A", i, "(x, y)")));
+      rhs.push_back(*ParseQuery(catalog, symbols,
+                                StrCat("ans(x) :- C", i, "(x, z)")));
+      lhs.push_back(*ParseQuery(catalog, symbols,
+                                StrCat("ans(x) :- C", i, "(x, y)")));
+      rhs.push_back(*ParseQuery(catalog, symbols,
+                                StrCat("ans(x) :- A", i, "(x, z)")));
+    }
+  }
+
+  std::vector<ContainmentTask> Tasks(const DependencySet& deps) {
+    std::vector<ContainmentTask> tasks;
+    for (size_t i = 0; i < lhs.size(); ++i) {
+      tasks.push_back(ContainmentTask{&lhs[i], &rhs[i], &deps});
+    }
+    return tasks;
+  }
+};
+
+// Every verdict the warm engine serves after the edit must match a cold
+// engine deciding from scratch — including answers served at monotone-bound
+// confidence after the add-back.
+TEST(EvolveSigmaDifferentialTest, RetaggedVerdictsMatchColdEngine) {
+  ChainWorld w;
+  EngineConfig config;
+  config.route_streaming_single_conjunct = false;  // chase → lineage capture
+  ContainmentEngine warm(&w.catalog, &w.symbols, config);
+
+  std::vector<ContainmentTask> full_tasks = w.Tasks(w.full);
+  std::vector<Result<EngineVerdict>> warmed = warm.CheckMany(full_tasks);
+  for (const auto& r : warmed) ASSERT_TRUE(r.ok());
+  const uint64_t chases_warm = warm.stats().chases_built;
+
+  // Phase 1: remove chain 0's B->C IND. Exactly one warmed verdict (chain
+  // 0's contained task) fired it; everything else survives exactly.
+  const DeltaReceipt removal = warm.EvolveSigma(w.full, w.edited);
+  EXPECT_GT(removal.retagged(), 0u);
+  EXPECT_GT(removal.dropped, 0u);
+  std::vector<ContainmentTask> edited_tasks = w.Tasks(w.edited);
+  std::vector<Result<EngineVerdict>> after = warm.CheckMany(edited_tasks);
+  {
+    ContainmentEngine cold(&w.catalog, &w.symbols, EngineConfig{});
+    std::vector<Result<EngineVerdict>> truth = cold.CheckMany(edited_tasks);
+    for (size_t i = 0; i < edited_tasks.size(); ++i) {
+      ASSERT_TRUE(after[i].ok() && truth[i].ok()) << "task " << i;
+      EXPECT_EQ(after[i]->report.contained, truth[i]->report.contained)
+          << "task " << i << " diverged after the removal";
+    }
+  }
+  // Survival did its job: only the touched chain re-chased.
+  EXPECT_EQ(warm.stats().chases_built - chases_warm, 1u);
+  EXPECT_GT(warm.stats().entries_retagged, 0u);
+  EXPECT_GT(warm.stats().entries_dropped, 0u);
+
+  // Phase 2: add it back. Contained survivors are now monotone-bound; the
+  // engine must both serve them (monotone_hits) and still agree with a cold
+  // engine on every task.
+  const DeltaReceipt addback = warm.EvolveSigma(w.edited, w.full);
+  EXPECT_GT(addback.kept_monotone, 0u);
+  std::vector<Result<EngineVerdict>> again = warm.CheckMany(full_tasks);
+  {
+    ContainmentEngine cold(&w.catalog, &w.symbols, EngineConfig{});
+    std::vector<Result<EngineVerdict>> truth = cold.CheckMany(full_tasks);
+    for (size_t i = 0; i < full_tasks.size(); ++i) {
+      ASSERT_TRUE(again[i].ok() && truth[i].ok()) << "task " << i;
+      EXPECT_EQ(again[i]->report.contained, truth[i]->report.contained)
+          << "task " << i << " diverged after the add-back";
+    }
+  }
+  EXPECT_GT(warm.stats().monotone_hits, 0u);
+}
+
+// An empty edit is the identity: nothing examined, nothing dropped, caches
+// intact.
+TEST(EvolveSigmaDifferentialTest, IdentityEditIsANoOp) {
+  ChainWorld w;
+  EngineConfig config;
+  config.route_streaming_single_conjunct = false;
+  ContainmentEngine engine(&w.catalog, &w.symbols, config);
+  std::vector<ContainmentTask> tasks = w.Tasks(w.full);
+  (void)engine.CheckMany(tasks);
+  const uint64_t chases = engine.stats().chases_built;
+
+  const DeltaReceipt receipt = engine.EvolveSigma(w.full, w.full);
+  EXPECT_EQ(receipt.examined, 0u);
+  (void)engine.CheckMany(tasks);
+  EXPECT_EQ(engine.stats().chases_built, chases);  // all still cache hits
+}
+
+}  // namespace
+}  // namespace cqchase

@@ -1,0 +1,386 @@
+// Σ-lineage unit coverage: per-dependency fingerprint properties (order
+// independence, FD/IND domain separation), the SigmaDelta partition, the
+// survival rule table (engine/lineage.h) case by case — including the
+// soundness-critical ones: lineage-unknown entries are treated as touched by
+// any removal, monotone survivors lose their lineage so a later delta cannot
+// exact-keep on a stale used-set — canonical-key Σ-section surgery, and the
+// hostile-input hardening of the LineageDelta wire codec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/delta.h"
+#include "base/string_util.h"
+#include "engine/lineage.h"
+#include "engine/serialize.h"
+#include "schema/catalog.h"
+
+namespace cqchase {
+namespace {
+
+// Two relations R(a,b,c), S(a,b,c) shared by every fingerprint test.
+Catalog MakeCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.AddRelation("R", {"a", "b", "c"}).ok());
+  EXPECT_TRUE(catalog.AddRelation("S", {"a", "b", "c"}).ok());
+  return catalog;
+}
+
+InclusionDependency Ind(RelationId lhs, std::vector<uint32_t> x,
+                        RelationId rhs, std::vector<uint32_t> y) {
+  InclusionDependency ind;
+  ind.lhs_relation = lhs;
+  ind.lhs_columns = std::move(x);
+  ind.rhs_relation = rhs;
+  ind.rhs_columns = std::move(y);
+  return ind;
+}
+
+FunctionalDependency Fd(RelationId relation, std::vector<uint32_t> lhs,
+                        uint32_t rhs) {
+  FunctionalDependency fd;
+  fd.relation = relation;
+  fd.lhs = std::move(lhs);
+  fd.rhs = rhs;
+  fd.Normalize();
+  return fd;
+}
+
+// --- fingerprints ------------------------------------------------------------
+
+TEST(FingerprintTest, DistinctDependenciesDistinctFingerprints) {
+  const auto a = Ind(0, {0}, 1, {0});
+  const auto b = Ind(0, {0}, 1, {1});  // different rhs column
+  const auto c = Ind(0, {1}, 1, {0});  // different lhs column
+  const auto d = Ind(1, {0}, 0, {0});  // reversed relations
+  EXPECT_NE(FingerprintInd(a), FingerprintInd(b));
+  EXPECT_NE(FingerprintInd(a), FingerprintInd(c));
+  EXPECT_NE(FingerprintInd(a), FingerprintInd(d));
+  EXPECT_EQ(FingerprintInd(a), FingerprintInd(Ind(0, {0}, 1, {0})));
+}
+
+TEST(FingerprintTest, IndColumnOrderIsSemantics) {
+  // R[0,1] ⊆ S[0,1] maps 0->0, 1->1; R[1,0] ⊆ S[0,1] maps 1->0, 0->1 — a
+  // different dependency, so a different fingerprint.
+  EXPECT_NE(FingerprintInd(Ind(0, {0, 1}, 1, {0, 1})),
+            FingerprintInd(Ind(0, {1, 0}, 1, {0, 1})));
+}
+
+TEST(FingerprintTest, FdAndIndDomainsNeverCollide) {
+  // An FD and an IND with coincidentally equal numeric fields must not
+  // fingerprint equal — the leading domain tag separates them.
+  const auto fd = Fd(0, {1}, 2);
+  const auto ind = Ind(0, {1}, 2, {1});
+  EXPECT_NE(FingerprintFd(fd), FingerprintInd(ind));
+}
+
+TEST(FingerprintTest, SigmaFingerprintIsInsertionOrderInvariant) {
+  const Catalog catalog = MakeCatalog();
+  const auto i1 = Ind(0, {0}, 1, {0});
+  const auto i2 = Ind(1, {1}, 0, {1});
+  const auto fd = Fd(0, {0}, 1);
+  DependencySet forward;
+  ASSERT_TRUE(forward.AddInd(catalog, i1).ok());
+  ASSERT_TRUE(forward.AddInd(catalog, i2).ok());
+  ASSERT_TRUE(forward.AddFd(catalog, fd).ok());
+  DependencySet backward;
+  ASSERT_TRUE(backward.AddInd(catalog, i2).ok());
+  ASSERT_TRUE(backward.AddInd(catalog, i1).ok());
+  ASSERT_TRUE(backward.AddFd(catalog, fd).ok());
+  EXPECT_EQ(SigmaFingerprint(forward), SigmaFingerprint(backward));
+
+  DependencySet smaller;
+  ASSERT_TRUE(smaller.AddInd(catalog, i1).ok());
+  EXPECT_NE(SigmaFingerprint(forward), SigmaFingerprint(smaller));
+}
+
+TEST(FingerprintTest, UsedDependencyFingerprintsFollowBitmaps) {
+  const Catalog catalog = MakeCatalog();
+  const auto i1 = Ind(0, {0}, 1, {0});
+  const auto i2 = Ind(1, {1}, 0, {1});
+  const auto fd = Fd(0, {0}, 1);
+  DependencySet deps;
+  ASSERT_TRUE(deps.AddInd(catalog, i1).ok());
+  ASSERT_TRUE(deps.AddInd(catalog, i2).ok());
+  ASSERT_TRUE(deps.AddFd(catalog, fd).ok());
+
+  const auto used =
+      UsedDependencyFingerprints(deps, {false, true}, {true});
+  std::vector<uint64_t> want = {FingerprintInd(i2), FingerprintFd(fd)};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(used, want);
+
+  // Bitmaps shorter than Σ (a capture from a pruned core) read as unused
+  // for the trailing dependencies — never out-of-bounds.
+  EXPECT_TRUE(UsedDependencyFingerprints(deps, {}, {}).empty());
+  EXPECT_EQ(UsedDependencyFingerprints(deps, {true}, {}),
+            std::vector<uint64_t>{FingerprintInd(i1)});
+}
+
+TEST(SigmaDeltaTest, PartitionsTheUnion) {
+  const Catalog catalog = MakeCatalog();
+  const auto kept = Ind(0, {0}, 1, {0});
+  const auto dropped = Ind(1, {1}, 0, {1});
+  const auto gained = Ind(0, {2}, 1, {2});
+  DependencySet before;
+  ASSERT_TRUE(before.AddInd(catalog, kept).ok());
+  ASSERT_TRUE(before.AddInd(catalog, dropped).ok());
+  DependencySet after;
+  ASSERT_TRUE(after.AddInd(catalog, kept).ok());
+  ASSERT_TRUE(after.AddInd(catalog, gained).ok());
+
+  const SigmaDelta delta = ComputeSigmaDelta(before, after);
+  EXPECT_EQ(delta.added, std::vector<uint64_t>{FingerprintInd(gained)});
+  EXPECT_EQ(delta.removed, std::vector<uint64_t>{FingerprintInd(dropped)});
+  EXPECT_EQ(delta.unchanged, std::vector<uint64_t>{FingerprintInd(kept)});
+  EXPECT_TRUE(delta.Removed(FingerprintInd(dropped)));
+  EXPECT_FALSE(delta.Removed(FingerprintInd(kept)));
+  EXPECT_FALSE(delta.empty());
+
+  EXPECT_TRUE(ComputeSigmaDelta(before, before).empty());
+}
+
+// --- key surgery -------------------------------------------------------------
+
+TEST(TaskKeyTest, SigmaSectionAndRekey) {
+  const std::string key = "V1|S{I0[0,]<=1[0,];}|Q{(d0):R(d0);}|=>|Q{(d0):S(d0);}";
+  EXPECT_EQ(TaskKeySigmaSection(key), "S{I0[0,]<=1[0,];}");
+  EXPECT_EQ(RekeyTask(key, "S{}"),
+            "V1|S{}|Q{(d0):R(d0);}|=>|Q{(d0):S(d0);}");
+  // Malformed keys (no Σ section to find) answer empty, never crash.
+  EXPECT_EQ(TaskKeySigmaSection(""), "");
+  EXPECT_EQ(TaskKeySigmaSection("V1"), "");
+  EXPECT_EQ(TaskKeySigmaSection("V1|S{x}"), "");  // no closing separator
+}
+
+// --- the survival rule table -------------------------------------------------
+
+struct RuleFixture {
+  Catalog catalog = MakeCatalog();
+  InclusionDependency kept = Ind(0, {0}, 1, {0});
+  InclusionDependency volatile_ind = Ind(1, {1}, 0, {1});
+  InclusionDependency extra = Ind(0, {2}, 1, {2});
+  DependencySet base;       // kept + volatile
+  DependencySet removed;    // kept only
+  DependencySet added;      // kept + volatile + extra
+  LineageDelta removal;     // base -> removed
+  LineageDelta addition;    // base -> added
+  LineageDelta add_remove;  // base -> (kept + extra)
+
+  RuleFixture() {
+    EXPECT_TRUE(base.AddInd(catalog, kept).ok());
+    EXPECT_TRUE(base.AddInd(catalog, volatile_ind).ok());
+    EXPECT_TRUE(removed.AddInd(catalog, kept).ok());
+    EXPECT_TRUE(added.AddInd(catalog, kept).ok());
+    EXPECT_TRUE(added.AddInd(catalog, volatile_ind).ok());
+    EXPECT_TRUE(added.AddInd(catalog, extra).ok());
+    DependencySet swapped;
+    EXPECT_TRUE(swapped.AddInd(catalog, kept).ok());
+    EXPECT_TRUE(swapped.AddInd(catalog, extra).ok());
+    removal = MakeLineageDelta(base, removed);
+    addition = MakeLineageDelta(base, added);
+    add_remove = MakeLineageDelta(base, swapped);
+  }
+
+  // An entry decided under `base` whose chase used exactly `used`.
+  StoredVerdict Entry(bool contained, bool lineage_known,
+                      std::vector<uint64_t> used = {}) const {
+    StoredVerdict v;
+    v.contained = contained;
+    v.confidence = static_cast<uint8_t>(VerdictConfidence::kExact);
+    v.lineage_known = lineage_known;
+    v.sigma_fp = SigmaFingerprint(base);
+    v.used_fps = std::move(used);
+    std::sort(v.used_fps.begin(), v.used_fps.end());
+    return v;
+  }
+};
+
+TEST(RetagRuleTest, EmptyDeltaIsUntouched) {
+  RuleFixture f;
+  const LineageDelta identity = MakeLineageDelta(f.base, f.base);
+  StoredVerdict v = f.Entry(true, true);
+  EXPECT_EQ(RetagVerdictForDelta(identity, v), RetagDecision::kUntouched);
+}
+
+TEST(RetagRuleTest, ContainedDropsWhenARemovedDependencyFired) {
+  RuleFixture f;
+  StoredVerdict v =
+      f.Entry(true, true, {FingerprintInd(f.volatile_ind)});
+  EXPECT_EQ(RetagVerdictForDelta(f.removal, v), RetagDecision::kDrop);
+}
+
+TEST(RetagRuleTest, ContainedKeepsExactWhenRemovalNeverFired) {
+  RuleFixture f;
+  StoredVerdict v = f.Entry(true, true, {FingerprintInd(f.kept)});
+  EXPECT_EQ(RetagVerdictForDelta(f.removal, v), RetagDecision::kKeepExact);
+  EXPECT_EQ(v.confidence, static_cast<uint8_t>(VerdictConfidence::kExact));
+  EXPECT_TRUE(v.lineage_known);  // exact survival carries lineage forward
+  EXPECT_EQ(v.sigma_fp, SigmaFingerprint(f.removed));
+}
+
+TEST(RetagRuleTest, ContainedSurvivesAdditionsMonotonically) {
+  RuleFixture f;
+  StoredVerdict v = f.Entry(true, true, {FingerprintInd(f.kept)});
+  EXPECT_EQ(RetagVerdictForDelta(f.addition, v),
+            RetagDecision::kKeepMonotone);
+  EXPECT_EQ(v.confidence,
+            static_cast<uint8_t>(VerdictConfidence::kMonotoneBound));
+  // The used-set described the pre-edit chase; a monotone survivor must not
+  // let a later delta exact-keep on its strength.
+  EXPECT_FALSE(v.lineage_known);
+  EXPECT_TRUE(v.used_fps.empty());
+  EXPECT_EQ(v.sigma_fp, SigmaFingerprint(f.added));
+}
+
+TEST(RetagRuleTest, LineageUnknownIsTouchedByAnyRemoval) {
+  RuleFixture f;
+  // contained + removal + unknown lineage: the removed dependency may have
+  // fired — dropping is the only sound answer (a v1 legacy entry takes
+  // exactly this path; see delta_migration_test for the on-disk half).
+  StoredVerdict contained_entry = f.Entry(true, false);
+  EXPECT_EQ(RetagVerdictForDelta(f.removal, contained_entry),
+            RetagDecision::kDrop);
+  // not-contained + removal survives monotonically with no lineage at all:
+  // the counterexample satisfies every subset of Σ.
+  StoredVerdict not_contained = f.Entry(false, false);
+  EXPECT_EQ(RetagVerdictForDelta(f.removal, not_contained),
+            RetagDecision::kKeepMonotone);
+}
+
+TEST(RetagRuleTest, NotContainedDropsOnAdditionKeepsExactOnUnusedRemoval) {
+  RuleFixture f;
+  StoredVerdict on_add = f.Entry(false, true);
+  EXPECT_EQ(RetagVerdictForDelta(f.addition, on_add), RetagDecision::kDrop);
+
+  StoredVerdict on_remove = f.Entry(false, true, {FingerprintInd(f.kept)});
+  EXPECT_EQ(RetagVerdictForDelta(f.removal, on_remove),
+            RetagDecision::kKeepExact);
+}
+
+TEST(RetagRuleTest, MixedEditKeepsMonotoneOnlyWhenRemovalNeverFired) {
+  RuleFixture f;
+  StoredVerdict clean = f.Entry(true, true, {FingerprintInd(f.kept)});
+  EXPECT_EQ(RetagVerdictForDelta(f.add_remove, clean),
+            RetagDecision::kKeepMonotone);
+  StoredVerdict dirty =
+      f.Entry(true, true, {FingerprintInd(f.volatile_ind)});
+  EXPECT_EQ(RetagVerdictForDelta(f.add_remove, dirty), RetagDecision::kDrop);
+}
+
+TEST(RetagRuleTest, ConfidenceNeverUpgradesBackToExact) {
+  RuleFixture f;
+  StoredVerdict v = f.Entry(false, false);
+  v.confidence = static_cast<uint8_t>(VerdictConfidence::kMonotoneBound);
+  // A not-contained monotone survivor surviving another removal stays
+  // monotone even though the decision is "keep": kKeepMonotone re-tags, and
+  // an exact keep would need lineage the entry no longer has.
+  EXPECT_EQ(RetagVerdictForDelta(f.removal, v), RetagDecision::kKeepMonotone);
+  EXPECT_EQ(v.confidence,
+            static_cast<uint8_t>(VerdictConfidence::kMonotoneBound));
+}
+
+TEST(ApplyVerdictDeltaTest, ForeignSigmaIsUntouched) {
+  RuleFixture f;
+  const std::string foreign = "V1|S{I9[9,]<=9[9,];}|Q{a}|=>|Q{b}";
+  StoredVerdict v = f.Entry(true, true);
+  std::string rekeyed;
+  EXPECT_EQ(ApplyVerdictDelta(f.removal, foreign, v, &rekeyed),
+            RetagDecision::kUntouched);
+}
+
+TEST(ApplyVerdictDeltaTest, MatchingSigmaIsRekeyedToTheNewSection) {
+  RuleFixture f;
+  const std::string key =
+      StrCat("V1|", f.removal.old_sigma_key, "|Q{a}|=>|Q{b}");
+  StoredVerdict v = f.Entry(false, true);
+  std::string rekeyed;
+  EXPECT_EQ(ApplyVerdictDelta(f.removal, key, v, &rekeyed),
+            RetagDecision::kKeepExact);
+  EXPECT_EQ(rekeyed, StrCat("V1|", f.removal.new_sigma_key, "|Q{a}|=>|Q{b}"));
+}
+
+// --- receipts ----------------------------------------------------------------
+
+TEST(DeltaReceiptTest, CountAndAdd) {
+  DeltaReceipt r;
+  r.Count(RetagDecision::kUntouched);  // foreign entries are not examined
+  r.Count(RetagDecision::kKeepExact);
+  r.Count(RetagDecision::kKeepMonotone);
+  r.Count(RetagDecision::kDrop);
+  EXPECT_EQ(r.examined, 3u);
+  EXPECT_EQ(r.retagged(), 2u);
+  DeltaReceipt sum;
+  sum.Add(r);
+  sum.Add(r);
+  EXPECT_EQ(sum.examined, 6u);
+  EXPECT_EQ(sum.dropped, 2u);
+}
+
+// --- wire codec --------------------------------------------------------------
+
+TEST(LineageDeltaCodecTest, RoundTrips) {
+  RuleFixture f;
+  std::string bytes;
+  EncodeLineageDelta(f.add_remove, bytes);
+  wire::ByteReader reader(bytes);
+  LineageDelta decoded;
+  ASSERT_TRUE(DecodeLineageDelta(reader, &decoded).ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(decoded.delta.added, f.add_remove.delta.added);
+  EXPECT_EQ(decoded.delta.removed, f.add_remove.delta.removed);
+  EXPECT_EQ(decoded.delta.unchanged, f.add_remove.delta.unchanged);
+  EXPECT_EQ(decoded.old_sigma_key, f.add_remove.old_sigma_key);
+  EXPECT_EQ(decoded.new_sigma_key, f.add_remove.new_sigma_key);
+  EXPECT_EQ(decoded.old_sigma_fp, f.add_remove.old_sigma_fp);
+  EXPECT_EQ(decoded.new_sigma_fp, f.add_remove.new_sigma_fp);
+}
+
+TEST(LineageDeltaCodecTest, EveryTruncationIsRejected) {
+  RuleFixture f;
+  std::string bytes;
+  EncodeLineageDelta(f.add_remove, bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    wire::ByteReader reader(std::string_view(bytes.data(), cut));
+    LineageDelta decoded;
+    EXPECT_FALSE(DecodeLineageDelta(reader, &decoded).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(LineageDeltaCodecTest, HostileCountCannotForceAllocation) {
+  // A fingerprint count far beyond the remaining bytes must be rejected
+  // before any resize — the count-bound check, same as the store codec's.
+  std::string bytes;
+  wire::PutString(bytes, "S{old}");
+  wire::PutString(bytes, "S{new}");
+  wire::PutU64(bytes, 1);
+  wire::PutU64(bytes, 2);
+  wire::PutU32(bytes, 0xFFFFFFFFu);  // "4 billion added fingerprints"
+  wire::ByteReader reader(bytes);
+  LineageDelta decoded;
+  EXPECT_FALSE(DecodeLineageDelta(reader, &decoded).ok());
+}
+
+TEST(LineageDeltaCodecTest, UnsortedHostileFingerprintsAreSortedOnDecode) {
+  // Removed() binary-searches; a peer that framed unsorted vectors must not
+  // break membership probes.
+  LineageDelta hostile;
+  hostile.old_sigma_key = "S{a}";
+  hostile.new_sigma_key = "S{b}";
+  hostile.delta.removed = {30, 10, 20};  // deliberately unsorted
+  std::string bytes;
+  EncodeLineageDelta(hostile, bytes);
+  wire::ByteReader reader(bytes);
+  LineageDelta decoded;
+  ASSERT_TRUE(DecodeLineageDelta(reader, &decoded).ok());
+  EXPECT_TRUE(decoded.delta.Removed(10));
+  EXPECT_TRUE(decoded.delta.Removed(20));
+  EXPECT_TRUE(decoded.delta.Removed(30));
+  EXPECT_FALSE(decoded.delta.Removed(15));
+}
+
+}  // namespace
+}  // namespace cqchase
